@@ -1,0 +1,121 @@
+//! Handshake-level benchmarks: how much host CPU one simulated
+//! handshake of each flavour costs. These bound the wall-clock of the
+//! full campaigns (a paper-scale single-query run is ~800k of these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doqlab_netstack::quic::{QuicConfig, QuicConnection, QuicServer, QUIC_V1};
+use doqlab_netstack::tcp::{TcpConfig, TcpSocket};
+use doqlab_netstack::tls::{TlsClient, TlsConfig, TlsServer};
+use doqlab_simnet::{Ipv4Addr, SimRng, SimTime, SocketAddr};
+
+fn sa(h: u8, port: u16) -> SocketAddr {
+    SocketAddr::new(Ipv4Addr::new(10, 0, 0, h), port)
+}
+
+fn tcp_handshake(c: &mut Criterion) {
+    c.bench_function("tcp_handshake_and_teardown", |b| {
+        b.iter(|| {
+            let mut a = TcpSocket::client(sa(1, 1000), sa(2, 53), 1, TcpConfig::default());
+            let mut s = TcpSocket::server(sa(2, 53), sa(1, 1000), 2, TcpConfig::default());
+            a.open(SimTime::ZERO);
+            a.send(b"request");
+            for _ in 0..12 {
+                for seg in a.poll(SimTime::ZERO) {
+                    s.on_segment(SimTime::ZERO, &seg);
+                }
+                let _ = s.recv();
+                for seg in s.poll(SimTime::ZERO) {
+                    a.on_segment(SimTime::ZERO, &seg);
+                }
+                if a.is_established() && s.is_established() {
+                    break;
+                }
+            }
+            assert!(a.is_established());
+        })
+    });
+}
+
+fn tls_handshake(c: &mut Criterion) {
+    let cfg = TlsConfig {
+        server_id: 7,
+        alpn: vec![b"dot".to_vec()],
+        ..TlsConfig::default()
+    };
+    c.bench_function("tls13_full_handshake", |b| {
+        b.iter(|| {
+            let mut client = TlsClient::new(cfg.clone(), None);
+            let mut server = TlsServer::new(cfg.clone());
+            client.start(SimTime::ZERO);
+            for _ in 0..6 {
+                let out = client.take_output();
+                if !out.is_empty() {
+                    server.read_wire(SimTime::ZERO, &out);
+                }
+                let out = server.take_output();
+                if !out.is_empty() {
+                    client.read_wire(SimTime::ZERO, &out);
+                }
+                if client.is_connected() && server.is_connected() {
+                    break;
+                }
+            }
+            assert!(client.is_connected());
+        })
+    });
+}
+
+fn quic_handshake(c: &mut Criterion) {
+    let cfg = QuicConfig {
+        tls: TlsConfig {
+            server_id: 7,
+            alpn: vec![b"doq".to_vec()],
+            ..TlsConfig::default()
+        },
+        ..QuicConfig::default()
+    };
+    c.bench_function("quic_full_handshake_with_query", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            let mut client = QuicConnection::client(
+                cfg.clone(),
+                sa(1, 40000),
+                sa(2, 853),
+                QUIC_V1,
+                None,
+                None,
+                &mut rng,
+                SimTime::ZERO,
+            );
+            let mut server = QuicServer::new(sa(2, 853), cfg.clone());
+            let stream = client.open_bi();
+            client.stream_send(stream, b"query", true);
+            for _ in 0..12 {
+                for d in client.poll_transmit(SimTime::ZERO) {
+                    server.handle_datagram(SimTime::ZERO, sa(1, 40000), &d);
+                }
+                for (_, d) in server.poll_transmit(SimTime::ZERO) {
+                    client.handle_datagram(SimTime::ZERO, &d);
+                }
+                if client.is_established() {
+                    if let Some(conn) = server.connection(sa(1, 40000)) {
+                        for s in conn.take_new_peer_streams() {
+                            let (data, _) = conn.stream_recv(s);
+                            if !data.is_empty() {
+                                conn.stream_send(s, b"answer", true);
+                            }
+                        }
+                    }
+                }
+                let (resp, fin) = client.stream_recv(stream);
+                if fin && !resp.is_empty() {
+                    break;
+                }
+            }
+            assert!(client.is_established());
+        })
+    });
+}
+
+criterion_group!(benches, tcp_handshake, tls_handshake, quic_handshake);
+criterion_main!(benches);

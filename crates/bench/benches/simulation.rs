@@ -1,0 +1,44 @@
+//! Campaign-unit benchmarks: the cost of one single-query measurement
+//! unit (warm + measured connection over a geographic path) and one
+//! full page-load simulation — the quantities that determine how long
+//! a paper-scale campaign (~800k single-query units, ~280k page loads)
+//! takes on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doqlab_dox::DnsTransport;
+use doqlab_measure::single_query::{run_unit, SingleQueryCampaign};
+use doqlab_measure::{vantage_points, Scale};
+use doqlab_resolver::synthesize_dox_population;
+use doqlab_webperf::{run_page_load, tranco_top10, PageLoadConfig};
+
+fn single_query_units(c: &mut Criterion) {
+    let population = synthesize_dox_population(1);
+    let campaign = SingleQueryCampaign::new(Scale::quick());
+    let vps = vantage_points();
+    let mut group = c.benchmark_group("single_query_unit");
+    for transport in DnsTransport::ALL {
+        group.bench_function(transport.name(), |b| {
+            b.iter(|| run_unit(&campaign, &vps[0], &population[42], transport, 0))
+        });
+    }
+    group.finish();
+}
+
+fn page_loads(c: &mut Criterion) {
+    let pages = tranco_top10();
+    let mut group = c.benchmark_group("page_load");
+    group.sample_size(20);
+    for (label, page) in [("wikipedia_doq", &pages[0]), ("youtube_doq", &pages[9])] {
+        let cfg = PageLoadConfig { seed: 3, ..PageLoadConfig::new(page.clone(), DnsTransport::DoQ) };
+        group.bench_function(label, |b| b.iter(|| run_page_load(&cfg)));
+    }
+    let cfg = PageLoadConfig {
+        seed: 3,
+        ..PageLoadConfig::new(pages[0].clone(), DnsTransport::DoUdp)
+    };
+    group.bench_function("wikipedia_doudp", |b| b.iter(|| run_page_load(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, single_query_units, page_loads);
+criterion_main!(benches);

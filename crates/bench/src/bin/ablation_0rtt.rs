@@ -1,0 +1,65 @@
+//! A3 — future work (§4): resolvers with 0-RTT support.
+//!
+//! The paper expects 0-RTT to "shift the total response times of DoQ
+//! even closer to DoUDP": the DNS query rides in the client's first
+//! flight, making the exchange 1 RTT total — like DoUDP.
+
+use doqlab_bench::{compare, parse_options};
+use doqlab_core::dox::DnsTransport;
+use doqlab_core::measure::median;
+
+fn main() {
+    let opts = parse_options();
+    let baseline = opts.study.clone();
+    let mut upgraded = opts.study.clone();
+    upgraded.zero_rtt_resolvers = true;
+
+    let s_base = baseline.run_single_query();
+    let s_0rtt = upgraded.run_single_query();
+
+    let total_ms = |samples: &[doqlab_core::measure::SingleQuerySample], t: DnsTransport| {
+        median(
+            &samples
+                .iter()
+                .filter(|s| s.transport == t && !s.failed)
+                .filter_map(|s| Some(s.handshake_ms.unwrap_or(0.0) + s.resolve_ms?))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN)
+    };
+    let udp = total_ms(&s_base, DnsTransport::DoUdp);
+    let doq_base = total_ms(&s_base, DnsTransport::DoQ);
+    let doq_0rtt = total_ms(&s_0rtt, DnsTransport::DoQ);
+    let zero_rtt_share = {
+        let doq: Vec<_> = s_0rtt
+            .iter()
+            .filter(|s| s.transport == DnsTransport::DoQ && !s.failed)
+            .collect();
+        doq.iter().filter(|s| s.metadata.zero_rtt).count() as f64 / doq.len().max(1) as f64
+    };
+
+    println!("== A3: 0-RTT resolver ablation (§4 future work) ==\n");
+    compare("DoUDP single-query total (ms)", "1 RTT", format!("{udp:.1}"));
+    compare("DoQ total, today's resolvers (ms)", "~1.5x DoUDP", format!("{doq_base:.1}"));
+    compare("DoQ total, 0-RTT resolvers (ms)", "-> DoUDP", format!("{doq_0rtt:.1}"));
+    compare(
+        "DoQ falls short of DoUDP by (today)",
+        "~50%",
+        format!("{:.0}%", (1.0 - udp / doq_base) * 100.0),
+    );
+    compare(
+        "DoQ falls short of DoUDP by (0-RTT)",
+        "-> ~0%",
+        format!("{:.0}%", (1.0 - udp / doq_0rtt) * 100.0),
+    );
+    compare("Measured queries using accepted 0-RTT", "100% (upgraded)", format!("{:.0}%", zero_rtt_share * 100.0));
+    if opts.json {
+        let out = serde_json::json!({
+            "doudp_total_ms": udp,
+            "doq_total_ms": doq_base,
+            "doq_0rtt_total_ms": doq_0rtt,
+            "zero_rtt_share": zero_rtt_share,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

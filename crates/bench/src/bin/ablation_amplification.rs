@@ -1,0 +1,85 @@
+//! A1 — ablation: Session Resumption off.
+//!
+//! Reproduces the authors' *preliminary* study (PAM 2022), where ~40%
+//! of DoQ handshakes were one RTT slower because the full certificate
+//! flight exceeded QUIC's 3x anti-amplification budget. With Session
+//! Resumption (this paper's method) the certificate is skipped and the
+//! stall disappears.
+
+use doqlab_bench::{compare, parse_options};
+use doqlab_core::dox::DnsTransport;
+use doqlab_core::measure::single_query::SingleQueryCampaign;
+use doqlab_core::measure::{median, percentile, run_single_query_campaign};
+
+fn main() {
+    let opts = parse_options();
+    let population = opts.study.population();
+    let mut with = SingleQueryCampaign::new(opts.study.scale.clone());
+    with.seed = opts.study.seed;
+    let mut without = with.clone();
+    without.use_resumption = false;
+
+    let s_with = run_single_query_campaign(&with, &population);
+    let s_without = run_single_query_campaign(&without, &population);
+
+    let doq_hs = |samples: &[doqlab_core::measure::SingleQuerySample]| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|s| s.transport == DnsTransport::DoQ)
+            .filter_map(|s| s.handshake_ms)
+            .collect()
+    };
+    let hs_with = doq_hs(&s_with);
+    let hs_without = doq_hs(&s_without);
+
+    // A stalled handshake takes ~2 RTT instead of 1; pair each
+    // without-resumption sample against the same unit's with-resumption
+    // handshake and count those that are >= 1.7x slower.
+    let stalled = {
+        let mut n = 0usize;
+        let mut total = 0usize;
+        for (a, b) in s_without.iter().zip(&s_with) {
+            if a.transport != DnsTransport::DoQ {
+                continue;
+            }
+            if let (Some(x), Some(y)) = (a.handshake_ms, b.handshake_ms) {
+                total += 1;
+                if x >= 1.7 * y {
+                    n += 1;
+                }
+            }
+        }
+        (n, total)
+    };
+
+    println!("== A1: amplification-limit ablation (Session Resumption off) ==\n");
+    compare(
+        "DoQ handshake median, WITH resumption (ms)",
+        "1 RTT",
+        format!("{:.1}", median(&hs_with).unwrap_or(f64::NAN)),
+    );
+    compare(
+        "DoQ handshake median, WITHOUT resumption (ms)",
+        "1-2 RTT",
+        format!("{:.1}", median(&hs_without).unwrap_or(f64::NAN)),
+    );
+    compare(
+        "DoQ handshake p90, WITHOUT resumption (ms)",
+        "2 RTT tail",
+        format!("{:.1}", percentile(&hs_without, 90.0).unwrap_or(f64::NAN)),
+    );
+    compare(
+        "Fraction of DoQ handshakes stalled by the limit",
+        "~40% (PAM'22)",
+        format!("{:.0}% ({}/{})", stalled.0 as f64 / stalled.1.max(1) as f64 * 100.0, stalled.0, stalled.1),
+    );
+    if opts.json {
+        let out = serde_json::json!({
+            "with_resumption_median_ms": median(&hs_with),
+            "without_resumption_median_ms": median(&hs_without),
+            "without_resumption_p90_ms": percentile(&hs_without, 90.0),
+            "stalled_fraction": stalled.0 as f64 / stalled.1.max(1) as f64,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

@@ -1,0 +1,40 @@
+//! E4 — Fig. 2b: median resolve time per protocol and vantage point.
+
+use doqlab_bench::parse_options;
+use doqlab_core::measure::report::{fig2, render_fig2};
+
+fn main() {
+    let opts = parse_options();
+    let samples = opts.study.run_single_query();
+    let f = fig2(&samples);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&f.resolve_ms).expect("serializable"));
+    }
+    println!("== E4: Fig. 2b — resolve time ==");
+    println!("{}", render_fig2(&f));
+    // Paper: resolve times are similar across protocols (cached
+    // answers) and track vantage-point <-> resolver distance: EU
+    // fastest; AF/OC/SA slowest.
+    let row_med = |row: &str| -> f64 {
+        let r = &f.resolve_ms[row];
+        let v: Vec<f64> = r.values().copied().collect();
+        doqlab_core::measure::median(&v).unwrap_or(f64::NAN)
+    };
+    println!("Shape checks:");
+    println!(
+        "  protocols within a row stay close (max/min of Total row): {:.2} (expect < 1.5)",
+        {
+            let r = &f.resolve_ms["Total"];
+            let max = r.values().cloned().fold(f64::MIN, f64::max);
+            let min = r.values().cloned().fold(f64::MAX, f64::min);
+            max / min
+        }
+    );
+    println!(
+        "  EU fastest row: EU {:.1} ms vs AF {:.1} / OC {:.1} / SA {:.1} ms",
+        row_med("EU"),
+        row_med("AF"),
+        row_med("OC"),
+        row_med("SA"),
+    );
+}

@@ -1,0 +1,53 @@
+//! E5/E6 — Fig. 3: CDFs of the relative FCP and PLT differences of
+//! every protocol against DoUDP.
+
+use doqlab_bench::{compare, parse_options};
+use doqlab_core::dox::DnsTransport;
+use doqlab_core::measure::report::{relative_to_baseline, render_fig3};
+use doqlab_core::measure::Cdf;
+
+fn main() {
+    let opts = parse_options();
+    let samples = opts.study.run_webperf();
+    let diffs = relative_to_baseline(&samples, DnsTransport::DoUdp);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&diffs).expect("serializable"));
+    }
+    println!("== E5/E6: Fig. 3 — relative differences vs DoUDP ==");
+    println!("{}", render_fig3(&diffs, "FCP"));
+    println!("{}", render_fig3(&diffs, "PLT"));
+
+    // Paper anchors.
+    let frac_at = |proto: &str, table: &std::collections::BTreeMap<String, Vec<f64>>, x: f64| {
+        table
+            .get(proto)
+            .map(|v| Cdf::new(v).fraction_at_or_below(x))
+            .unwrap_or(f64::NAN)
+    };
+    println!("\nPaper anchor points:");
+    compare(
+        "  FCP: fraction of DoQ loads delayed <= 10%",
+        "~40%",
+        format!("{:.0}%", frac_at("DoQ", &diffs.fcp, 10.0) * 100.0),
+    );
+    compare(
+        "  FCP: DoT delayed > 20% at that same fraction",
+        ">20% delay",
+        format!("DoT <=20% frac: {:.0}%", frac_at("DoT", &diffs.fcp, 20.0) * 100.0),
+    );
+    compare(
+        "  PLT: fraction of DoQ loads with > 15% increase",
+        "<15%",
+        format!("{:.0}%", (1.0 - frac_at("DoQ", &diffs.plt, 15.0)) * 100.0),
+    );
+    compare(
+        "  PLT: fraction of DoH loads with > 15% increase",
+        ">40%",
+        format!("{:.0}%", (1.0 - frac_at("DoH", &diffs.plt, 15.0)) * 100.0),
+    );
+    compare(
+        "  faster-than-DoUDP share (long tail, any encrypted)",
+        "~10%",
+        format!("DoQ: {:.0}%", frac_at("DoQ", &diffs.plt, 0.0) * 100.0),
+    );
+}

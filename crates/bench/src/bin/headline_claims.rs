@@ -1,0 +1,50 @@
+//! E8 — the abstract/§5 headline claims, measured.
+
+use doqlab_bench::{compare, parse_options};
+use doqlab_core::measure::report::headline;
+
+fn main() {
+    let opts = parse_options();
+    let sq = opts.study.run_single_query();
+    let web = opts.study.run_webperf();
+    let h = headline(&sq, &web);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&h).expect("serializable"));
+    }
+    println!("== E8: headline claims ==\n");
+    compare(
+        "Single query: DoQ improves on DoT by",
+        "~33%",
+        format!("{:.1}%", h.doq_vs_dot_single_query_pct),
+    );
+    compare(
+        "Single query: DoQ improves on DoH by",
+        "~33%",
+        format!("{:.1}%", h.doq_vs_doh_single_query_pct),
+    );
+    compare(
+        "Single query: DoQ falls short of DoUDP by",
+        "~50%",
+        format!("{:.1}%", h.doq_vs_doudp_single_query_pct),
+    );
+    compare(
+        "Single query: DoT/DoH fall short of DoUDP by",
+        "~66%",
+        format!("{:.1}%", h.dot_vs_doudp_single_query_pct),
+    );
+    compare(
+        "Simple page: DoQ faster than DoH by",
+        "up to ~10%",
+        format!("{:.1}%", h.doq_vs_doh_simple_page_pct),
+    );
+    compare(
+        "Simple page: DoQ slower than DoUDP by",
+        "up to ~10%",
+        format!("{:.1}%", h.doq_vs_doudp_simple_page_pct),
+    );
+    compare(
+        "Complex page: DoQ slower than DoUDP by",
+        "~2%",
+        format!("{:.1}%", h.doq_vs_doudp_complex_page_pct),
+    );
+}

@@ -1,0 +1,55 @@
+//! E2 — Table 1: median single-query sizes and sample counts.
+
+use doqlab_bench::parse_options;
+use doqlab_core::measure::report::{render_table1, table1};
+
+/// The paper's Table 1 (median IP payload bytes).
+const PAPER: &[(&str, [f64; 5])] = &[
+    ("DoUDP", [122.0, 0.0, 0.0, 59.0, 63.0]),
+    ("DoTCP", [382.0, 72.0, 40.0, 149.0, 121.0]),
+    ("DoQ", [4444.0, 2564.0, 1304.0, 190.0, 386.0]),
+    ("DoH", [2163.0, 569.0, 211.0, 579.0, 804.0]),
+    ("DoT", [1522.0, 551.0, 211.0, 261.0, 499.0]),
+];
+
+fn main() {
+    let opts = parse_options();
+    let samples = opts.study.run_single_query();
+    let t = table1(&samples);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&t).expect("serializable"));
+    }
+    println!("== E2: Table 1 (median single-query sizes, bytes of IP payload) ==\n");
+    println!("--- measured ({} scale) ---", opts.scale_name);
+    println!("{}", render_table1(&t));
+    println!("--- paper (Table 1) ---");
+    println!(
+        "{:<28}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "", "DoUDP", "DoTCP", "DoQ", "DoH", "DoT"
+    );
+    let labels = ["Total", "Handshake C->R", "Handshake R->C", "DNS Query", "DNS Response"];
+    for (i, label) in labels.iter().enumerate() {
+        print!("{label:<28}");
+        for (_, vals) in PAPER {
+            if vals[i] == 0.0 {
+                print!("{:>8}", "-");
+            } else {
+                print!("{:>8.0}", vals[i]);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nShape checks (orderings the evaluation relies on):\n  \
+         total: DoUDP < DoTCP < DoT < DoH < DoQ  -> {}\n  \
+         DoQ handshake > 2x DoH handshake        -> {}",
+        {
+            let v: Vec<f64> = ["DoUDP", "DoTCP", "DoT", "DoH", "DoQ"]
+                .iter()
+                .map(|n| t.sizes[*n][0])
+                .collect();
+            v.windows(2).all(|w| w[0] < w[1])
+        },
+        t.sizes["DoQ"][1] + t.sizes["DoQ"][2] > 2.0 * (t.sizes["DoH"][1] + t.sizes["DoH"][2])
+    );
+}

@@ -1,0 +1,112 @@
+//! # doqlab-bench — experiment regenerators and benchmarks
+//!
+//! One binary per paper artefact (see DESIGN.md's experiment index):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `fig1_discovery` | §2 funnel + Fig. 1 geography |
+//! | `overview_versions` | §3 protocol/feature overview |
+//! | `table1_sizes` | Table 1 |
+//! | `fig2a_handshake` / `fig2b_resolve` | Fig. 2 |
+//! | `fig3_cdf` | Fig. 3 |
+//! | `fig4_doq_vs` | Fig. 4 |
+//! | `headline_claims` | abstract / §5 numbers |
+//! | `ablation_amplification` | A1: no-resumption amplification stall |
+//! | `ablation_dot_bug` | A2: dnsproxy DoT reconnect bug |
+//! | `ablation_0rtt` | A3: 0-RTT resolvers (§4 future work) |
+//!
+//! Every binary accepts `--scale quick|medium|paper` (default `medium`),
+//! `--seed N` and `--json` (machine-readable output); paper-reference
+//! values are printed alongside for comparison.
+
+use doqlab_core::measure::Scale;
+use doqlab_core::Study;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub study: Study,
+    pub json: bool,
+    pub scale_name: String,
+}
+
+/// Parse `--scale`, `--seed`, `--json` from `std::env::args`.
+pub fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = 2022u64;
+    let mut scale_name = "medium".to_string();
+    let mut json = false;
+    let mut resolvers: Option<usize> = None;
+    let mut pages: Option<usize> = None;
+    let mut reps: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale_name = args[i + 1].clone();
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().expect("--seed takes a number");
+                i += 1;
+            }
+            "--json" => json = true,
+            "--resolvers" if i + 1 < args.len() => {
+                resolvers = Some(args[i + 1].parse().expect("--resolvers takes a number"));
+                i += 1;
+            }
+            "--pages" if i + 1 < args.len() => {
+                pages = Some(args[i + 1].parse().expect("--pages takes a number"));
+                i += 1;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = Some(args[i + 1].parse().expect("--reps takes a number"));
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: [--scale quick|medium|paper] [--seed N] [--json] \
+                     [--resolvers N] [--pages N] [--reps N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut study = match scale_name.as_str() {
+        "quick" => Study::quick(seed),
+        "medium" => Study::medium(seed),
+        "paper" => Study::paper(seed),
+        other => {
+            eprintln!("unknown scale '{other}' (quick|medium|paper)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = resolvers {
+        study.scale.resolvers = Some(n);
+    }
+    if let Some(n) = pages {
+        study.scale.pages = Some(n);
+    }
+    if let Some(n) = reps {
+        study.scale.repetitions = n;
+        study.scale.rounds = n;
+    }
+    Options { study, json, scale_name }
+}
+
+/// A scale override helper for experiments that need a custom grid.
+pub fn with_scale(study: &Study, f: impl FnOnce(&mut Scale)) -> Study {
+    let mut s = study.clone();
+    f(&mut s.scale);
+    s
+}
+
+/// Print a labelled paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: &str, measured: String) {
+    println!("{label:<52} paper: {paper:<18} measured: {measured}");
+}

@@ -1,0 +1,171 @@
+//! # doqlab-core — the public facade
+//!
+//! One entry point for the whole reproduction of *"DNS Privacy with
+//! Speed? Evaluating DNS over QUIC and its Impact on Web Performance"*
+//! (IMC 2022): configure a [`Study`], run the campaigns, reduce them to
+//! the paper's tables and figures.
+//!
+//! ```
+//! use doqlab_core::Study;
+//!
+//! let study = Study::quick(42);
+//! let samples = study.run_single_query();
+//! let table1 = doqlab_core::measure::report::table1(&samples);
+//! println!("{}", doqlab_core::measure::report::render_table1(&table1));
+//! ```
+//!
+//! The subsystem crates are re-exported for direct access:
+//! [`simnet`] (the discrete-event simulator), [`dnswire`] (the DNS
+//! codec), [`netstack`] (TCP/TLS/QUIC/HTTP2), [`dox`] (the five DNS
+//! transports), [`resolver`], [`webperf`] and [`measure`].
+
+pub use doqlab_dnswire as dnswire;
+pub use doqlab_dox as dox;
+pub use doqlab_measure as measure;
+pub use doqlab_netstack as netstack;
+pub use doqlab_resolver as resolver;
+pub use doqlab_simnet as simnet;
+pub use doqlab_webperf as webperf;
+
+use doqlab_dox::DnsTransport;
+use doqlab_measure::discovery::DiscoveryReport;
+use doqlab_measure::single_query::{SingleQueryCampaign, SingleQuerySample};
+use doqlab_measure::webperf::{WebperfCampaign, WebperfSample};
+use doqlab_measure::Scale;
+use doqlab_resolver::{
+    synthesize_dox_population, synthesize_scan_population, ResolverProfile, ScannedHost,
+};
+use doqlab_webperf::{tranco_top10, PageProfile};
+
+/// Everything the paper's methodology needs, in one place.
+#[derive(Debug, Clone)]
+pub struct Study {
+    pub seed: u64,
+    pub scale: Scale,
+    /// §2: present Session Resumption material on measured queries.
+    pub use_resumption: bool,
+    /// §3.2: reproduce the dnsproxy DoT reconnect bug.
+    pub dot_bug: bool,
+    /// §4 future work: resolvers support 0-RTT.
+    pub zero_rtt_resolvers: bool,
+}
+
+impl Study {
+    /// Small-scale study (tests, examples): a representative subset.
+    pub fn quick(seed: u64) -> Study {
+        Study {
+            seed,
+            scale: Scale::quick(),
+            use_resumption: true,
+            dot_bug: true,
+            zero_rtt_resolvers: false,
+        }
+    }
+
+    /// Mid-size: the full resolver population, fewer repetitions.
+    pub fn medium(seed: u64) -> Study {
+        Study { scale: Scale::medium(), ..Study::quick(seed) }
+    }
+
+    /// The paper's full sample counts (~157k single-query samples and
+    /// ~56k Web samples per protocol).
+    pub fn paper(seed: u64) -> Study {
+        Study { scale: Scale::paper(), ..Study::quick(seed) }
+    }
+
+    /// The 313 verified DoX resolvers (§2 distributions).
+    pub fn population(&self) -> Vec<ResolverProfile> {
+        synthesize_dox_population(self.seed)
+    }
+
+    /// The wider scan population (1,216 DoQ resolvers + QUIC hosts).
+    pub fn scan_population(&self, extra_quic: usize) -> Vec<ScannedHost> {
+        synthesize_scan_population(self.seed, extra_quic)
+    }
+
+    /// The Tranco top-10 page profiles.
+    pub fn pages(&self) -> Vec<PageProfile> {
+        tranco_top10()
+    }
+
+    /// §2 discovery funnel.
+    pub fn run_discovery(&self, population: &[ScannedHost]) -> DiscoveryReport {
+        doqlab_measure::run_discovery(population)
+    }
+
+    fn single_query_campaign(&self) -> SingleQueryCampaign {
+        let mut c = SingleQueryCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        c.use_resumption = self.use_resumption;
+        c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
+        c
+    }
+
+    /// §3.1 single-query campaign over the study population.
+    pub fn run_single_query(&self) -> Vec<SingleQuerySample> {
+        let population = self.population();
+        doqlab_measure::run_single_query_campaign(&self.single_query_campaign(), &population)
+    }
+
+    /// §3.2 Web-performance campaign.
+    pub fn run_webperf(&self) -> Vec<WebperfSample> {
+        let population = self.population();
+        let pages = self.pages();
+        let mut c = WebperfCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        c.dot_bug = self.dot_bug;
+        c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
+        doqlab_measure::run_webperf_campaign(&c, &population, &pages)
+    }
+}
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::Study;
+    pub use doqlab_dox::{ClientConfig, DnsTransport, SessionState};
+    pub use doqlab_measure::report;
+    pub use doqlab_measure::{
+        median, percentile, vantage_points, Cdf, Scale,
+    };
+    pub use doqlab_resolver::{synthesize_dox_population, ResolverProfile};
+    pub use doqlab_simnet::{Coord, Duration, SimTime};
+    pub use doqlab_webperf::{run_page_load, tranco_top10, PageLoadConfig};
+}
+
+/// The five transports, re-exported at the top level for convenience.
+pub const TRANSPORTS: [DnsTransport; 5] = DnsTransport::ALL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_runs_end_to_end() {
+        let study = Study {
+            scale: Scale {
+                resolvers: Some(2),
+                repetitions: 1,
+                rounds: 1,
+                loads_per_round: 1,
+                pages: Some(1),
+                threads: 4,
+            },
+            ..Study::quick(3)
+        };
+        let sq = study.run_single_query();
+        assert_eq!(sq.len(), 6 * 2 * 5);
+        let web = study.run_webperf();
+        assert_eq!(web.len(), 6 * 2 * 1 * 5);
+        let t1 = measure::report::table1(&sq);
+        assert_eq!(t1.sample_counts.len(), 5);
+    }
+
+    #[test]
+    fn population_is_stable_for_a_seed() {
+        let study = Study::quick(1);
+        let a = study.population();
+        let b = study.population();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.ip == y.ip));
+    }
+}

@@ -1,0 +1,41 @@
+//! # doqlab-dnswire — DNS wire format from scratch
+//!
+//! A self-contained implementation of the DNS message format (RFC 1035
+//! and friends), used by every DNS transport in the workspace:
+//!
+//! * [`name`] — domain names with full compression-pointer support on
+//!   both encode and decode (pointer loops and forward pointers are
+//!   rejected).
+//! * [`types`] — record types, classes, opcodes and response codes.
+//! * [`record`] — resource records and typed RDATA (A, AAAA, NS, CNAME,
+//!   SOA, PTR, MX, TXT, OPT, SVCB/HTTPS).
+//! * [`edns`] — EDNS(0) (RFC 6891), including the `edns-tcp-keepalive`
+//!   option (RFC 7828) and the Padding option (RFC 7830), both of which
+//!   the paper checks resolver support for.
+//! * [`message`] — the full message codec.
+//! * [`framing`] — the two-byte length prefix used by DNS over stream
+//!   transports (RFC 1035 §4.2.2) and by DoQ's `doq-i03`+ stream
+//!   mapping.
+//!
+//! The codec is strict on decode (all errors are reported, nothing
+//! panics on malformed input) and deterministic on encode, which the
+//! byte-accounting experiments (Table 1) rely on.
+
+pub mod edns;
+pub mod framing;
+pub mod message;
+pub mod name;
+pub mod record;
+pub mod types;
+pub mod wire;
+
+pub use edns::{EdnsOption, OptRecord};
+pub use framing::LengthPrefixedReader;
+pub use message::{Header, Message, Question};
+pub use name::Name;
+pub use record::{RData, ResourceRecord, SvcParam};
+pub use types::{Opcode, Rcode, RecordClass, RecordType};
+pub use wire::{WireError, WireReader, WireWriter};
+
+/// Errors produced by this crate.
+pub type Result<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,371 @@
+//! Domain names: parsing, formatting, and wire encoding with
+//! compression.
+//!
+//! Names are stored as a sequence of labels in their original case;
+//! comparison and compression are case-insensitive per RFC 1035 §2.3.3.
+//! Encoding writes compression pointers to earlier occurrences of any
+//! suffix; decoding follows pointers with strict backwards-only and
+//! loop-count protection.
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Maximum length of a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum total wire length of a name (including length bytes and the
+/// root label).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name, e.g. `google.com.`
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse from presentation format (`"www.google.com"`, trailing dot
+    /// optional). Empty labels are rejected except for the pure root
+    /// `"."` or `""`.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(WireError::Invalid("empty label"));
+            }
+            if part.len() > MAX_LABEL_LEN {
+                return Err(WireError::NameTooLong);
+            }
+            labels.push(part.as_bytes().to_vec());
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Uncompressed wire length: one length byte per label + label bytes
+    /// + the terminating root byte.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| 1 + l.len()).sum::<usize>() + 1
+    }
+
+    /// Case-insensitive equality per RFC 1035.
+    pub fn eq_ignore_case(&self, other: &Name) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// The name minus its first label (`www.google.com` -> `google.com`).
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// True if `self` equals `zone` or is beneath it (case-insensitive).
+    pub fn is_subdomain_of(&self, zone: &Name) -> bool {
+        if zone.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - zone.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&zone.labels)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Case-normalised key for a suffix starting at label `from`, used
+    /// by the compression dictionary.
+    fn suffix_key(&self, from: usize) -> Vec<u8> {
+        let mut key = Vec::new();
+        for label in &self.labels[from..] {
+            key.push(label.len() as u8);
+            key.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        key
+    }
+
+    /// Encode with compression: at each label boundary, emit a pointer
+    /// if this suffix was written before; otherwise write the label and
+    /// remember the suffix.
+    pub fn encode(&self, w: &mut WireWriter) {
+        for i in 0..self.labels.len() {
+            let key = self.suffix_key(i);
+            if let Some(off) = w.compression_offset(&key) {
+                w.put_u16(0xC000 | off);
+                return;
+            }
+            w.remember_name(key, w.len());
+            let label = &self.labels[i];
+            w.put_u8(label.len() as u8);
+            w.put_slice(label);
+        }
+        w.put_u8(0); // root
+    }
+
+    /// Encode without compression (used inside RDATA types where
+    /// compression is forbidden, e.g. SVCB targets per RFC 9460).
+    pub fn encode_uncompressed(&self, w: &mut WireWriter) {
+        for label in &self.labels {
+            w.put_u8(label.len() as u8);
+            w.put_slice(label);
+        }
+        w.put_u8(0);
+    }
+
+    /// Decode a (possibly compressed) name.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize; // terminating root byte
+        // After following the first pointer, the reader must be restored
+        // to the position just past the pointer.
+        let mut resume: Option<usize> = None;
+        // Pointers must strictly decrease to rule out loops.
+        let mut last_pointer = usize::MAX;
+        loop {
+            let len = r.get_u8()?;
+            match len {
+                0 => break,
+                l if l & 0xC0 == 0xC0 => {
+                    let lo = r.get_u8()? as usize;
+                    let target = (((l & 0x3F) as usize) << 8) | lo;
+                    if target >= last_pointer || target >= r.pos() {
+                        return Err(WireError::BadPointer);
+                    }
+                    if resume.is_none() {
+                        resume = Some(r.pos());
+                    }
+                    last_pointer = target;
+                    r.seek(target)?;
+                }
+                l if l & 0xC0 != 0 => return Err(WireError::BadLabelType),
+                l => {
+                    let label = r.get_slice(l as usize)?.to_vec();
+                    wire_len += 1 + label.len();
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong);
+                    }
+                    labels.push(label);
+                }
+            }
+        }
+        if let Some(pos) = resume {
+            r.seek(pos)?;
+        }
+        Ok(Name { labels })
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for label in &self.labels {
+            for &b in label {
+                if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{b:03}")?;
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_one(name: &Name) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        name.encode(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let n = Name::parse("www.Google.com").unwrap();
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.to_string(), "www.Google.com.");
+        assert_eq!(Name::parse("google.com.").unwrap().to_string(), "google.com.");
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(Name::parse("").unwrap(), Name::root());
+        assert_eq!(Name::parse(".").unwrap(), Name::root());
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert!(Name::parse("a..b").is_err());
+        assert!(Name::parse(&"x".repeat(64)).is_err());
+        // 255-byte total limit: four 63-byte labels = 4*64+1 = 257.
+        let long = [&"x".repeat(63)[..]; 4].join(".");
+        assert!(Name::parse(&long).is_err());
+    }
+
+    #[test]
+    fn simple_encode() {
+        let n = Name::parse("google.com").unwrap();
+        assert_eq!(
+            encode_one(&n),
+            b"\x06google\x03com\x00".to_vec()
+        );
+        assert_eq!(n.wire_len(), 12);
+    }
+
+    #[test]
+    fn roundtrip_uncompressed() {
+        for s in ["google.com", "a.b.c.d.e.example", "x.y"] {
+            let n = Name::parse(s).unwrap();
+            let buf = encode_one(&n);
+            let mut r = WireReader::new(&buf);
+            let m = Name::decode(&mut r).unwrap();
+            assert_eq!(n, m);
+            assert!(r.is_at_end());
+        }
+    }
+
+    #[test]
+    fn compression_pointer_emitted_and_decoded() {
+        let mut w = WireWriter::new();
+        let a = Name::parse("www.google.com").unwrap();
+        let b = Name::parse("mail.google.com").unwrap();
+        a.encode(&mut w);
+        let len_after_first = w.len();
+        b.encode(&mut w);
+        let buf = w.finish();
+        // Second name should use a pointer to "google.com" (offset 4).
+        assert_eq!(&buf[len_after_first..], b"\x04mail\xC0\x04");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+        assert_eq!(Name::decode(&mut r).unwrap(), b);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn whole_name_pointer() {
+        let mut w = WireWriter::new();
+        let a = Name::parse("google.com").unwrap();
+        a.encode(&mut w);
+        a.encode(&mut w);
+        let buf = w.finish();
+        assert_eq!(&buf[12..], b"\xC0\x00");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut w = WireWriter::new();
+        Name::parse("GOOGLE.COM").unwrap().encode(&mut w);
+        let before = w.len();
+        Name::parse("google.com").unwrap().encode(&mut w);
+        assert_eq!(w.len() - before, 2, "expected a bare pointer");
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // A name at offset 0 that points to itself.
+        let buf = [0xC0, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        let buf = [0xC0, 0x05, 0, 0, 0, 0x01, b'a', 0x00];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn mutual_pointer_loop_rejected() {
+        // Two pointers pointing at each other: 0 -> 2, 2 -> 0.
+        let buf = [0xC0, 0x02, 0xC0, 0x00];
+        let mut r = WireReader::new(&buf);
+        r.seek(2).unwrap();
+        assert_eq!(Name::decode(&mut r), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn reserved_label_types_rejected() {
+        let buf = [0x40, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r), Err(WireError::BadLabelType));
+        let buf = [0x80, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Name::decode(&mut r), Err(WireError::BadLabelType));
+    }
+
+    #[test]
+    fn truncated_name_rejected() {
+        let mut r = WireReader::new(b"\x06goog");
+        assert_eq!(Name::decode(&mut r), Err(WireError::Truncated));
+        let mut r = WireReader::new(b"\x03com");
+        assert_eq!(Name::decode(&mut r), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn eq_ignore_case_and_subdomain() {
+        let a = Name::parse("WWW.Google.Com").unwrap();
+        let b = Name::parse("www.google.com").unwrap();
+        let zone = Name::parse("google.com").unwrap();
+        assert!(a.eq_ignore_case(&b));
+        assert_ne!(a, b); // exact equality is case-sensitive
+        assert!(a.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_subdomain_of(&a));
+        assert!(a.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let n = Name::parse("a.b.c").unwrap();
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "b.c.");
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn display_escapes_non_printable() {
+        let n = Name { labels: vec![vec![0x07, b'.']] };
+        assert_eq!(n.to_string(), "\\007\\046.");
+    }
+}

@@ -1,0 +1,203 @@
+//! Enumerations of DNS record types, classes, opcodes and rcodes.
+
+/// Resource record type (RFC 1035 §3.2.2 and successors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Mx,
+    Txt,
+    Aaaa,
+    /// EDNS(0) pseudo-record (RFC 6891).
+    Opt,
+    /// Service binding (RFC 9460); carries ALPN lists, which is how
+    /// Cloudflare advertises DoH3 (paper §4).
+    Svcb,
+    /// HTTPS-specific service binding (RFC 9460).
+    Https,
+    Unknown(u16),
+}
+
+impl RecordType {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Opt => 41,
+            RecordType::Svcb => 64,
+            RecordType::Https => 65,
+            RecordType::Unknown(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            41 => RecordType::Opt,
+            64 => RecordType::Svcb,
+            65 => RecordType::Https,
+            other => RecordType::Unknown(other),
+        }
+    }
+}
+
+/// Record class. Only IN is used in practice; the rest exist for codec
+/// completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    In,
+    Ch,
+    Hs,
+    Any,
+    Unknown(u16),
+}
+
+impl RecordClass {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Ch => 3,
+            RecordClass::Hs => 4,
+            RecordClass::Any => 255,
+            RecordClass::Unknown(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordClass::In,
+            3 => RecordClass::Ch,
+            4 => RecordClass::Hs,
+            255 => RecordClass::Any,
+            other => RecordClass::Unknown(other),
+        }
+    }
+}
+
+/// Query opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    Query,
+    Iquery,
+    Status,
+    Notify,
+    Update,
+    Unknown(u8),
+}
+
+impl Opcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Iquery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(v) => v & 0x0F,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::Iquery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    NoError,
+    FormErr,
+    ServFail,
+    NxDomain,
+    NotImp,
+    Refused,
+    Unknown(u8),
+}
+
+impl Rcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Unknown(v) => v & 0x0F,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Unknown(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_type_roundtrip() {
+        for v in 0..70u16 {
+            assert_eq!(RecordType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RecordType::from_u16(1), RecordType::A);
+        assert_eq!(RecordType::from_u16(28), RecordType::Aaaa);
+        assert_eq!(RecordType::from_u16(65), RecordType::Https);
+        assert_eq!(RecordType::from_u16(9999), RecordType::Unknown(9999));
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for v in [1u16, 3, 4, 255, 77] {
+            assert_eq!(RecordClass::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        for v in 0..16u8 {
+            assert_eq!(Opcode::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for v in 0..16u8 {
+            assert_eq!(Rcode::from_u8(v).to_u8(), v);
+        }
+        assert_eq!(Rcode::from_u8(0), Rcode::NoError);
+        assert_eq!(Rcode::from_u8(3), Rcode::NxDomain);
+    }
+}

@@ -1,0 +1,244 @@
+//! Low-level wire reading and writing.
+//!
+//! [`WireWriter`] appends big-endian integers and byte slices to a
+//! growable buffer and maintains the name-compression dictionary.
+//! [`WireReader`] is a bounds-checked cursor over received bytes; all
+//! failures surface as [`WireError`] — malformed input can never panic.
+
+use std::collections::HashMap;
+
+/// Decoding / encoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A label exceeded 63 bytes or a name exceeded 255 bytes.
+    NameTooLong,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label length byte used the reserved 0x40/0x80 prefixes.
+    BadLabelType,
+    /// A count field disagreed with the message contents.
+    BadCount,
+    /// Any other structural violation, with a short description.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::NameTooLong => write!(f, "name or label too long"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadLabelType => write!(f, "reserved label type"),
+            WireError::BadCount => write!(f, "section count mismatch"),
+            WireError::Invalid(what) => write!(f, "invalid message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Growable output buffer with the name-compression dictionary.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Maps a (case-normalised) name suffix to the offset of its first
+    /// occurrence, for compression pointers. Only offsets < 0x4000 are
+    /// usable as pointer targets.
+    name_offsets: HashMap<Vec<u8>, u16>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite two bytes at `at` (used to patch RDLENGTH after the
+    /// RDATA, whose compressed size is not known in advance).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Look up a previously written name suffix.
+    pub fn compression_offset(&self, key: &[u8]) -> Option<u16> {
+        self.name_offsets.get(key).copied()
+    }
+
+    /// Remember that `key` (a case-normalised suffix) starts at `offset`.
+    pub fn remember_name(&mut self, key: Vec<u8>, offset: usize) {
+        // Pointers can only address the first 16 KiB minus the two
+        // pointer tag bits.
+        if offset < 0x4000 {
+            self.name_offsets.entry(key).or_insert(offset as u16);
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bounds-checked cursor over an input buffer.
+///
+/// The reader always retains a view of the *whole* message so that
+/// compression pointers can jump backwards.
+#[derive(Debug, Clone, Copy)]
+pub struct WireReader<'a> {
+    full: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { full: buf, pos: 0 }
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Jump to an absolute offset (used for compression pointers).
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.full.len() {
+            return Err(WireError::Truncated);
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.full.len() - self.pos
+    }
+
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.full.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let s = self.get_slice(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let s = self.get_slice(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn get_slice(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.full[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// The full message buffer (for pointer resolution).
+    pub fn full_message(&self) -> &'a [u8] {
+        self.full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_primitives() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEADBEEF);
+        w.put_slice(&[1, 2]);
+        assert_eq!(
+            w.finish(),
+            vec![0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2]
+        );
+    }
+
+    #[test]
+    fn patch_u16_overwrites_in_place() {
+        let mut w = WireWriter::new();
+        w.put_u16(0);
+        w.put_u8(9);
+        w.patch_u16(0, 0xBEEF);
+        assert_eq!(w.finish(), vec![0xBE, 0xEF, 9]);
+    }
+
+    #[test]
+    fn reader_primitives_roundtrip() {
+        let buf = [0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_slice(2).unwrap(), &[1, 2]);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn reader_rejects_overrun() {
+        let mut r = WireReader::new(&[1]);
+        assert_eq!(r.get_u16(), Err(WireError::Truncated));
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u8(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn seek_bounds() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert!(r.seek(3).is_ok());
+        assert!(r.is_at_end());
+        assert_eq!(r.seek(4), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn compression_dictionary_first_offset_wins() {
+        let mut w = WireWriter::new();
+        w.remember_name(b"example.com".to_vec(), 12);
+        w.remember_name(b"example.com".to_vec(), 40);
+        assert_eq!(w.compression_offset(b"example.com"), Some(12));
+    }
+
+    #[test]
+    fn compression_dictionary_ignores_unreachable_offsets() {
+        let mut w = WireWriter::new();
+        w.remember_name(b"x".to_vec(), 0x4000);
+        assert_eq!(w.compression_offset(b"x"), None);
+    }
+}

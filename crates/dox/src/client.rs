@@ -1,0 +1,207 @@
+//! The unified client interface the measurement harness drives.
+
+use doqlab_dnswire::Message;
+use doqlab_netstack::tls::SessionTicket;
+use doqlab_simnet::{Packet, SimRng, SimTime};
+
+/// The five DNS transports of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DnsTransport {
+    DoUdp,
+    DoTcp,
+    DoT,
+    DoH,
+    DoQ,
+    /// DNS over HTTP/3 (§4 future work; not part of the paper's five
+    /// measured transports and therefore not in [`DnsTransport::ALL`]).
+    DoH3,
+}
+
+impl DnsTransport {
+    /// All five, in the column order of the paper's Table 1.
+    pub const ALL: [DnsTransport; 5] = [
+        DnsTransport::DoUdp,
+        DnsTransport::DoTcp,
+        DnsTransport::DoQ,
+        DnsTransport::DoH,
+        DnsTransport::DoT,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DnsTransport::DoUdp => "DoUDP",
+            DnsTransport::DoTcp => "DoTCP",
+            DnsTransport::DoT => "DoT",
+            DnsTransport::DoH => "DoH",
+            DnsTransport::DoQ => "DoQ",
+            DnsTransport::DoH3 => "DoH3",
+        }
+    }
+
+    pub fn is_encrypted(&self) -> bool {
+        matches!(
+            self,
+            DnsTransport::DoT | DnsTransport::DoH | DnsTransport::DoQ | DnsTransport::DoH3
+        )
+    }
+
+    /// Default server port.
+    pub fn port(&self) -> u16 {
+        match self {
+            DnsTransport::DoUdp | DnsTransport::DoTcp => crate::ports::DNS,
+            DnsTransport::DoT => crate::ports::DOT,
+            DnsTransport::DoH => crate::ports::HTTPS,
+            DnsTransport::DoQ => crate::ports::DOQ,
+            // HTTP/3 runs over QUIC on UDP 443.
+            DnsTransport::DoH3 => crate::ports::HTTPS,
+        }
+    }
+}
+
+impl std::fmt::Display for DnsTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resumption material carried from one connection to the next — what
+/// the paper's cache-warming query captures and the measurement query
+/// reuses: TLS session ticket, QUIC address-validation token and the
+/// negotiated QUIC version.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    pub tls_ticket: Option<SessionTicket>,
+    pub quic_token: Option<Vec<u8>>,
+    pub quic_version: Option<u32>,
+}
+
+impl SessionState {
+    pub fn is_empty(&self) -> bool {
+        self.tls_ticket.is_none() && self.quic_token.is_none() && self.quic_version.is_none()
+    }
+}
+
+/// Per-connection client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Resumption material from a previous connection.
+    pub session: SessionState,
+    /// Attempt TLS 1.3 / QUIC 0-RTT when the ticket permits it.
+    pub enable_0rtt: bool,
+    /// DoUDP application-layer retry timeout (Chromium/resolv.conf
+    /// default: 5 s).
+    pub udp_retry_timeout: std::time::Duration,
+    pub udp_max_retries: u32,
+    /// Request TCP Fast Open.
+    pub enable_tfo: bool,
+    /// Ask the resolver to hold DoTCP connections open (RFC 7828).
+    pub request_tcp_keepalive: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            session: SessionState::default(),
+            enable_0rtt: true,
+            udp_retry_timeout: std::time::Duration::from_secs(5),
+            udp_max_retries: 2,
+            enable_tfo: false,
+            request_tcp_keepalive: false,
+        }
+    }
+}
+
+/// Negotiated-protocol metadata for the §3 overview statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConnMetadata {
+    /// Negotiated QUIC version (DoQ).
+    pub quic_version: Option<u32>,
+    /// Negotiated DoQ ALPN as a string (e.g. "doq-i02").
+    pub doq_alpn: Option<String>,
+    /// Negotiated TLS version (DoT/DoH/DoQ).
+    pub tls13: Option<bool>,
+    /// The handshake resumed a previous session.
+    pub resumed: bool,
+    /// 0-RTT data was accepted.
+    pub zero_rtt: bool,
+}
+
+/// A sans-I/O DNS client connection.
+///
+/// Drive it like the simnet hosts drive their sockets: `start` once,
+/// feed arriving packets with `on_packet`, call `poll` after every
+/// event and whenever `next_timeout` expires, and transmit everything
+/// `poll`/`start`/`on_packet` push into `out`.
+pub trait DnsClientConn {
+    /// Open the connection. Queued queries are transmitted as soon as
+    /// the transport allows (0-RTT may put them in the first flight).
+    fn start(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>);
+
+    /// Queue a DNS query.
+    fn query(&mut self, now: SimTime, msg: &Message);
+
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Vec<Packet>);
+
+    /// Run timers and flush pending output.
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>);
+
+    fn next_timeout(&self) -> Option<SimTime>;
+
+    /// Responses received so far, with their arrival times (drained).
+    fn take_responses(&mut self) -> Vec<(SimTime, Message)>;
+
+    /// When the session became usable for queries. `Some(start)` for
+    /// connectionless DoUDP.
+    fn handshake_done_at(&self) -> Option<SimTime>;
+
+    /// The connection failed permanently.
+    fn failed(&self) -> bool;
+
+    /// Resumption material gathered on this connection (tickets, QUIC
+    /// token + version).
+    fn session_state(&mut self) -> SessionState;
+
+    /// Begin a graceful close.
+    fn close(&mut self, now: SimTime, out: &mut Vec<Packet>);
+
+    /// Negotiated-protocol metadata (empty for plaintext transports).
+    fn metadata(&self) -> ConnMetadata {
+        ConnMetadata::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_table1_order() {
+        let names: Vec<&str> = DnsTransport::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["DoUDP", "DoTCP", "DoQ", "DoH", "DoT"]);
+    }
+
+    #[test]
+    fn encryption_classification() {
+        assert!(!DnsTransport::DoUdp.is_encrypted());
+        assert!(!DnsTransport::DoTcp.is_encrypted());
+        assert!(DnsTransport::DoT.is_encrypted());
+        assert!(DnsTransport::DoH.is_encrypted());
+        assert!(DnsTransport::DoQ.is_encrypted());
+    }
+
+    #[test]
+    fn ports() {
+        assert_eq!(DnsTransport::DoUdp.port(), 53);
+        assert_eq!(DnsTransport::DoTcp.port(), 53);
+        assert_eq!(DnsTransport::DoT.port(), 853);
+        assert_eq!(DnsTransport::DoH.port(), 443);
+        assert_eq!(DnsTransport::DoQ.port(), 853);
+    }
+
+    #[test]
+    fn session_state_emptiness() {
+        assert!(SessionState::default().is_empty());
+        let s = SessionState { quic_version: Some(1), ..SessionState::default() };
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulator-host glue: wraps any [`DnsClientConn`] as a
+//! [`doqlab_simnet::Host`], which is how the measurement harness and
+//! the DNS proxy drive client connections.
+
+use crate::client::{ClientConfig, DnsClientConn, DnsTransport, SessionState};
+use crate::doh::DoHClient;
+use crate::doh3::DoH3Client;
+use crate::doq::DoQClient;
+use crate::dot::DoTClient;
+use crate::tcp::DoTcpClient;
+use crate::udp::DoUdpClient;
+use doqlab_dnswire::Message;
+use doqlab_simnet::{Ctx, Host, Packet, SimTime, SocketAddr};
+use std::any::Any;
+
+/// Construct a client connection for any of the five transports.
+pub fn make_client(
+    transport: DnsTransport,
+    local: SocketAddr,
+    remote: SocketAddr,
+    cfg: &ClientConfig,
+) -> Box<dyn DnsClientConn> {
+    match transport {
+        DnsTransport::DoUdp => Box::new(DoUdpClient::new(local, remote, cfg)),
+        DnsTransport::DoTcp => Box::new(DoTcpClient::new(local, remote, cfg)),
+        DnsTransport::DoT => Box::new(DoTClient::new(local, remote, cfg)),
+        DnsTransport::DoH => Box::new(DoHClient::new(local, remote, cfg)),
+        DnsTransport::DoQ => Box::new(DoQClient::new(local, remote, cfg)),
+        DnsTransport::DoH3 => Box::new(DoH3Client::new(local, remote, cfg)),
+    }
+}
+
+/// A simulator host owning one DNS client connection.
+pub struct DnsClientHost {
+    pub conn: Box<dyn DnsClientConn>,
+    /// Responses accumulated across the connection's lifetime.
+    pub responses: Vec<(SimTime, Message)>,
+    started_at: Option<SimTime>,
+}
+
+impl DnsClientHost {
+    pub fn new(
+        transport: DnsTransport,
+        local: SocketAddr,
+        remote: SocketAddr,
+        cfg: &ClientConfig,
+    ) -> Self {
+        DnsClientHost {
+            conn: make_client(transport, local, remote, cfg),
+            responses: Vec::new(),
+            started_at: None,
+        }
+    }
+
+    /// Queue a query and open the connection (idempotent open).
+    pub fn start_with_query(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        self.conn.query(ctx.now, msg);
+        let mut out = Vec::new();
+        if self.started_at.is_none() {
+            self.started_at = Some(ctx.now);
+            self.conn.start(ctx.now, ctx.rng, &mut out);
+        }
+        self.conn.poll(ctx.now, &mut out);
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    /// When the connection attempt began.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// Time from first packet to usable session.
+    pub fn handshake_time(&self) -> Option<doqlab_simnet::Duration> {
+        Some(self.conn.handshake_done_at()? - self.started_at?)
+    }
+
+    /// Resumption material captured on this connection.
+    pub fn session_state(&mut self) -> SessionState {
+        self.conn.session_state()
+    }
+}
+
+impl Host for DnsClientHost {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let mut out = Vec::new();
+        self.conn.on_packet(ctx.now, &pkt, &mut out);
+        self.conn.poll(ctx.now, &mut out);
+        self.responses.extend(self.conn.take_responses());
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+        let mut out = Vec::new();
+        self.conn.poll(ctx.now, &mut out);
+        self.responses.extend(self.conn.take_responses());
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.conn.next_timeout()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,210 @@
+//! DoTCP: DNS over TCP (RFC 7766 / RFC 9210).
+//!
+//! The paper finds that no resolver supports TFO or
+//! `edns-tcp-keepalive`, and that in practice a fresh connection is
+//! made per query — so every DoTCP query costs two round trips (TCP
+//! handshake + query). Both the keepalive request and TFO are
+//! implemented and configurable so the recommended behaviour can be
+//! measured as an ablation.
+
+use crate::client::{ClientConfig, DnsClientConn, SessionState};
+use doqlab_dnswire::{framing, LengthPrefixedReader, Message};
+use doqlab_netstack::tcp::{TcpConfig, TcpSegment, TcpSocket};
+use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
+use std::collections::HashSet;
+
+/// Convert TCP segments to simulator packets.
+pub(crate) fn segments_to_packets(
+    local: SocketAddr,
+    remote: SocketAddr,
+    segs: Vec<TcpSegment>,
+    out: &mut Vec<Packet>,
+) {
+    for seg in segs {
+        out.push(Packet::tcp(local, remote, seg.encode()));
+    }
+}
+
+/// A DoTCP client connection.
+#[derive(Debug)]
+pub struct DoTcpClient {
+    tcp: TcpSocket,
+    reader: LengthPrefixedReader,
+    pending: HashSet<u16>,
+    responses: Vec<(SimTime, Message)>,
+    started: bool,
+}
+
+impl DoTcpClient {
+    pub fn new(local: SocketAddr, remote: SocketAddr, cfg: &ClientConfig) -> Self {
+        let tcp_cfg = TcpConfig { enable_tfo: cfg.enable_tfo, ..TcpConfig::default() };
+        DoTcpClient {
+            // ISS is assigned at start() from the shared RNG.
+            tcp: TcpSocket::client(local, remote, 0, tcp_cfg),
+            reader: LengthPrefixedReader::new(),
+            pending: HashSet::new(),
+            responses: Vec::new(),
+            started: false,
+        }
+    }
+
+    fn pump(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        let data = self.tcp.recv();
+        if !data.is_empty() {
+            self.reader.push(&data);
+            while let Some(wire) = self.reader.next_message() {
+                if let Ok(msg) = Message::decode(&wire) {
+                    if msg.header.response && self.pending.remove(&msg.header.id) {
+                        self.responses.push((now, msg));
+                    }
+                }
+            }
+        }
+        let (local, remote) = (self.tcp.local, self.tcp.remote);
+        segments_to_packets(local, remote, self.tcp.poll(now), out);
+    }
+}
+
+impl DnsClientConn for DoTcpClient {
+    fn start(&mut self, now: SimTime, _rng: &mut SimRng, out: &mut Vec<Packet>) {
+        assert!(!self.started, "start twice");
+        self.started = true;
+        self.tcp.open(now);
+        self.pump(now, out);
+    }
+
+    fn query(&mut self, _now: SimTime, msg: &Message) {
+        self.pending.insert(msg.header.id);
+        self.tcp.send(&framing::frame(&msg.encode()));
+    }
+
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Vec<Packet>) {
+        if let Some(seg) = TcpSegment::decode(&pkt.payload) {
+            self.tcp.on_segment(now, &seg);
+        }
+        self.pump(now, out);
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        self.pump(now, out);
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        self.tcp.next_timeout()
+    }
+
+    fn take_responses(&mut self) -> Vec<(SimTime, Message)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    fn handshake_done_at(&self) -> Option<SimTime> {
+        self.tcp.established_at()
+    }
+
+    fn failed(&self) -> bool {
+        self.tcp.is_reset()
+    }
+
+    fn session_state(&mut self) -> SessionState {
+        SessionState::default()
+    }
+
+    fn close(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        self.tcp.close();
+        self.pump(now, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doqlab_dnswire::{Name, RecordType};
+    use doqlab_netstack::tcp::TcpListener;
+    use doqlab_simnet::Ipv4Addr;
+
+    fn sa(h: u8, p: u16) -> SocketAddr {
+        SocketAddr::new(Ipv4Addr::new(10, 0, 0, h), p)
+    }
+
+    /// Minimal DoTCP echo server on a listener.
+    fn drive(client: &mut DoTcpClient, listener: &mut TcpListener) -> Vec<(SimTime, Message)> {
+        let mut rng = SimRng::new(9);
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::new();
+        client.start(now, &mut rng, &mut out);
+        let client_addr = client.tcp.local;
+        for _ in 0..200 {
+            // Deliver client -> server.
+            let to_server = std::mem::take(&mut out);
+            now = now + doqlab_simnet::Duration::from_millis(5);
+            for pkt in to_server {
+                if let Some(seg) = TcpSegment::decode(&pkt.payload) {
+                    listener.on_segment(now, client_addr, &seg);
+                }
+            }
+            // Server DNS logic: respond to any framed query.
+            if let Some(conn) = listener.connection(client_addr) {
+                let data = conn.recv();
+                if !data.is_empty() {
+                    let mut reader = LengthPrefixedReader::new();
+                    reader.push(&data);
+                    while let Some(wire) = reader.next_message() {
+                        let q = Message::decode(&wire).unwrap();
+                        let resp = Message::response_to(&q, vec![]);
+                        conn.send(&framing::frame(&resp.encode()));
+                    }
+                }
+            }
+            // Deliver server -> client.
+            now = now + doqlab_simnet::Duration::from_millis(5);
+            let mut segs = Vec::new();
+            for (_, seg) in listener.poll(now) {
+                segs.push(seg);
+            }
+            let mut done = segs.is_empty();
+            for seg in segs {
+                let pkt = Packet::tcp(sa(2, 53), client_addr, seg.encode());
+                client.on_packet(now, &pkt, &mut out);
+            }
+            client.poll(now, &mut out);
+            let responses = client.take_responses();
+            if !responses.is_empty() {
+                return responses;
+            }
+            done &= out.is_empty();
+            if done {
+                break;
+            }
+        }
+        Vec::new()
+    }
+
+    #[test]
+    fn query_response_over_tcp() {
+        let mut client =
+            DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
+        let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
+        client.query(SimTime::ZERO, &q);
+        let mut listener = TcpListener::new(sa(2, 53), TcpConfig::default());
+        let responses = drive(&mut client, &mut listener);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].1.header.id, 7);
+        assert!(client.handshake_done_at().is_some());
+    }
+
+    #[test]
+    fn handshake_takes_one_rtt_before_query_flows() {
+        let mut client =
+            DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
+        let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
+        client.query(SimTime::ZERO, &q);
+        let mut rng = SimRng::new(9);
+        let mut out = Vec::new();
+        client.start(SimTime::ZERO, &mut rng, &mut out);
+        // Only the SYN goes out: the query waits for the handshake.
+        assert_eq!(out.len(), 1);
+        let seg = TcpSegment::decode(&out[0].payload).unwrap();
+        assert!(seg.flags.syn);
+        assert!(seg.payload.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! # doqlab-measure — the measurement harness
+//!
+//! Reproduces the paper's three campaigns over the simulated substrate:
+//!
+//! * [`discovery`] — the ZMap-style scan (version-0 QUIC probes on UDP
+//!   784/853/8853, ALPN verification, per-protocol support checks)
+//!   yielding the 1,216 → 313 funnel of §2 and Fig. 1's geography.
+//! * [`single_query`] — §3.1: cache-warming + measured single queries
+//!   from 6 vantage points to every verified resolver over all five
+//!   transports, with Session Resumption; produces handshake times,
+//!   resolve times, per-phase byte counts (Table 1, Fig. 2) and the
+//!   protocol-version overview of §3.
+//! * [`webperf`] — §3.2: Tranco top-10 page loads through the DNS
+//!   proxy per [vantage point x resolver x protocol], median of N cold
+//!   loads, relative FCP/PLT differences (Fig. 3, Fig. 4).
+//!
+//! [`stats`] holds the estimators (median, percentiles, CDFs) and
+//! [`report`] renders tables that mirror the paper's layout. Campaign
+//! size is controlled by [`Scale`]; `Scale::paper()` matches the
+//! study's sample counts, `Scale::quick()` is for tests and examples.
+
+pub mod discovery;
+pub mod report;
+pub mod single_query;
+pub mod stats;
+pub mod vantage;
+pub mod webperf;
+
+pub use discovery::{run_discovery, DiscoveryReport};
+pub use single_query::{
+    run_single_query_campaign, SingleQueryCampaign, SingleQuerySample,
+};
+pub use stats::{cdf_points, median, percentile, Cdf};
+pub use vantage::{vantage_points, VantagePoint};
+pub use webperf::{run_webperf_campaign, WebperfCampaign, WebperfSample};
+
+/// Campaign scale knobs.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Use only the first N resolvers (None = all 313).
+    pub resolvers: Option<usize>,
+    /// Single-query repetitions per [vp x resolver x protocol]
+    /// (paper: every 2 h for a week = 84).
+    pub repetitions: usize,
+    /// Web-performance rounds per [vp x resolver x page x protocol]
+    /// (paper: every 48 h for a week = 3).
+    pub rounds: usize,
+    /// Cold-start loads per round, of which the median is the sample
+    /// (paper: 4).
+    pub loads_per_round: usize,
+    /// Pages (None = all ten).
+    pub pages: Option<usize>,
+    /// OS threads to shard vantage points / units across.
+    pub threads: usize,
+}
+
+impl Scale {
+    /// The paper's full sample counts (~157k single-query samples and
+    /// ~56k Web samples per protocol).
+    pub fn paper() -> Scale {
+        Scale {
+            resolvers: None,
+            repetitions: 84,
+            rounds: 3,
+            loads_per_round: 4,
+            pages: None,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+
+    /// Small but fully representative (for tests and examples).
+    pub fn quick() -> Scale {
+        Scale {
+            resolvers: Some(12),
+            repetitions: 1,
+            rounds: 1,
+            loads_per_round: 1,
+            pages: Some(4),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+
+    /// A mid-size run: full resolver set, reduced repetitions.
+    pub fn medium() -> Scale {
+        Scale {
+            resolvers: None,
+            repetitions: 4,
+            rounds: 1,
+            loads_per_round: 2,
+            pages: None,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Experiment reducers and renderers: turn campaign samples into the
+//! paper's tables and figures (structured values plus plain-text
+//! rendering; the bench binaries also dump them as JSON).
+
+use crate::single_query::SingleQuerySample;
+use crate::stats::{cdf_points, median, relative_difference_pct, Cdf};
+use crate::webperf::WebperfSample;
+use doqlab_dox::DnsTransport;
+use doqlab_simnet::geo::Continent;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Table-1 equivalent: median per-phase sizes and sample counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// protocol name -> (total, hs c->r, hs r->c, query, response).
+    pub sizes: BTreeMap<String, [f64; 5]>,
+    pub sample_counts: BTreeMap<String, usize>,
+}
+
+pub fn table1(samples: &[SingleQuerySample]) -> Table1 {
+    let mut sizes = BTreeMap::new();
+    let mut counts = BTreeMap::new();
+    for t in DnsTransport::ALL {
+        let of_t: Vec<&SingleQuerySample> =
+            samples.iter().filter(|s| s.transport == t && !s.failed).collect();
+        let col = |f: fn(&SingleQuerySample) -> f64| {
+            median(&of_t.iter().map(|s| f(s)).collect::<Vec<_>>()).unwrap_or(f64::NAN)
+        };
+        sizes.insert(
+            t.name().to_string(),
+            [
+                col(|s| s.bytes.total() as f64),
+                col(|s| s.bytes.handshake_c2r as f64),
+                col(|s| s.bytes.handshake_r2c as f64),
+                col(|s| s.bytes.query_c2r as f64),
+                col(|s| s.bytes.response_r2c as f64),
+            ],
+        );
+        counts.insert(t.name().to_string(), of_t.len());
+    }
+    Table1 { sizes, sample_counts: counts }
+}
+
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28}{:>8}{:>8}{:>8}{:>8}{:>8}\n",
+        "Median single-query sizes", "DoUDP", "DoTCP", "DoQ", "DoH", "DoT"
+    ));
+    let rows = [
+        ("Total", 0usize),
+        ("Handshake C->R", 1),
+        ("Handshake R->C", 2),
+        ("DNS Query", 3),
+        ("DNS Response", 4),
+    ];
+    let order = ["DoUDP", "DoTCP", "DoQ", "DoH", "DoT"];
+    for (label, idx) in rows {
+        out.push_str(&format!("{label:<28}"));
+        for name in order {
+            let v = t.sizes[name][idx];
+            if v.is_nan() || v == 0.0 {
+                out.push_str(&format!("{:>8}", "-"));
+            } else {
+                out.push_str(&format!("{v:>8.0}"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<28}", "Samples"));
+    for name in order {
+        out.push_str(&format!("{:>8}", t.sample_counts[name]));
+    }
+    out.push('\n');
+    out
+}
+
+/// Fig. 2 equivalent: median handshake / resolve time per protocol,
+/// total and per vantage-point continent.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// row label ("Total" or continent code) -> protocol -> median ms.
+    pub handshake_ms: BTreeMap<String, BTreeMap<String, f64>>,
+    pub resolve_ms: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+pub fn fig2(samples: &[SingleQuerySample]) -> Fig2 {
+    let mut handshake = BTreeMap::new();
+    let mut resolve = BTreeMap::new();
+    let mut rows: Vec<(String, Box<dyn Fn(&SingleQuerySample) -> bool>)> =
+        vec![("Total".to_string(), Box::new(|_| true))];
+    for c in Continent::ALL {
+        rows.push((c.code().to_string(), Box::new(move |s| s.vp_continent == c)));
+    }
+    for (label, filt) in rows {
+        let mut hs_row = BTreeMap::new();
+        let mut rs_row = BTreeMap::new();
+        for t in DnsTransport::ALL {
+            let hs: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.transport == t && filt(s))
+                .filter_map(|s| s.handshake_ms)
+                .collect();
+            let rs: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.transport == t && filt(s))
+                .filter_map(|s| s.resolve_ms)
+                .collect();
+            if let Some(m) = median(&hs) {
+                hs_row.insert(t.name().to_string(), m);
+            }
+            if let Some(m) = median(&rs) {
+                rs_row.insert(t.name().to_string(), m);
+            }
+        }
+        handshake.insert(label.clone(), hs_row);
+        resolve.insert(label, rs_row);
+    }
+    Fig2 { handshake_ms: handshake, resolve_ms: resolve }
+}
+
+pub fn render_fig2(f: &Fig2) -> String {
+    let mut out = String::new();
+    let order = ["Total", "EU", "AS", "NA", "AF", "OC", "SA"];
+    for (title, table) in
+        [("Handshake time (ms, median)", &f.handshake_ms), ("Resolve time (ms, median)", &f.resolve_ms)]
+    {
+        out.push_str(&format!("\n{title}\n"));
+        out.push_str(&format!("{:<8}", "VP"));
+        for t in DnsTransport::ALL {
+            out.push_str(&format!("{:>9}", t.name()));
+        }
+        out.push('\n');
+        for row in order {
+            let Some(cols) = table.get(row) else { continue };
+            out.push_str(&format!("{row:<8}"));
+            for t in DnsTransport::ALL {
+                match cols.get(t.name()) {
+                    Some(v) => out.push_str(&format!("{v:>9.1}")),
+                    None => out.push_str(&format!("{:>9}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// §3 overview: protocol version shares and feature observations.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Overview {
+    /// QUIC version -> share of DoQ measurements.
+    pub quic_version_shares: BTreeMap<String, f64>,
+    /// DoQ ALPN -> share.
+    pub doq_alpn_shares: BTreeMap<String, f64>,
+    /// Fraction of encrypted-transport measurements on TLS 1.3.
+    pub tls13_share: f64,
+    /// Fraction of measured (second) connections that resumed.
+    pub resumption_share: f64,
+    /// Fraction where 0-RTT was accepted.
+    pub zero_rtt_share: f64,
+}
+
+pub fn overview(samples: &[SingleQuerySample]) -> Overview {
+    let doq: Vec<&SingleQuerySample> = samples
+        .iter()
+        .filter(|s| s.transport == DnsTransport::DoQ && !s.failed)
+        .collect();
+    let mut quic_version_shares = BTreeMap::new();
+    let mut doq_alpn_shares = BTreeMap::new();
+    if !doq.is_empty() {
+        let mut vcount: HashMap<String, usize> = HashMap::new();
+        let mut acount: HashMap<String, usize> = HashMap::new();
+        for s in &doq {
+            if let Some(v) = s.metadata.quic_version {
+                let name = match v {
+                    1 => "v1".to_string(),
+                    v if v & 0xFF00_0000 == 0xFF00_0000 => {
+                        format!("draft-{}", v & 0xFF)
+                    }
+                    v => format!("{v:#x}"),
+                };
+                *vcount.entry(name).or_default() += 1;
+            }
+            if let Some(a) = &s.metadata.doq_alpn {
+                *acount.entry(a.clone()).or_default() += 1;
+            }
+        }
+        for (k, v) in vcount {
+            quic_version_shares.insert(k, v as f64 / doq.len() as f64);
+        }
+        for (k, v) in acount {
+            doq_alpn_shares.insert(k, v as f64 / doq.len() as f64);
+        }
+    }
+    let encrypted: Vec<&SingleQuerySample> = samples
+        .iter()
+        .filter(|s| s.transport.is_encrypted() && !s.failed)
+        .collect();
+    let frac = |pred: &dyn Fn(&&&SingleQuerySample) -> bool| {
+        if encrypted.is_empty() {
+            0.0
+        } else {
+            encrypted.iter().filter(|s| pred(s)).count() as f64 / encrypted.len() as f64
+        }
+    };
+    Overview {
+        quic_version_shares,
+        doq_alpn_shares,
+        tls13_share: frac(&|s| s.metadata.tls13 == Some(true)),
+        resumption_share: if doq.is_empty() {
+            0.0
+        } else {
+            doq.iter().filter(|s| s.metadata.resumed).count() as f64 / doq.len() as f64
+        },
+        zero_rtt_share: frac(&|s| s.metadata.zero_rtt),
+    }
+}
+
+/// Relative PLT/FCP differences vs. a baseline protocol, per
+/// [vantage point : resolver : page] group (Fig. 3 pairs protocol
+/// medians within a group).
+#[derive(Debug, Clone, Serialize)]
+pub struct RelativeDiffs {
+    /// protocol -> relative differences in percent.
+    pub fcp: BTreeMap<String, Vec<f64>>,
+    pub plt: BTreeMap<String, Vec<f64>>,
+}
+
+pub fn relative_to_baseline(
+    samples: &[WebperfSample],
+    baseline: DnsTransport,
+) -> RelativeDiffs {
+    // Group by (vp, resolver, page, round).
+    let mut groups: HashMap<(usize, usize, usize, usize), Vec<&WebperfSample>> =
+        HashMap::new();
+    for s in samples.iter().filter(|s| !s.failed) {
+        groups.entry((s.vp, s.resolver, s.page, s.round)).or_default().push(s);
+    }
+    let mut fcp: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut plt: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (_, group) in groups {
+        let Some(base) = group.iter().find(|s| s.transport == baseline) else { continue };
+        for s in &group {
+            if s.transport == baseline {
+                continue;
+            }
+            fcp.entry(s.transport.name().to_string())
+                .or_default()
+                .push(relative_difference_pct(s.fcp_ms, base.fcp_ms));
+            plt.entry(s.transport.name().to_string())
+                .or_default()
+                .push(relative_difference_pct(s.plt_ms, base.plt_ms));
+        }
+    }
+    RelativeDiffs { fcp, plt }
+}
+
+/// Fig. 3 rendering: CDF series of relative differences vs. DoUDP.
+pub fn render_fig3(diffs: &RelativeDiffs, metric: &str) -> String {
+    let table = if metric == "FCP" { &diffs.fcp } else { &diffs.plt };
+    let mut out = format!("\nCDF of relative {metric} difference vs DoUDP (%)\n");
+    out.push_str(&format!("{:<10}", "quantile"));
+    let protos: Vec<&String> = table.keys().collect();
+    for p in &protos {
+        out.push_str(&format!("{p:>9}"));
+    }
+    out.push('\n');
+    for q in [0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.8, 0.9] {
+        out.push_str(&format!("p{:<9.0}", q * 100.0));
+        for p in &protos {
+            let cdf = Cdf::new(&table[*p]);
+            match cdf.quantile(q) {
+                Some(v) => out.push_str(&format!("{v:>8.1}%")),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 4 cell: one [vantage point x page] comparison against DoQ.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Cell {
+    pub vp: String,
+    pub page: String,
+    pub avg_dns_queries: usize,
+    /// Median relative PLT of DoUDP vs DoQ (negative = DoUDP faster).
+    pub doudp_rel_median_pct: f64,
+    /// Median relative PLT of DoH vs DoQ (positive = DoQ faster).
+    pub doh_rel_median_pct: f64,
+    /// Fraction of pairs where the DoQ load was faster than DoH.
+    pub doq_faster_than_doh: f64,
+    pub pairs: usize,
+}
+
+/// Fig. 4: per [vp x page] relative PLT CDFs with DoQ as baseline.
+pub fn fig4(samples: &[WebperfSample]) -> Vec<Fig4Cell> {
+    let mut cells = Vec::new();
+    let mut keys: Vec<(usize, Continent, usize, String, usize)> = Vec::new();
+    for s in samples {
+        let key = (s.vp, s.vp_continent, s.page, s.page_name.clone(), s.page_dns_queries);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.sort_by_key(|k| (k.0, k.2));
+    for (vp, continent, page, page_name, queries) in keys {
+        let subset: Vec<&WebperfSample> = samples
+            .iter()
+            .filter(|s| s.vp == vp && s.page == page && !s.failed)
+            .collect();
+        let mut groups: HashMap<(usize, usize), Vec<&WebperfSample>> = HashMap::new();
+        for s in &subset {
+            groups.entry((s.resolver, s.round)).or_default().push(s);
+        }
+        let mut udp_rel = Vec::new();
+        let mut doh_rel = Vec::new();
+        let mut doq_faster = 0usize;
+        let mut pairs = 0usize;
+        for (_, group) in groups {
+            let doq = group.iter().find(|s| s.transport == DnsTransport::DoQ);
+            let udp = group.iter().find(|s| s.transport == DnsTransport::DoUdp);
+            let doh = group.iter().find(|s| s.transport == DnsTransport::DoH);
+            if let (Some(doq), Some(udp)) = (doq, udp) {
+                udp_rel.push(relative_difference_pct(udp.plt_ms, doq.plt_ms));
+            }
+            if let (Some(doq), Some(doh)) = (doq, doh) {
+                doh_rel.push(relative_difference_pct(doh.plt_ms, doq.plt_ms));
+                pairs += 1;
+                if doq.plt_ms < doh.plt_ms {
+                    doq_faster += 1;
+                }
+            }
+        }
+        cells.push(Fig4Cell {
+            vp: continent.code().to_string(),
+            page: page_name,
+            avg_dns_queries: queries,
+            doudp_rel_median_pct: median(&udp_rel).unwrap_or(f64::NAN),
+            doh_rel_median_pct: median(&doh_rel).unwrap_or(f64::NAN),
+            doq_faster_than_doh: if pairs == 0 {
+                f64::NAN
+            } else {
+                doq_faster as f64 / pairs as f64
+            },
+            pairs,
+        });
+    }
+    cells
+}
+
+pub fn render_fig4(cells: &[Fig4Cell]) -> String {
+    let mut out = String::from(
+        "\nFig.4: PLT relative to DoQ per [vantage point x page]\n\
+         (DoUDP% < 0 means unencrypted DNS is faster; DoH% > 0 means DoQ is faster)\n",
+    );
+    out.push_str(&format!(
+        "{:<4}{:<18}{:>4}{:>10}{:>10}{:>12}{:>7}\n",
+        "VP", "page", "#q", "DoUDP%", "DoH%", "DoQ<DoH", "pairs"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<4}{:<18}{:>4}{:>9.1}%{:>9.1}%{:>11.0}%{:>7}\n",
+            c.vp,
+            c.page,
+            c.avg_dns_queries,
+            c.doudp_rel_median_pct,
+            c.doh_rel_median_pct,
+            c.doq_faster_than_doh * 100.0,
+            c.pairs
+        ));
+    }
+    out
+}
+
+/// The headline claims of the abstract / §5.
+///
+/// The single-query percentages use the paper's formula: the
+/// improvement/shortfall as a fraction of the *slower* protocol's time
+/// (1 RTT vs 2 RTT -> "~33% faster than DoT"; 2 RTT vs 1 RTT -> "falls
+/// short of DoUDP by ~50%"; 3 RTT -> "~66%").
+#[derive(Debug, Clone, Serialize)]
+pub struct Headline {
+    /// DoQ improvement over DoT/DoH: (t_dot - t_doq) / t_dot.
+    pub doq_vs_dot_single_query_pct: f64,
+    pub doq_vs_doh_single_query_pct: f64,
+    /// DoUDP's advantage over DoQ: (t_doq - t_udp) / t_doq (paper ~50%).
+    pub doq_vs_doudp_single_query_pct: f64,
+    /// Same for DoT and DoH (paper ~66%).
+    pub dot_vs_doudp_single_query_pct: f64,
+    /// Median PLT cost of DoQ vs DoUDP on the simplest page (paper: up
+    /// to ~10%).
+    pub doq_vs_doudp_simple_page_pct: f64,
+    /// ... and on the most complex page (paper: ~2%).
+    pub doq_vs_doudp_complex_page_pct: f64,
+    /// Median PLT gain of DoQ vs DoH on the simplest page (paper: up to
+    /// ~10%).
+    pub doq_vs_doh_simple_page_pct: f64,
+}
+
+pub fn headline(sq: &[SingleQuerySample], web: &[WebperfSample]) -> Headline {
+    let total_ms = |t: DnsTransport| {
+        median(
+            &sq.iter()
+                .filter(|s| s.transport == t && !s.failed)
+                .filter_map(|s| {
+                    Some(s.handshake_ms.unwrap_or(0.0) + s.resolve_ms?)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN)
+    };
+    let doq = total_ms(DnsTransport::DoQ);
+    let dot = total_ms(DnsTransport::DoT);
+    let doh = total_ms(DnsTransport::DoH);
+    let udp = total_ms(DnsTransport::DoUdp);
+    let cells = fig4(web);
+    let page_stat = |name: &str, f: &dyn Fn(&Fig4Cell) -> f64| {
+        let vals: Vec<f64> = cells.iter().filter(|c| c.page == name).map(f).collect();
+        median(&vals).unwrap_or(f64::NAN)
+    };
+    Headline {
+        doq_vs_dot_single_query_pct: 100.0 * (dot - doq) / dot,
+        doq_vs_doh_single_query_pct: 100.0 * (doh - doq) / doh,
+        doq_vs_doudp_single_query_pct: 100.0 * (doq - udp) / doq,
+        dot_vs_doudp_single_query_pct: 100.0 * (dot - udp) / dot,
+        doq_vs_doudp_simple_page_pct: -page_stat("wikipedia.org", &|c| c.doudp_rel_median_pct),
+        doq_vs_doudp_complex_page_pct: -page_stat("youtube.com", &|c| c.doudp_rel_median_pct),
+        doq_vs_doh_simple_page_pct: page_stat("wikipedia.org", &|c| c.doh_rel_median_pct),
+    }
+}
+
+/// Plain-text table with CDF points for plotting (used by figure
+/// binaries to emit machine-readable series).
+pub fn cdf_series(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    cdf_points(values, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_query::PhaseBytes;
+    use doqlab_dox::ConnMetadata;
+
+    fn sample(t: DnsTransport, hs: Option<f64>, rs: f64, total: usize) -> SingleQuerySample {
+        SingleQuerySample {
+            vp: 0,
+            vp_continent: Continent::Europe,
+            resolver: 0,
+            resolver_continent: Continent::Europe,
+            transport: t,
+            handshake_ms: hs,
+            resolve_ms: Some(rs),
+            bytes: PhaseBytes {
+                handshake_c2r: total / 2,
+                handshake_r2c: total / 4,
+                query_c2r: total / 8,
+                response_r2c: total / 8,
+            },
+            metadata: ConnMetadata::default(),
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn table1_medians_and_counts() {
+        let samples = vec![
+            sample(DnsTransport::DoUdp, None, 40.0, 120),
+            sample(DnsTransport::DoUdp, None, 42.0, 128),
+            sample(DnsTransport::DoQ, Some(40.0), 40.0, 4000),
+        ];
+        let t = table1(&samples);
+        assert_eq!(t.sample_counts["DoUDP"], 2);
+        assert_eq!(t.sample_counts["DoQ"], 1);
+        assert!((t.sizes["DoUDP"][0] - 124.0).abs() < 1.0);
+        let rendered = render_table1(&t);
+        assert!(rendered.contains("Samples"));
+        assert!(rendered.contains("DoQ"));
+    }
+
+    #[test]
+    fn fig2_groups_total_and_continent() {
+        let samples = vec![
+            sample(DnsTransport::DoT, Some(100.0), 50.0, 1000),
+            sample(DnsTransport::DoT, Some(200.0), 60.0, 1000),
+        ];
+        let f = fig2(&samples);
+        assert_eq!(f.handshake_ms["Total"]["DoT"], 150.0);
+        assert_eq!(f.handshake_ms["EU"]["DoT"], 150.0);
+        assert!(!f.handshake_ms.contains_key("XX"));
+        let rendered = render_fig2(&f);
+        assert!(rendered.contains("Handshake time"));
+    }
+
+    fn web(t: DnsTransport, vp: usize, resolver: usize, page: usize, plt: f64) -> WebperfSample {
+        WebperfSample {
+            vp,
+            vp_continent: Continent::Europe,
+            resolver,
+            page,
+            page_name: format!("page{page}"),
+            page_dns_queries: page + 1,
+            transport: t,
+            round: 0,
+            fcp_ms: plt * 0.6,
+            plt_ms: plt,
+            proxy_connections: 1,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn relative_diffs_pair_within_groups() {
+        let samples = vec![
+            web(DnsTransport::DoUdp, 0, 0, 0, 100.0),
+            web(DnsTransport::DoQ, 0, 0, 0, 110.0),
+            web(DnsTransport::DoUdp, 0, 1, 0, 200.0),
+            web(DnsTransport::DoQ, 0, 1, 0, 210.0),
+        ];
+        let d = relative_to_baseline(&samples, DnsTransport::DoUdp);
+        let doq = &d.plt["DoQ"];
+        assert_eq!(doq.len(), 2);
+        let mut sorted = doq.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 5.0).abs() < 0.01);
+        assert!((sorted[1] - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn render_fig3_lists_quantiles_per_protocol() {
+        let samples = vec![
+            web(DnsTransport::DoUdp, 0, 0, 0, 100.0),
+            web(DnsTransport::DoQ, 0, 0, 0, 105.0),
+            web(DnsTransport::DoH, 0, 0, 0, 120.0),
+        ];
+        let d = relative_to_baseline(&samples, DnsTransport::DoUdp);
+        let text = render_fig3(&d, "PLT");
+        assert!(text.contains("DoQ"));
+        assert!(text.contains("DoH"));
+        assert!(text.contains("p50"));
+        let fcp_text = render_fig3(&d, "FCP");
+        assert!(fcp_text.contains("FCP"));
+    }
+
+    #[test]
+    fn headline_uses_the_papers_formulas() {
+        // DoUDP 100 ms, DoQ 200 ms, DoT/DoH 300 ms: the paper's RTT
+        // arithmetic gives 33% / 50% / 66%.
+        let mk = |t: DnsTransport, hs: Option<f64>, rs: f64| SingleQuerySample {
+            vp: 0,
+            vp_continent: Continent::Europe,
+            resolver: 0,
+            resolver_continent: Continent::Europe,
+            transport: t,
+            handshake_ms: hs,
+            resolve_ms: Some(rs),
+            bytes: PhaseBytes::default(),
+            metadata: ConnMetadata::default(),
+            failed: false,
+        };
+        let sq = vec![
+            mk(DnsTransport::DoUdp, None, 100.0),
+            mk(DnsTransport::DoQ, Some(100.0), 100.0),
+            mk(DnsTransport::DoT, Some(200.0), 100.0),
+            mk(DnsTransport::DoH, Some(200.0), 100.0),
+        ];
+        let h = headline(&sq, &[]);
+        assert!((h.doq_vs_dot_single_query_pct - 33.333).abs() < 0.1);
+        assert!((h.doq_vs_doh_single_query_pct - 33.333).abs() < 0.1);
+        assert!((h.doq_vs_doudp_single_query_pct - 50.0).abs() < 0.1);
+        assert!((h.dot_vs_doudp_single_query_pct - 66.667).abs() < 0.1);
+    }
+
+    #[test]
+    fn overview_counts_versions_and_flags() {
+        let mut s = sample(DnsTransport::DoQ, Some(10.0), 10.0, 100);
+        s.metadata = ConnMetadata {
+            quic_version: Some(1),
+            doq_alpn: Some("doq-i02".into()),
+            tls13: Some(true),
+            resumed: true,
+            zero_rtt: false,
+        };
+        let mut s2 = s.clone();
+        s2.metadata.quic_version = Some(0xFF00_0022);
+        s2.metadata.doq_alpn = Some("doq-i03".into());
+        s2.metadata.resumed = false;
+        let o = overview(&[s, s2]);
+        assert_eq!(o.quic_version_shares["v1"], 0.5);
+        assert_eq!(o.quic_version_shares["draft-34"], 0.5);
+        assert_eq!(o.doq_alpn_shares["doq-i02"], 0.5);
+        assert_eq!(o.tls13_share, 1.0);
+        assert_eq!(o.resumption_share, 0.5);
+        assert_eq!(o.zero_rtt_share, 0.0);
+    }
+
+    #[test]
+    fn fig4_cells_compare_against_doq() {
+        let samples = vec![
+            web(DnsTransport::DoQ, 0, 0, 0, 100.0),
+            web(DnsTransport::DoUdp, 0, 0, 0, 90.0),
+            web(DnsTransport::DoH, 0, 0, 0, 110.0),
+        ];
+        let cells = fig4(&samples);
+        assert_eq!(cells.len(), 1);
+        assert!((cells[0].doudp_rel_median_pct + 10.0).abs() < 0.01);
+        assert!((cells[0].doh_rel_median_pct - 10.0).abs() < 0.01);
+        assert_eq!(cells[0].doq_faster_than_doh, 1.0);
+        let rendered = render_fig4(&cells);
+        assert!(rendered.contains("page0"));
+    }
+}

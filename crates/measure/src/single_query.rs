@@ -1,0 +1,409 @@
+//! §3.1 — the single-query campaign.
+//!
+//! One measurement unit is `[vantage point : resolver : protocol :
+//! repetition]`. Following §2's methodology, each unit runs in its own
+//! micro-simulation:
+//!
+//! 1. a **cache-warming query** for `google.com` over a fresh
+//!    connection: the resolver recurses and caches; the client captures
+//!    the TLS session ticket, the QUIC NEW_TOKEN and the negotiated
+//!    QUIC version;
+//! 2. the **measured query** over a new connection that presents the
+//!    captured material (Session Resumption + token, per the DoQ RFC's
+//!    recommendation), answered from the warm cache.
+//!
+//! The sample records the handshake time (first transport packet ->
+//! session established), the resolve time (first DNS-query packet ->
+//! valid response) and the per-direction, per-phase IP payload bytes
+//! of Table 1.
+
+use crate::vantage::{vantage_points, VantagePoint};
+use crate::Scale;
+use doqlab_dnswire::{Message, Name, RecordType};
+use doqlab_dox::{ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, SessionState};
+use doqlab_resolver::{RecursionModel, ResolverHost, ResolverProfile};
+use doqlab_simnet::geo::Continent;
+use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
+use doqlab_simnet::{Duration, Ipv4Addr, SimTime, Simulator, SocketAddr};
+
+/// Byte totals per phase and direction (IP payload, like Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBytes {
+    pub handshake_c2r: usize,
+    pub handshake_r2c: usize,
+    pub query_c2r: usize,
+    pub response_r2c: usize,
+}
+
+impl PhaseBytes {
+    pub fn total(&self) -> usize {
+        self.handshake_c2r + self.handshake_r2c + self.query_c2r + self.response_r2c
+    }
+}
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct SingleQuerySample {
+    pub vp: usize,
+    pub vp_continent: Continent,
+    pub resolver: usize,
+    pub resolver_continent: Continent,
+    pub transport: DnsTransport,
+    /// `None` for DoUDP (connectionless) and for failed handshakes.
+    pub handshake_ms: Option<f64>,
+    /// First DNS-query packet to valid response.
+    pub resolve_ms: Option<f64>,
+    pub bytes: PhaseBytes,
+    pub metadata: ConnMetadata,
+    pub failed: bool,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct SingleQueryCampaign {
+    pub seed: u64,
+    pub scale: Scale,
+    /// Present captured session material on the measured connection
+    /// (disable to reproduce the preliminary study's amplification
+    /// penalty — ablation A1).
+    pub use_resumption: bool,
+    /// Upgrade every resolver to support 0-RTT (future-work ablation A3).
+    pub enable_0rtt_resolvers: bool,
+    pub path_params: GeoPathParams,
+}
+
+impl SingleQueryCampaign {
+    pub fn new(scale: Scale) -> Self {
+        SingleQueryCampaign {
+            seed: 0xD05_2022,
+            scale,
+            use_resumption: true,
+            enable_0rtt_resolvers: false,
+            path_params: GeoPathParams::default(),
+        }
+    }
+}
+
+fn unit_seed(seed: u64, vp: usize, resolver: usize, transport: usize, rep: usize) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [vp as u64, resolver as u64, transport as u64, rep as u64] {
+        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(27).wrapping_mul(5).wrapping_add(0x52DC_E729);
+    }
+    h
+}
+
+/// Run a single measurement unit.
+pub fn run_unit(
+    campaign: &SingleQueryCampaign,
+    vp: &VantagePoint,
+    profile: &ResolverProfile,
+    transport: DnsTransport,
+    rep: usize,
+) -> SingleQuerySample {
+    let seed = unit_seed(campaign.seed, vp.index, profile.index, transport as usize, rep);
+    let mut path = GeoPathModel::new(campaign.path_params.clone());
+    let warm_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 2);
+    let meas_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 3);
+    path.place(warm_ip, vp.location);
+    path.place(meas_ip, vp.location);
+    path.place(profile.ip, profile.location);
+    let mut sim = Simulator::new(seed, Box::new(path));
+    sim.enable_trace();
+
+    let mut server_cfg = profile.server_config();
+    if campaign.enable_0rtt_resolvers {
+        server_cfg.enable_0rtt = true;
+    }
+    sim.add_host(
+        Box::new(ResolverHost::new(server_cfg, RecursionModel::default())),
+        &[profile.ip],
+    );
+
+    let query = Message::query(0x5151, Name::parse("google.com").unwrap(), RecordType::A);
+    let remote = SocketAddr::new(profile.ip, transport.port());
+
+    // --- cache warming ----------------------------------------------------
+    let warm = DnsClientHost::new(
+        transport,
+        SocketAddr::new(warm_ip, 40_000),
+        remote,
+        &ClientConfig::default(),
+    );
+    let wid = sim.add_host(Box::new(warm), &[warm_ip]);
+    sim.with_host::<DnsClientHost, _>(wid, |c, ctx| c.start_with_query(ctx, &query));
+    let warm_deadline = sim.now() + Duration::from_secs(20);
+    sim.run_until(warm_deadline);
+    let session = {
+        let warm = sim.host_mut::<DnsClientHost>(wid);
+        if warm.responses.is_empty() {
+            SessionState::default()
+        } else {
+            warm.session_state()
+        }
+    };
+
+    // --- measured query -----------------------------------------------------
+    let meas_cfg = ClientConfig {
+        session: if campaign.use_resumption { session } else { SessionState::default() },
+        ..ClientConfig::default()
+    };
+    let meas = DnsClientHost::new(
+        transport,
+        SocketAddr::new(meas_ip, 40_000),
+        remote,
+        &meas_cfg,
+    );
+    let mid = sim.add_host(Box::new(meas), &[meas_ip]);
+    let started = sim.now();
+    sim.with_host::<DnsClientHost, _>(mid, |c, ctx| c.start_with_query(ctx, &query));
+    sim.run_until(started + Duration::from_secs(20));
+
+    let meas = sim.host::<DnsClientHost>(mid);
+    let hs_done = meas.conn.handshake_done_at();
+    let response_at = meas.responses.first().map(|(t, _)| *t);
+    let metadata = meas.conn.metadata();
+    let failed = response_at.is_none();
+    let handshake_ms = match transport {
+        DnsTransport::DoUdp => None,
+        _ => hs_done.map(|t| (t - started).as_secs_f64() * 1000.0),
+    };
+    let resolve_from = hs_done.unwrap_or(started);
+    let resolve_ms = response_at.map(|t| (t - resolve_from).as_secs_f64() * 1000.0);
+
+    // --- byte accounting --------------------------------------------------
+    let trace = sim.trace().expect("enabled");
+    let bytes = if transport == DnsTransport::DoQ {
+        // QUIC: the handshake phase is exactly the long-header
+        // (Initial/Handshake) datagrams; 1-RTT short-header datagrams
+        // carry the query and response. This matches how the paper's
+        // traces split DoQ's padded flights.
+        let mut b = PhaseBytes::default();
+        for rec in trace.records() {
+            if rec.sent_at < started {
+                continue;
+            }
+            let long = rec.first_byte.is_some_and(|fb| fb & 0x80 != 0);
+            let c2r = rec.src.ip == meas_ip && rec.dst.ip == profile.ip;
+            let r2c = rec.src.ip == profile.ip && rec.dst.ip == meas_ip;
+            match (c2r, r2c, long) {
+                (true, _, true) => b.handshake_c2r += rec.ip_payload_len,
+                (true, _, false) => b.query_c2r += rec.ip_payload_len,
+                (_, true, true) => b.handshake_r2c += rec.ip_payload_len,
+                (_, true, false) => b.response_r2c += rec.ip_payload_len,
+                _ => {}
+            }
+        }
+        b
+    } else {
+        let c = SocketAddr::new(meas_ip, 0);
+        let r = SocketAddr::new(profile.ip, 0);
+        let split =
+            hs_done.filter(|_| transport != DnsTransport::DoUdp).unwrap_or(started);
+        let far = SimTime::from_secs(1_000_000);
+        PhaseBytes {
+            handshake_c2r: trace.bytes_between(c, r, started, split),
+            handshake_r2c: trace.bytes_between(r, c, started, split),
+            query_c2r: trace.bytes_between(c, r, split, far),
+            response_r2c: trace.bytes_between(r, c, split, far),
+        }
+    };
+
+    SingleQuerySample {
+        vp: vp.index,
+        vp_continent: vp.continent,
+        resolver: profile.index,
+        resolver_continent: profile.continent,
+        transport,
+        handshake_ms,
+        resolve_ms,
+        bytes,
+        metadata,
+        failed,
+    }
+}
+
+/// Run the full campaign: every vantage point x resolver x protocol x
+/// repetition, sharded across threads.
+pub fn run_single_query_campaign(
+    campaign: &SingleQueryCampaign,
+    population: &[ResolverProfile],
+) -> Vec<SingleQuerySample> {
+    let vps = vantage_points();
+    // Subsample with a stride so a reduced set still spans all
+    // continents (the population is ordered by continent).
+    let resolvers: Vec<&ResolverProfile> = match campaign.scale.resolvers {
+        Some(n) if n < population.len() => {
+            let stride = population.len() / n.max(1);
+            population.iter().step_by(stride.max(1)).take(n).collect()
+        }
+        _ => population.iter().collect(),
+    };
+    let mut units: Vec<(usize, usize, DnsTransport, usize)> = Vec::new();
+    for vp in &vps {
+        for r in &resolvers {
+            for t in DnsTransport::ALL {
+                for rep in 0..campaign.scale.repetitions {
+                    units.push((vp.index, r.index, t, rep));
+                }
+            }
+        }
+    }
+    let threads = campaign.scale.threads.max(1);
+    let chunk = units.len().div_ceil(threads);
+    let mut samples: Vec<SingleQuerySample> = Vec::with_capacity(units.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = units
+            .chunks(chunk.max(1))
+            .map(|chunk| {
+                let vps = &vps;
+                let resolvers = &resolvers;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&(vp, r, t, rep)| {
+                            let profile = resolvers
+                                .iter()
+                                .find(|p| p.index == r)
+                                .expect("listed");
+                            run_unit(campaign, &vps[vp], profile, t, rep)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("worker panicked"));
+        }
+    });
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doqlab_resolver::synthesize_dox_population;
+
+    fn tiny_campaign() -> (SingleQueryCampaign, Vec<ResolverProfile>) {
+        let scale = Scale { resolvers: Some(3), repetitions: 1, threads: 2, ..Scale::quick() };
+        (SingleQueryCampaign::new(scale), synthesize_dox_population(1))
+    }
+
+    #[test]
+    fn campaign_produces_all_units() {
+        let (c, pop) = tiny_campaign();
+        let samples = run_single_query_campaign(&c, &pop);
+        // 6 vps x 3 resolvers x 5 protocols x 1 rep.
+        assert_eq!(samples.len(), 90);
+        let ok = samples.iter().filter(|s| !s.failed).count();
+        assert!(ok as f64 / samples.len() as f64 > 0.95, "ok = {ok}/90");
+    }
+
+    #[test]
+    fn handshake_ordering_matches_paper() {
+        let (c, pop) = tiny_campaign();
+        let samples = run_single_query_campaign(&c, &pop);
+        let med = |t: DnsTransport| {
+            crate::stats::median(
+                &samples
+                    .iter()
+                    .filter(|s| s.transport == t && !s.failed)
+                    .filter_map(|s| s.handshake_ms)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let (tcp, doq, dot, doh) = (
+            med(DnsTransport::DoTcp),
+            med(DnsTransport::DoQ),
+            med(DnsTransport::DoT),
+            med(DnsTransport::DoH),
+        );
+        // Fig. 2a: DoTCP ~ DoQ ~ half of DoT ~ DoH.
+        assert!((doq / tcp - 1.0).abs() < 0.2, "DoQ {doq} vs DoTCP {tcp}");
+        assert!(dot / doq > 1.6, "DoT {dot} vs DoQ {doq}");
+        assert!(doh / doq > 1.6, "DoH {doh} vs DoQ {doq}");
+        assert!((dot / doh - 1.0).abs() < 0.2, "DoT {dot} vs DoH {doh}");
+    }
+
+    #[test]
+    fn resolve_times_similar_across_protocols() {
+        let (c, pop) = tiny_campaign();
+        let samples = run_single_query_campaign(&c, &pop);
+        let med = |t: DnsTransport| {
+            crate::stats::median(
+                &samples
+                    .iter()
+                    .filter(|s| s.transport == t)
+                    .filter_map(|s| s.resolve_ms)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let meds: Vec<f64> = DnsTransport::ALL.iter().map(|t| med(*t)).collect();
+        let max = meds.iter().cloned().fold(f64::MIN, f64::max);
+        let min = meds.iter().cloned().fold(f64::MAX, f64::min);
+        // Fig. 2b: cached answers -> all protocols within ~1 RTT band.
+        assert!(max / min < 1.5, "medians spread too wide: {meds:?}");
+    }
+
+    #[test]
+    fn doq_uses_resumption_and_remembered_version() {
+        let (c, pop) = tiny_campaign();
+        let samples = run_single_query_campaign(&c, &pop);
+        let doq: Vec<_> =
+            samples.iter().filter(|s| s.transport == DnsTransport::DoQ && !s.failed).collect();
+        assert!(!doq.is_empty());
+        assert!(doq.iter().all(|s| s.metadata.resumed), "all DoQ measured queries resume");
+        assert!(doq.iter().all(|s| s.metadata.quic_version.is_some()));
+        assert!(doq.iter().all(|s| s.metadata.doq_alpn.is_some()));
+    }
+
+    #[test]
+    fn byte_shape_matches_table1() {
+        let (c, pop) = tiny_campaign();
+        let samples = run_single_query_campaign(&c, &pop);
+        let med_total = |t: DnsTransport| {
+            crate::stats::median(
+                &samples
+                    .iter()
+                    .filter(|s| s.transport == t && !s.failed)
+                    .map(|s| s.bytes.total() as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let udp = med_total(DnsTransport::DoUdp);
+        let tcp = med_total(DnsTransport::DoTcp);
+        let doq = med_total(DnsTransport::DoQ);
+        let doh = med_total(DnsTransport::DoH);
+        let dot = med_total(DnsTransport::DoT);
+        assert!(udp < tcp && tcp < dot && dot < doh && doh < doq,
+            "Table 1 ordering: udp {udp} tcp {tcp} dot {dot} doh {doh} doq {doq}");
+        // DoQ handshake roughly doubles DoH's total (1200-byte padding).
+        assert!(doq / doh > 1.5, "doq {doq} vs doh {doh}");
+    }
+
+    #[test]
+    fn no_resumption_ablation_increases_doq_handshake_sometimes() {
+        let scale = Scale { resolvers: Some(8), repetitions: 1, threads: 2, ..Scale::quick() };
+        let pop = synthesize_dox_population(1);
+        let with = SingleQueryCampaign::new(scale.clone());
+        let without = SingleQueryCampaign { use_resumption: false, ..SingleQueryCampaign::new(scale) };
+        let s_with = run_single_query_campaign(&with, &pop);
+        let s_without = run_single_query_campaign(&without, &pop);
+        let med = |ss: &[SingleQuerySample]| {
+            crate::stats::median(
+                &ss.iter()
+                    .filter(|s| s.transport == DnsTransport::DoQ)
+                    .filter_map(|s| s.handshake_ms)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        // Without resumption, large certificates hit the amplification
+        // limit: the handshake median rises.
+        assert!(med(&s_without) > med(&s_with) * 1.1,
+            "without {} vs with {}", med(&s_without), med(&s_with));
+    }
+}

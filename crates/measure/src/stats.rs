@@ -1,0 +1,137 @@
+//! Estimators used throughout the evaluation: medians, percentiles and
+//! empirical CDFs, plus the relative-difference transform of Fig. 3/4.
+
+/// Median of a sample (NaNs are ignored). `None` when empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolated percentile in `[0, 100]` (NaNs ignored).
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// An empirical CDF.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    /// Sorted sample.
+    pub values: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn new(values: &[f64]) -> Cdf {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+        Cdf { values: v }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// P(X <= x).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let n = self.values.partition_point(|v| *v <= x);
+        n as f64 / self.values.len() as f64
+    }
+
+    /// Quantile (inverse CDF) at `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        percentile(&self.values, q * 100.0)
+    }
+}
+
+/// Sample the CDF at `n` evenly spaced probability points — the series
+/// a figure plots.
+pub fn cdf_points(values: &[f64], n: usize) -> Vec<(f64, f64)> {
+    let cdf = Cdf::new(values);
+    if cdf.is_empty() {
+        return Vec::new();
+    }
+    (0..=n)
+        .map(|i| {
+            let q = i as f64 / n as f64;
+            (cdf.quantile(q).expect("non-empty"), q)
+        })
+        .collect()
+}
+
+/// Relative difference in percent: `100 * (value - baseline) / baseline`
+/// — the x-axis of Fig. 3 (protocol vs. DoUDP) and Fig. 4 (vs. DoQ).
+pub fn relative_difference_pct(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        return f64::NAN;
+    }
+    100.0 * (value - baseline) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_ignores_nan() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
+        assert_eq!(median(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+        assert_eq!(percentile(&v, 50.0), Some(30.0));
+        assert_eq!(percentile(&v, 25.0), Some(20.0));
+        assert_eq!(percentile(&v, 80.0), Some(42.0));
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let v: Vec<f64> = (0..100).map(|i| (i * 7 % 100) as f64).collect();
+        let pts = cdf_points(&v, 20);
+        assert_eq!(pts.len(), 21);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[20].1, 1.0);
+    }
+
+    #[test]
+    fn relative_difference() {
+        assert_eq!(relative_difference_pct(110.0, 100.0), 10.0);
+        assert_eq!(relative_difference_pct(90.0, 100.0), -10.0);
+        assert!(relative_difference_pct(1.0, 0.0).is_nan());
+    }
+}

@@ -1,0 +1,70 @@
+//! The six vantage points: Amazon EC2 instances, one per continent
+//! (paper Fig. 1, blue dots). Ordered like the rows of Fig. 2/4 —
+//! by the number of verified DoX resolvers on that continent.
+
+use doqlab_simnet::geo::Continent;
+use doqlab_simnet::{Coord, Ipv4Addr};
+
+/// One measurement vantage point.
+#[derive(Debug, Clone)]
+pub struct VantagePoint {
+    pub index: usize,
+    /// EC2-region-style name.
+    pub name: &'static str,
+    pub continent: Continent,
+    pub location: Coord,
+    /// Address the client machines at this vantage point use.
+    pub ip: Ipv4Addr,
+}
+
+/// The six vantage points in Fig. 2/4 row order (EU, AS, NA, AF, OC, SA).
+pub fn vantage_points() -> Vec<VantagePoint> {
+    let spec: [(&'static str, Continent, Coord); 6] = [
+        ("eu-central-1", Continent::Europe, Coord::new(50.11, 8.68)),
+        ("ap-southeast-1", Continent::Asia, Coord::new(1.35, 103.82)),
+        ("us-east-1", Continent::NorthAmerica, Coord::new(38.95, -77.45)),
+        ("af-south-1", Continent::Africa, Coord::new(-33.93, 18.42)),
+        ("ap-southeast-2", Continent::Oceania, Coord::new(-33.87, 151.21)),
+        ("sa-east-1", Continent::SouthAmerica, Coord::new(-23.55, -46.63)),
+    ];
+    spec.into_iter()
+        .enumerate()
+        .map(|(index, (name, continent, location))| VantagePoint {
+            index,
+            name,
+            continent,
+            location,
+            ip: Ipv4Addr::new(10, 10, index as u8 + 1, 1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_vantage_points_one_per_continent() {
+        let vps = vantage_points();
+        assert_eq!(vps.len(), 6);
+        let continents: std::collections::HashSet<_> =
+            vps.iter().map(|v| v.continent).collect();
+        assert_eq!(continents.len(), 6);
+    }
+
+    #[test]
+    fn row_order_matches_fig2() {
+        let vps = vantage_points();
+        assert_eq!(vps[0].continent, Continent::Europe);
+        assert_eq!(vps[1].continent, Continent::Asia);
+        assert_eq!(vps[2].continent, Continent::NorthAmerica);
+        assert_eq!(vps[5].continent, Continent::SouthAmerica);
+    }
+
+    #[test]
+    fn unique_ips() {
+        let vps = vantage_points();
+        let ips: std::collections::HashSet<_> = vps.iter().map(|v| v.ip).collect();
+        assert_eq!(ips.len(), 6);
+    }
+}

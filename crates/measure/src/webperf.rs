@@ -1,0 +1,208 @@
+//! §3.2 — the Web-performance campaign.
+//!
+//! One sample is the median FCP/PLT of `loads_per_round` cold-start
+//! page loads for a `[vantage point : resolver : page : protocol]`
+//! combination (the paper runs four loads per combination and repeats
+//! every 48 hours). Relative differences against DoUDP (Fig. 3) and
+//! against DoQ (Fig. 4) are computed per `[vantage point : resolver]`
+//! pair by the experiment drivers.
+
+use crate::vantage::vantage_points;
+use crate::Scale;
+use doqlab_dox::DnsTransport;
+use doqlab_resolver::ResolverProfile;
+use doqlab_simnet::geo::Continent;
+use doqlab_simnet::path::GeoPathParams;
+use doqlab_simnet::Duration;
+use doqlab_webperf::{run_page_load, PageLoadConfig, PageProfile};
+
+/// One Web-performance sample (already the median over the round's
+/// loads).
+#[derive(Debug, Clone)]
+pub struct WebperfSample {
+    pub vp: usize,
+    pub vp_continent: Continent,
+    pub resolver: usize,
+    pub page: usize,
+    pub page_name: String,
+    pub page_dns_queries: usize,
+    pub transport: DnsTransport,
+    pub round: usize,
+    pub fcp_ms: f64,
+    pub plt_ms: f64,
+    pub proxy_connections: u32,
+    pub failed: bool,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct WebperfCampaign {
+    pub seed: u64,
+    pub scale: Scale,
+    /// Reproduce the dnsproxy DoT reconnect bug (ablation A2 turns it
+    /// off).
+    pub dot_bug: bool,
+    /// Upgrade resolvers to 0-RTT (ablation A3).
+    pub enable_0rtt_resolvers: bool,
+    pub path_params: GeoPathParams,
+}
+
+impl WebperfCampaign {
+    pub fn new(scale: Scale) -> Self {
+        WebperfCampaign {
+            seed: 0x3EB_2022,
+            scale,
+            dot_bug: true,
+            enable_0rtt_resolvers: false,
+            path_params: GeoPathParams::default(),
+        }
+    }
+}
+
+fn unit_seed(seed: u64, parts: [usize; 4]) -> u64 {
+    let mut h = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    for v in parts {
+        h ^= (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        h = h.rotate_left(31).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
+}
+
+/// Run the campaign (sharded across threads).
+pub fn run_webperf_campaign(
+    campaign: &WebperfCampaign,
+    population: &[ResolverProfile],
+    pages: &[PageProfile],
+) -> Vec<WebperfSample> {
+    let vps = vantage_points();
+    // Subsample with a stride so a reduced set still spans all
+    // continents (the population is ordered by continent).
+    let resolvers: Vec<&ResolverProfile> = match campaign.scale.resolvers {
+        Some(n) if n < population.len() => {
+            let stride = population.len() / n.max(1);
+            population.iter().step_by(stride.max(1)).take(n).collect()
+        }
+        _ => population.iter().collect(),
+    };
+    let pages: Vec<&PageProfile> = match campaign.scale.pages {
+        Some(n) => pages.iter().take(n).collect(),
+        None => pages.iter().collect(),
+    };
+    let mut units: Vec<(usize, usize, usize, DnsTransport, usize)> = Vec::new();
+    for vp in &vps {
+        for (ri, _) in resolvers.iter().enumerate() {
+            for (pi, _) in pages.iter().enumerate() {
+                for t in DnsTransport::ALL {
+                    for round in 0..campaign.scale.rounds {
+                        units.push((vp.index, ri, pi, t, round));
+                    }
+                }
+            }
+        }
+    }
+    let threads = campaign.scale.threads.max(1);
+    let chunk = units.len().div_ceil(threads).max(1);
+    let mut samples = Vec::with_capacity(units.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = units
+            .chunks(chunk)
+            .map(|chunk| {
+                let vps = &vps;
+                let resolvers = &resolvers;
+                let pages = &pages;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&(vp, ri, pi, t, round)| {
+                            let profile = resolvers[ri];
+                            let page = pages[pi];
+                            let mut resolver_cfg = profile.server_config();
+                            if campaign.enable_0rtt_resolvers {
+                                resolver_cfg.enable_0rtt = true;
+                            }
+                            let cfg = PageLoadConfig {
+                                seed: unit_seed(
+                                    campaign.seed,
+                                    [vp, profile.index, pi * 16 + t as usize, round],
+                                ),
+                                transport: t,
+                                page: page.clone(),
+                                resolver: resolver_cfg,
+                                recursion: Default::default(),
+                                vp_location: vps[vp].location,
+                                resolver_location: profile.location,
+                                dot_bug: campaign.dot_bug,
+                                enable_0rtt: true,
+                                tcp_keepalive_client: false,
+                                measured_loads: campaign.scale.loads_per_round,
+                                load_timeout: Duration::from_secs(30),
+                                path_params: campaign.path_params.clone(),
+                            };
+                            let loads = run_page_load(&cfg);
+                            let fcp = crate::stats::median(
+                                &loads.iter().map(|l| l.fcp_ms).collect::<Vec<_>>(),
+                            );
+                            let plt = crate::stats::median(
+                                &loads.iter().map(|l| l.plt_ms).collect::<Vec<_>>(),
+                            );
+                            let failed = loads.iter().all(|l| l.failed)
+                                || fcp.is_none()
+                                || plt.is_none();
+                            WebperfSample {
+                                vp,
+                                vp_continent: vps[vp].continent,
+                                resolver: profile.index,
+                                page: pi,
+                                page_name: page.name.clone(),
+                                page_dns_queries: page.dns_query_count(),
+                                transport: t,
+                                round,
+                                fcp_ms: fcp.unwrap_or(f64::NAN),
+                                plt_ms: plt.unwrap_or(f64::NAN),
+                                proxy_connections: loads
+                                    .iter()
+                                    .map(|l| l.proxy_connections)
+                                    .max()
+                                    .unwrap_or(0),
+                                failed,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("worker panicked"));
+        }
+    });
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doqlab_resolver::synthesize_dox_population;
+    use doqlab_webperf::tranco_top10;
+
+    #[test]
+    fn quick_campaign_produces_expected_grid() {
+        let scale = Scale {
+            resolvers: Some(2),
+            pages: Some(2),
+            rounds: 1,
+            loads_per_round: 1,
+            threads: 4,
+            ..Scale::quick()
+        };
+        let campaign = WebperfCampaign::new(scale);
+        let pop = synthesize_dox_population(1);
+        let pages = tranco_top10();
+        let samples = run_webperf_campaign(&campaign, &pop, &pages);
+        // 6 vps x 2 resolvers x 2 pages x 5 protocols x 1 round.
+        assert_eq!(samples.len(), 120);
+        let ok = samples.iter().filter(|s| !s.failed).count();
+        assert!(ok as f64 / samples.len() as f64 > 0.9, "ok = {ok}/120");
+        // Simple page (wikipedia) has exactly 1 DNS query recorded.
+        assert!(samples.iter().filter(|s| s.page == 0).all(|s| s.page_dns_queries == 1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Congestion control shared by TCP and QUIC: classic slow start with
+//! congestion avoidance (NewReno-style window arithmetic, no SACK
+//! scoreboard). The transfers in this workspace are small — DNS
+//! messages, TLS handshakes and web objects up to a few hundred KB — so
+//! the interesting behaviour is the initial window and the slow-start
+//! doubling, both of which shape page-load times.
+
+/// Byte-counting congestion window.
+#[derive(Debug, Clone)]
+pub struct CongestionController {
+    mss: usize,
+    cwnd: usize,
+    ssthresh: usize,
+}
+
+/// RFC 6928 initial window: 10 segments.
+pub const INITIAL_WINDOW_SEGMENTS: usize = 10;
+
+impl CongestionController {
+    pub fn new(mss: usize) -> Self {
+        CongestionController {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+            ssthresh: usize::MAX,
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn window(&self) -> usize {
+        self.cwnd
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Bytes newly acknowledged.
+    pub fn on_ack(&mut self, acked: usize) {
+        if self.in_slow_start() {
+            self.cwnd += acked;
+        } else {
+            // Congestion avoidance: ~one MSS per RTT.
+            self.cwnd += self.mss * acked / self.cwnd.max(1);
+        }
+    }
+
+    /// A loss detected via duplicate ACKs / fast retransmit: halve.
+    pub fn on_fast_retransmit(&mut self, inflight: usize) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+    }
+
+    /// A retransmission timeout: collapse to one segment.
+    pub fn on_rto(&mut self, inflight: usize) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_window_is_ten_segments() {
+        let cc = CongestionController::new(1460);
+        assert_eq!(cc.window(), 14600);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut cc = CongestionController::new(1000);
+        let w0 = cc.window();
+        cc.on_ack(w0); // a full window acked
+        assert_eq!(cc.window(), 2 * w0);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut cc = CongestionController::new(1000);
+        cc.on_ack(20_000);
+        let inflight = cc.window();
+        cc.on_rto(inflight);
+        assert_eq!(cc.window(), 1000);
+        assert!(cc.in_slow_start());
+        assert_eq!(cc.ssthresh, inflight / 2);
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut cc = CongestionController::new(1000);
+        cc.on_fast_retransmit(10_000);
+        assert_eq!(cc.window(), 5000);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_slowly() {
+        let mut cc = CongestionController::new(1000);
+        cc.on_fast_retransmit(10_000); // leave slow start, cwnd = 5000
+        let before = cc.window();
+        cc.on_ack(before); // one full window acked
+        let growth = cc.window() - before;
+        assert!(growth <= 1100, "CA growth per RTT should be ~1 MSS, was {growth}");
+        assert!(growth >= 900);
+    }
+
+    #[test]
+    fn loss_floor_is_two_segments() {
+        let mut cc = CongestionController::new(1000);
+        cc.on_rto(100);
+        assert_eq!(cc.ssthresh, 2000);
+    }
+}

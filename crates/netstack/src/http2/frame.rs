@@ -1,0 +1,213 @@
+//! HTTP/2 frame layer (RFC 9113 §4): 9-byte header — 24-bit length,
+//! type, flags, 31-bit stream id — followed by the payload.
+
+const FLAG_ACK: u8 = 0x01; // SETTINGS / PING
+const FLAG_END_STREAM: u8 = 0x01; // HEADERS / DATA
+const FLAG_END_HEADERS: u8 = 0x04;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum H2FrameType {
+    Data,
+    Headers,
+    RstStream,
+    Settings,
+    Ping,
+    GoAway,
+    WindowUpdate,
+    Other(u8),
+}
+
+impl H2FrameType {
+    fn to_u8(self) -> u8 {
+        match self {
+            H2FrameType::Data => 0x0,
+            H2FrameType::Headers => 0x1,
+            H2FrameType::RstStream => 0x3,
+            H2FrameType::Settings => 0x4,
+            H2FrameType::Ping => 0x6,
+            H2FrameType::GoAway => 0x7,
+            H2FrameType::WindowUpdate => 0x8,
+            H2FrameType::Other(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0x0 => H2FrameType::Data,
+            0x1 => H2FrameType::Headers,
+            0x3 => H2FrameType::RstStream,
+            0x4 => H2FrameType::Settings,
+            0x6 => H2FrameType::Ping,
+            0x7 => H2FrameType::GoAway,
+            0x8 => H2FrameType::WindowUpdate,
+            other => H2FrameType::Other(other),
+        }
+    }
+}
+
+/// One HTTP/2 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct H2Frame {
+    pub ftype: H2FrameType,
+    pub flags: u8,
+    pub stream_id: u32,
+    pub payload: Vec<u8>,
+}
+
+impl H2Frame {
+    /// A SETTINGS frame. Non-ACK carries a realistic set of six
+    /// settings (36 bytes), like common implementations send.
+    pub fn settings(ack: bool) -> H2Frame {
+        let payload = if ack {
+            Vec::new()
+        } else {
+            // 6 x (u16 id, u32 value): header table size, enable push,
+            // max concurrent streams, initial window, max frame size,
+            // max header list size.
+            let mut p = Vec::with_capacity(36);
+            for (id, value) in [
+                (0x1u16, 4096u32),
+                (0x2, 0),
+                (0x3, 100),
+                (0x4, 1 << 20),
+                (0x5, 16_384),
+                (0x6, 65_536),
+            ] {
+                p.extend_from_slice(&id.to_be_bytes());
+                p.extend_from_slice(&value.to_be_bytes());
+            }
+            p
+        };
+        H2Frame {
+            ftype: H2FrameType::Settings,
+            flags: if ack { FLAG_ACK } else { 0 },
+            stream_id: 0,
+            payload,
+        }
+    }
+
+    pub fn headers(stream_id: u32, block: Vec<u8>, end_stream: bool) -> H2Frame {
+        H2Frame {
+            ftype: H2FrameType::Headers,
+            flags: FLAG_END_HEADERS | if end_stream { FLAG_END_STREAM } else { 0 },
+            stream_id,
+            payload: block,
+        }
+    }
+
+    pub fn data(stream_id: u32, payload: Vec<u8>, end_stream: bool) -> H2Frame {
+        H2Frame {
+            ftype: H2FrameType::Data,
+            flags: if end_stream { FLAG_END_STREAM } else { 0 },
+            stream_id,
+            payload,
+        }
+    }
+
+    pub fn ping_ack(payload: Vec<u8>) -> H2Frame {
+        H2Frame { ftype: H2FrameType::Ping, flags: FLAG_ACK, stream_id: 0, payload }
+    }
+
+    pub fn goaway() -> H2Frame {
+        // last stream id (4) + error code (4).
+        H2Frame {
+            ftype: H2FrameType::GoAway,
+            flags: 0,
+            stream_id: 0,
+            payload: vec![0; 8],
+        }
+    }
+
+    pub fn flags_ack(&self) -> bool {
+        self.flags & FLAG_ACK != 0
+    }
+
+    pub fn flags_end_stream(&self) -> bool {
+        matches!(self.ftype, H2FrameType::Data | H2FrameType::Headers)
+            && self.flags & FLAG_END_STREAM != 0
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.payload.len());
+        let len = self.payload.len() as u32;
+        out.extend_from_slice(&len.to_be_bytes()[1..]);
+        out.push(self.ftype.to_u8());
+        out.push(self.flags);
+        out.extend_from_slice(&(self.stream_id & 0x7FFF_FFFF).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse one frame from the front of `buf`; `None` if incomplete.
+    pub fn decode(buf: &[u8]) -> Option<(H2Frame, usize)> {
+        if buf.len() < 9 {
+            return None;
+        }
+        let len = u32::from_be_bytes([0, buf[0], buf[1], buf[2]]) as usize;
+        if buf.len() < 9 + len {
+            return None;
+        }
+        let frame = H2Frame {
+            ftype: H2FrameType::from_u8(buf[3]),
+            flags: buf[4],
+            stream_id: u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) & 0x7FFF_FFFF,
+            payload: buf[9..9 + len].to_vec(),
+        };
+        Some((frame, 9 + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_constructors() {
+        for frame in [
+            H2Frame::settings(false),
+            H2Frame::settings(true),
+            H2Frame::headers(1, vec![1, 2, 3], true),
+            H2Frame::headers(3, vec![], false),
+            H2Frame::data(1, b"body".to_vec(), true),
+            H2Frame::ping_ack(vec![0; 8]),
+            H2Frame::goaway(),
+        ] {
+            let wire = frame.encode();
+            let (back, used) = H2Frame::decode(&wire).unwrap();
+            assert_eq!(used, wire.len());
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn settings_frame_is_realistic_size() {
+        assert_eq!(H2Frame::settings(false).encode().len(), 9 + 36);
+        assert_eq!(H2Frame::settings(true).encode().len(), 9);
+    }
+
+    #[test]
+    fn end_stream_flag_only_on_data_and_headers() {
+        let mut s = H2Frame::settings(true);
+        s.flags = 0x01;
+        assert!(!s.flags_end_stream());
+        assert!(s.flags_ack());
+        let d = H2Frame::data(1, vec![], true);
+        assert!(d.flags_end_stream());
+    }
+
+    #[test]
+    fn incomplete_frames_wait() {
+        let wire = H2Frame::data(1, vec![9; 100], false).encode();
+        for cut in [0, 5, 9, 50] {
+            assert!(H2Frame::decode(&wire[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn reserved_bit_is_masked() {
+        let mut wire = H2Frame::data(1, vec![], false).encode();
+        wire[5] |= 0x80; // set the reserved bit
+        let (frame, _) = H2Frame::decode(&wire).unwrap();
+        assert_eq!(frame.stream_id, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # doqlab-netstack — transport protocols over the simulator
+//!
+//! From-scratch, sans-I/O implementations of every transport the paper's
+//! DNS protocols ride on:
+//!
+//! * [`tcp`] — TCP (RFC 793 subset): 3-way handshake, segmentation,
+//!   reassembly of out-of-order data, RFC 6298 retransmission timers
+//!   (1 s initial RTO, the value the paper contrasts with Chromium's 5 s
+//!   application-layer DoUDP retry), fast retransmit, slow start, FIN
+//!   teardown and TCP Fast Open (RFC 7413 — probed by the paper, found
+//!   unsupported by every resolver).
+//! * [`tls`] — TLS 1.3 (1-RTT) and TLS 1.2 (2-RTT) handshake state
+//!   machines with ALPN, NewSessionTicket (7-day lifetime per RFC 8446),
+//!   PSK session resumption and optional 0-RTT early data. Records are
+//!   framed on the wire with realistic message sizes; actual AEAD
+//!   encryption is replaced by byte-overhead accounting (see DESIGN.md —
+//!   confidentiality itself has no performance role in the paper).
+//! * [`quic`] — QUIC v1 and the draft versions the paper observed
+//!   (RFC 9000 subset): variable-length integers, long/short headers,
+//!   Version Negotiation (including the version-0 probe used by the
+//!   paper's ZMap scan), Initial datagram padding to 1200 bytes, the 3x
+//!   anti-amplification limit, Retry and NEW_TOKEN address validation,
+//!   CRYPTO/STREAM/ACK frames, client-initiated bidirectional streams
+//!   and PTO-based loss recovery.
+//! * [`http2`] — the slice of HTTP/2 that DoH needs: connection preface,
+//!   SETTINGS, HPACK header blocks (static table + incremental
+//!   indexing), HEADERS and DATA frames.
+//! * [`http3`] — the slice of HTTP/3 that DoH3 (the paper's §4 future
+//!   work) needs: control streams with SETTINGS, HEADERS/DATA frames
+//!   with varint framing, and empty-dynamic-table QPACK.
+//!
+//! All state machines are polled with explicit [`doqlab_simnet::SimTime`]
+//! values and never perform I/O themselves; the `doqlab-dox` crate glues
+//! them to simulator hosts.
+
+pub mod congestion;
+pub mod http2;
+pub mod http3;
+pub mod quic;
+pub mod tcp;
+pub mod tls;

@@ -1,0 +1,309 @@
+//! QUIC frames (RFC 9000 §19). The subset a DoQ connection exercises:
+//! PADDING, PING, ACK (with ranges), CRYPTO, NEW_TOKEN, STREAM,
+//! CONNECTION_CLOSE and HANDSHAKE_DONE.
+
+use super::varint::{read_varint, varint_len, write_varint};
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `n` bytes of padding (run-length encoded here; one byte each on
+    /// the wire).
+    Padding(usize),
+    Ping,
+    /// Acknowledged packet-number ranges, descending, inclusive.
+    Ack { ranges: Vec<(u64, u64)>, delay: u64 },
+    Crypto { offset: u64, data: Vec<u8> },
+    NewToken { token: Vec<u8> },
+    Stream { id: u64, offset: u64, data: Vec<u8>, fin: bool },
+    ConnectionClose { error_code: u64, reason: Vec<u8> },
+    HandshakeDone,
+}
+
+impl Frame {
+    pub fn is_ack_eliciting(&self) -> bool {
+        !matches!(self, Frame::Padding(_) | Frame::Ack { .. } | Frame::ConnectionClose { .. })
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Frame::Padding(n) => *n,
+            Frame::Ping => 1,
+            Frame::Ack { ranges, .. } => {
+                let mut len = 1 + varint_len(ranges[0].0) + varint_len(0) + varint_len(ranges.len() as u64 - 1);
+                len += varint_len(ranges[0].0 - ranges[0].1);
+                for w in ranges.windows(2) {
+                    let gap = w[0].1 - w[1].0 - 2;
+                    len += varint_len(gap) + varint_len(w[1].0 - w[1].1);
+                }
+                len
+            }
+            Frame::Crypto { offset, data } => {
+                1 + varint_len(*offset) + varint_len(data.len() as u64) + data.len()
+            }
+            Frame::NewToken { token } => 1 + varint_len(token.len() as u64) + token.len(),
+            Frame::Stream { id, offset, data, .. } => {
+                1 + varint_len(*id)
+                    + varint_len(*offset)
+                    + varint_len(data.len() as u64)
+                    + data.len()
+            }
+            Frame::ConnectionClose { error_code, reason } => {
+                1 + varint_len(*error_code)
+                    + varint_len(0)
+                    + varint_len(reason.len() as u64)
+                    + reason.len()
+            }
+            Frame::HandshakeDone => 1,
+        }
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Padding(n) => out.extend(std::iter::repeat_n(0u8, *n)),
+            Frame::Ping => out.push(0x01),
+            Frame::Ack { ranges, delay } => {
+                assert!(!ranges.is_empty(), "ACK needs at least one range");
+                out.push(0x02);
+                let (largest, first_lo) = ranges[0];
+                write_varint(out, largest);
+                write_varint(out, *delay);
+                write_varint(out, ranges.len() as u64 - 1);
+                write_varint(out, largest - first_lo);
+                for w in ranges.windows(2) {
+                    let (_prev_hi, prev_lo) = w[0];
+                    let (hi, lo) = w[1];
+                    // gap = number of unacked packets between ranges - 1
+                    write_varint(out, prev_lo - hi - 2);
+                    write_varint(out, hi - lo);
+                }
+            }
+            Frame::Crypto { offset, data } => {
+                out.push(0x06);
+                write_varint(out, *offset);
+                write_varint(out, data.len() as u64);
+                out.extend_from_slice(data);
+            }
+            Frame::NewToken { token } => {
+                out.push(0x07);
+                write_varint(out, token.len() as u64);
+                out.extend_from_slice(token);
+            }
+            Frame::Stream { id, offset, data, fin } => {
+                // 0x08 | OFF(0x04) | LEN(0x02) | FIN(0x01); we always set
+                // OFF and LEN for a self-delimiting encoding.
+                out.push(0x08 | 0x04 | 0x02 | (*fin as u8));
+                write_varint(out, *id);
+                write_varint(out, *offset);
+                write_varint(out, data.len() as u64);
+                out.extend_from_slice(data);
+            }
+            Frame::ConnectionClose { error_code, reason } => {
+                out.push(0x1C);
+                write_varint(out, *error_code);
+                write_varint(out, 0); // offending frame type
+                write_varint(out, reason.len() as u64);
+                out.extend_from_slice(reason);
+            }
+            Frame::HandshakeDone => out.push(0x1E),
+        }
+    }
+
+    /// Decode every frame in a packet payload. Returns `None` on any
+    /// malformed frame. Consecutive PADDING bytes are merged.
+    pub fn decode_all(buf: &[u8]) -> Option<Vec<Frame>> {
+        let mut frames = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            let ftype = buf[pos];
+            match ftype {
+                0x00 => {
+                    let start = pos;
+                    while pos < buf.len() && buf[pos] == 0 {
+                        pos += 1;
+                    }
+                    frames.push(Frame::Padding(pos - start));
+                }
+                0x01 => {
+                    pos += 1;
+                    frames.push(Frame::Ping);
+                }
+                0x02 | 0x03 => {
+                    pos += 1;
+                    let largest = read_varint(buf, &mut pos)?;
+                    let delay = read_varint(buf, &mut pos)?;
+                    let range_count = read_varint(buf, &mut pos)?;
+                    let first = read_varint(buf, &mut pos)?;
+                    let mut lo = largest.checked_sub(first)?;
+                    let mut ranges = vec![(largest, lo)];
+                    for _ in 0..range_count {
+                        let gap = read_varint(buf, &mut pos)?;
+                        let len = read_varint(buf, &mut pos)?;
+                        let hi = lo.checked_sub(gap + 2)?;
+                        lo = hi.checked_sub(len)?;
+                        ranges.push((hi, lo));
+                    }
+                    frames.push(Frame::Ack { ranges, delay });
+                }
+                0x06 => {
+                    pos += 1;
+                    let offset = read_varint(buf, &mut pos)?;
+                    let len = read_varint(buf, &mut pos)? as usize;
+                    if pos + len > buf.len() {
+                        return None;
+                    }
+                    frames.push(Frame::Crypto { offset, data: buf[pos..pos + len].to_vec() });
+                    pos += len;
+                }
+                0x07 => {
+                    pos += 1;
+                    let len = read_varint(buf, &mut pos)? as usize;
+                    if pos + len > buf.len() {
+                        return None;
+                    }
+                    frames.push(Frame::NewToken { token: buf[pos..pos + len].to_vec() });
+                    pos += len;
+                }
+                0x08..=0x0F => {
+                    let fin = ftype & 0x01 != 0;
+                    let has_len = ftype & 0x02 != 0;
+                    let has_off = ftype & 0x04 != 0;
+                    pos += 1;
+                    let id = read_varint(buf, &mut pos)?;
+                    let offset = if has_off { read_varint(buf, &mut pos)? } else { 0 };
+                    let len = if has_len {
+                        read_varint(buf, &mut pos)? as usize
+                    } else {
+                        buf.len() - pos
+                    };
+                    if pos + len > buf.len() {
+                        return None;
+                    }
+                    frames.push(Frame::Stream {
+                        id,
+                        offset,
+                        data: buf[pos..pos + len].to_vec(),
+                        fin,
+                    });
+                    pos += len;
+                }
+                0x1C | 0x1D => {
+                    pos += 1;
+                    let error_code = read_varint(buf, &mut pos)?;
+                    if ftype == 0x1C {
+                        let _frame_type = read_varint(buf, &mut pos)?;
+                    }
+                    let len = read_varint(buf, &mut pos)? as usize;
+                    if pos + len > buf.len() {
+                        return None;
+                    }
+                    frames.push(Frame::ConnectionClose {
+                        error_code,
+                        reason: buf[pos..pos + len].to_vec(),
+                    });
+                    pos += len;
+                }
+                0x1E => {
+                    pos += 1;
+                    frames.push(Frame::HandshakeDone);
+                }
+                _ => return None,
+            }
+        }
+        Some(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frames: Vec<Frame>) {
+        let mut buf = Vec::new();
+        for f in &frames {
+            let before = buf.len();
+            f.encode(&mut buf);
+            assert_eq!(buf.len() - before, f.wire_len(), "wire_len of {f:?}");
+        }
+        assert_eq!(Frame::decode_all(&buf), Some(frames));
+    }
+
+    #[test]
+    fn simple_frames_roundtrip() {
+        roundtrip(vec![
+            Frame::Ping,
+            Frame::Crypto { offset: 0, data: vec![1, 2, 3] },
+            Frame::NewToken { token: vec![9; 32] },
+            Frame::HandshakeDone,
+            Frame::ConnectionClose { error_code: 0, reason: b"bye".to_vec() },
+        ]);
+    }
+
+    #[test]
+    fn padding_merges() {
+        roundtrip(vec![Frame::Padding(100)]);
+        let mut buf = vec![0u8; 10];
+        buf.push(0x01);
+        assert_eq!(
+            Frame::decode_all(&buf),
+            Some(vec![Frame::Padding(10), Frame::Ping])
+        );
+    }
+
+    #[test]
+    fn single_range_ack() {
+        roundtrip(vec![Frame::Ack { ranges: vec![(7, 3)], delay: 25 }]);
+        roundtrip(vec![Frame::Ack { ranges: vec![(0, 0)], delay: 0 }]);
+    }
+
+    #[test]
+    fn multi_range_ack() {
+        // Acked: 10-8, 5-5, 2-0.
+        roundtrip(vec![Frame::Ack {
+            ranges: vec![(10, 8), (5, 5), (2, 0)],
+            delay: 0,
+        }]);
+    }
+
+    #[test]
+    fn stream_frames_with_fin() {
+        roundtrip(vec![
+            Frame::Stream { id: 0, offset: 0, data: b"query".to_vec(), fin: true },
+            Frame::Stream { id: 4, offset: 100, data: vec![], fin: true },
+            Frame::Stream { id: 8, offset: 5, data: vec![7; 50], fin: false },
+        ]);
+    }
+
+    #[test]
+    fn stream_without_length_takes_rest() {
+        // Type 0x0C = OFF, no LEN: extends to end of payload.
+        let mut buf = vec![0x0C];
+        write_varint(&mut buf, 4); // id
+        write_varint(&mut buf, 0); // offset
+        buf.extend_from_slice(b"rest");
+        assert_eq!(
+            Frame::decode_all(&buf),
+            Some(vec![Frame::Stream { id: 4, offset: 0, data: b"rest".to_vec(), fin: false }])
+        );
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert_eq!(Frame::decode_all(&[0xFF]), None); // unknown type
+        assert_eq!(Frame::decode_all(&[0x06, 0x00]), None); // truncated crypto
+        let mut buf = vec![0x06];
+        write_varint(&mut buf, 0);
+        write_varint(&mut buf, 100); // claims 100 bytes, has none
+        assert_eq!(Frame::decode_all(&buf), None);
+    }
+
+    #[test]
+    fn ack_eliciting_classification() {
+        assert!(Frame::Ping.is_ack_eliciting());
+        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(!Frame::Padding(1).is_ack_eliciting());
+        assert!(!Frame::Ack { ranges: vec![(0, 0)], delay: 0 }.is_ack_eliciting());
+        assert!(!Frame::ConnectionClose { error_code: 0, reason: vec![] }.is_ack_eliciting());
+    }
+}

@@ -1,0 +1,96 @@
+//! QUIC variable-length integers (RFC 9000 §16): the top two bits of
+//! the first byte select a 1/2/4/8-byte encoding.
+
+/// Append `v` in the shortest valid encoding. Panics above 2^62-1.
+pub fn write_varint(out: &mut Vec<u8>, v: u64) {
+    match v {
+        0..=0x3F => out.push(v as u8),
+        0x40..=0x3FFF => out.extend_from_slice(&((v as u16) | 0x4000).to_be_bytes()),
+        0x4000..=0x3FFF_FFFF => {
+            out.extend_from_slice(&((v as u32) | 0x8000_0000).to_be_bytes())
+        }
+        0x4000_0000..=0x3FFF_FFFF_FFFF_FFFF => {
+            out.extend_from_slice(&(v | 0xC000_0000_0000_0000).to_be_bytes())
+        }
+        _ => panic!("varint out of range"),
+    }
+}
+
+/// Read a varint from `buf[*pos..]`, advancing `pos`. `None` if
+/// truncated.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let first = *buf.get(*pos)?;
+    let len = 1usize << (first >> 6);
+    if *pos + len > buf.len() {
+        return None;
+    }
+    let mut v = (first & 0x3F) as u64;
+    for i in 1..len {
+        v = (v << 8) | buf[*pos + i] as u64;
+    }
+    *pos += len;
+    Some(v)
+}
+
+/// Encoded size of `v`.
+pub fn varint_len(v: u64) -> usize {
+    match v {
+        0..=0x3F => 1,
+        0x40..=0x3FFF => 2,
+        0x4000..=0x3FFF_FFFF => 4,
+        _ => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_examples() {
+        // RFC 9000 §A.1 sample values.
+        let cases: &[(u64, &[u8])] = &[
+            (151_288_809_941_952_652, &[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C]),
+            (494_878_333, &[0x9D, 0x7F, 0x3E, 0x7D]),
+            (15_293, &[0x7B, 0xBD]),
+            (37, &[0x25]),
+        ];
+        for (v, wire) in cases {
+            let mut out = Vec::new();
+            write_varint(&mut out, *v);
+            assert_eq!(&out[..], *wire);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos), Some(*v));
+            assert_eq!(pos, wire.len());
+        }
+    }
+
+    #[test]
+    fn boundaries_roundtrip() {
+        for v in [0, 0x3F, 0x40, 0x3FFF, 0x4000, 0x3FFF_FFFF, 0x4000_0000, (1u64 << 62) - 1]
+        {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            assert_eq!(out.len(), varint_len(v));
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let mut out = Vec::new();
+        write_varint(&mut out, 0x4000);
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            assert_eq!(read_varint(&out[..cut], &mut pos), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_panics() {
+        let mut out = Vec::new();
+        write_varint(&mut out, 1 << 62);
+    }
+}

@@ -1,0 +1,8 @@
+//! TCP: segments, the connection state machine, and a listener that
+//! demultiplexes incoming segments onto per-peer sockets.
+
+mod segment;
+mod socket;
+
+pub use segment::{TcpFlags, TcpOption, TcpSegment};
+pub use socket::{TcpConfig, TcpListener, TcpSocket, TcpState};

@@ -1,0 +1,194 @@
+//! Property-based transport tests: whatever the network does within
+//! the model's envelope (loss, delay, duplication), the stacks must
+//! deliver exactly the bytes that were sent, in order.
+
+use doqlab_netstack::quic::{QuicConfig, QuicConnection, QuicServer, QUIC_V1};
+use doqlab_netstack::tcp::{TcpConfig, TcpSocket};
+use doqlab_netstack::tls::{TlsClient, TlsConfig, TlsServer};
+use doqlab_simnet::{Duration, Ipv4Addr, SimRng, SimTime, SocketAddr};
+use proptest::prelude::*;
+
+fn sa(h: u8, port: u16) -> SocketAddr {
+    SocketAddr::new(Ipv4Addr::new(10, 0, 0, h), port)
+}
+
+/// Drive two TCP sockets over a lossy in-order pipe; returns what `b`
+/// received.
+fn tcp_transfer(data: &[u8], loss_seed: u64, loss: f64) -> Vec<u8> {
+    let mut rng = SimRng::new(loss_seed);
+    let mut a = TcpSocket::client(sa(1, 1), sa(2, 2), 7, TcpConfig::default());
+    let mut b = TcpSocket::server(sa(2, 2), sa(1, 1), 9, TcpConfig::default());
+    a.open(SimTime::ZERO);
+    a.send(data);
+    a.close();
+    let mut now = SimTime::ZERO;
+    let mut received = Vec::new();
+    for _ in 0..50_000 {
+        let mut idle = true;
+        for seg in a.poll(now) {
+            if !rng.chance(loss) {
+                b.on_segment(now, &seg);
+            }
+            idle = false;
+        }
+        for seg in b.poll(now) {
+            if !rng.chance(loss) {
+                a.on_segment(now, &seg);
+            }
+            idle = false;
+        }
+        received.extend(b.recv());
+        if b.peer_closed() && received.len() >= data.len() {
+            break;
+        }
+        if idle {
+            // Jump to the next retransmission timer.
+            match [a.next_timeout(), b.next_timeout()].into_iter().flatten().min() {
+                Some(t) => now = t.max(now + Duration::from_micros(1)),
+                None => break,
+            }
+        } else {
+            now = now + Duration::from_millis(1);
+        }
+    }
+    received
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tcp_delivers_exactly_under_loss(
+        len in 0usize..20_000,
+        seed in any::<u64>(),
+        loss in 0.0f64..0.25,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        let received = tcp_transfer(&data, seed, loss);
+        prop_assert_eq!(received, data);
+    }
+
+    #[test]
+    fn tls_stream_is_transparent_under_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..2000), 1..5),
+        chunk in 1usize..700,
+    ) {
+        let cfg = TlsConfig {
+            server_id: 3,
+            alpn: vec![b"dot".to_vec()],
+            ..TlsConfig::default()
+        };
+        let mut c = TlsClient::new(cfg.clone(), None);
+        let mut s = TlsServer::new(cfg);
+        c.start(SimTime::ZERO);
+        for p in &payloads {
+            c.write_app(p);
+        }
+        let mut server_got = Vec::new();
+        for _ in 0..12 {
+            let out = c.take_output();
+            for piece in out.chunks(chunk) {
+                s.read_wire(SimTime::ZERO, piece);
+            }
+            server_got.extend(s.read_app());
+            let out = s.take_output();
+            for piece in out.chunks(chunk) {
+                c.read_wire(SimTime::ZERO, piece);
+            }
+            if c.is_connected() && s.is_connected() {
+                let out = c.take_output();
+                for piece in out.chunks(chunk) {
+                    s.read_wire(SimTime::ZERO, piece);
+                }
+                server_got.extend(s.read_app());
+                break;
+            }
+        }
+        let want: Vec<u8> = payloads.concat();
+        prop_assert_eq!(server_got, want);
+    }
+
+    #[test]
+    fn quic_stream_delivers_exactly_under_loss(
+        len in 1usize..30_000,
+        seed in any::<u64>(),
+        loss in 0.0f64..0.2,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 17 % 249) as u8).collect();
+        let tls = TlsConfig { server_id: 5, alpn: vec![b"doq".to_vec()], ..TlsConfig::default() };
+        let cfg = QuicConfig { tls, ..QuicConfig::default() };
+        let mut rng = SimRng::new(seed);
+        let mut client = QuicConnection::client(
+            cfg.clone(), sa(1, 50_000), sa(2, 853), QUIC_V1, None, None, &mut rng, SimTime::ZERO,
+        );
+        let mut server = QuicServer::new(sa(2, 853), cfg);
+        let stream = client.open_bi();
+        client.stream_send(stream, &data, true);
+        let mut now = SimTime::ZERO;
+        let mut got = Vec::new();
+        let mut fin = false;
+        for _ in 0..5_000 {
+            let mut idle = true;
+            for d in client.poll_transmit(now) {
+                if !rng.chance(loss) {
+                    server.handle_datagram(now, sa(1, 50_000), &d);
+                }
+                idle = false;
+            }
+            for (_, d) in server.poll_transmit(now) {
+                if !rng.chance(loss) {
+                    client.handle_datagram(now, &d);
+                }
+                idle = false;
+            }
+            if let Some(conn) = server.connection(sa(1, 50_000)) {
+                let _ = conn.take_new_peer_streams();
+                let (chunk, f) = conn.stream_recv(stream);
+                got.extend(chunk);
+                fin |= f;
+                if fin && got.len() >= data.len() {
+                    break;
+                }
+            }
+            if idle {
+                match [client.next_timeout(), server.next_timeout()]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    Some(t) => now = t.max(now + Duration::from_micros(1)),
+                    None => break,
+                }
+            } else {
+                now = now + Duration::from_millis(2);
+            }
+        }
+        prop_assert!(fin, "stream must finish (loss {loss})");
+        prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn quic_datagrams_never_panic_when_corrupted(
+        seed in any::<u64>(),
+        corrupt_at in any::<usize>(),
+        new_byte in any::<u8>(),
+    ) {
+        let tls = TlsConfig { server_id: 5, alpn: vec![b"doq".to_vec()], ..TlsConfig::default() };
+        let cfg = QuicConfig { tls, ..QuicConfig::default() };
+        let mut rng = SimRng::new(seed);
+        let mut client = QuicConnection::client(
+            cfg.clone(), sa(1, 50_000), sa(2, 853), QUIC_V1, None, None, &mut rng, SimTime::ZERO,
+        );
+        let mut server = QuicServer::new(sa(2, 853), cfg);
+        for mut d in client.poll_transmit(SimTime::ZERO) {
+            if !d.is_empty() {
+                let at = corrupt_at % d.len();
+                d[at] = new_byte;
+            }
+            // Must not panic, whatever the corruption did.
+            server.handle_datagram(SimTime::ZERO, sa(1, 50_000), &d);
+        }
+        let _ = server.poll_transmit(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,163 @@
+//! A TTL-bounded DNS record cache, keyed case-insensitively by
+//! (name, type) like a real resolver cache.
+
+use doqlab_dnswire::{Name, RecordType, ResourceRecord};
+use doqlab_simnet::{Duration, SimTime};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    name_lower: Vec<u8>,
+    rtype: u16,
+}
+
+impl Key {
+    fn new(name: &Name, rtype: RecordType) -> Self {
+        let mut name_lower = Vec::new();
+        for label in name.labels() {
+            name_lower.push(label.len() as u8);
+            name_lower.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        Key { name_lower, rtype: rtype.to_u16() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<ResourceRecord>,
+    expires_at: SimTime,
+}
+
+/// The cache.
+#[derive(Debug, Default)]
+pub struct DnsCache {
+    entries: HashMap<Key, Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    pub fn new() -> Self {
+        DnsCache::default()
+    }
+
+    /// Look up records; expired entries count as misses and are evicted.
+    pub fn get(&mut self, now: SimTime, name: &Name, rtype: RecordType) -> Option<Vec<ResourceRecord>> {
+        let key = Key::new(name, rtype);
+        match self.entries.get(&key) {
+            Some(e) if e.expires_at > now => {
+                self.hits += 1;
+                // Remaining TTL decreases as the entry ages.
+                let remaining = (e.expires_at - now).as_secs() as u32;
+                Some(
+                    e.records
+                        .iter()
+                        .cloned()
+                        .map(|mut rr| {
+                            rr.ttl = rr.ttl.min(remaining);
+                            rr
+                        })
+                        .collect(),
+                )
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert records under the minimum TTL among them.
+    pub fn put(&mut self, now: SimTime, name: &Name, rtype: RecordType, records: Vec<ResourceRecord>) {
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        self.entries.insert(
+            Key::new(name, rtype),
+            Entry { records, expires_at: now + Duration::from_secs(ttl as u64) },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doqlab_dnswire::RData;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a_record(s: &str, ttl: u32) -> ResourceRecord {
+        ResourceRecord::new(name(s), ttl, RData::A([1, 2, 3, 4]))
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = DnsCache::new();
+        let t0 = SimTime::ZERO;
+        assert!(c.get(t0, &name("a.b"), RecordType::A).is_none());
+        c.put(t0, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        let got = c.get(t0 + Duration::from_secs(10), &name("a.b"), RecordType::A);
+        assert_eq!(got.unwrap().len(), 1);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut c = DnsCache::new();
+        c.put(SimTime::ZERO, &name("Google.COM"), RecordType::A, vec![a_record("google.com", 300)]);
+        assert!(c.get(SimTime::ZERO, &name("google.com"), RecordType::A).is_some());
+    }
+
+    #[test]
+    fn expiry_evicts() {
+        let mut c = DnsCache::new();
+        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 60)]);
+        assert!(c.get(SimTime::from_secs(59), &name("a.b"), RecordType::A).is_some());
+        assert!(c.get(SimTime::from_secs(60), &name("a.b"), RecordType::A).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_decays_with_age() {
+        let mut c = DnsCache::new();
+        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        let got = c.get(SimTime::from_secs(100), &name("a.b"), RecordType::A).unwrap();
+        assert_eq!(got[0].ttl, 200);
+    }
+
+    #[test]
+    fn types_are_distinct() {
+        let mut c = DnsCache::new();
+        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        assert!(c.get(SimTime::ZERO, &name("a.b"), RecordType::Aaaa).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = DnsCache::new();
+        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

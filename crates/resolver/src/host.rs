@@ -1,0 +1,388 @@
+//! The resolver as a simulator host.
+//!
+//! Terminates all five DNS transports, answers cache hits after a small
+//! processing delay, and models cache misses as a recursive lookup with
+//! a sampled latency (real recursion contacts authoritative servers
+//! across the Internet; the paper's methodology is designed so that
+//! *measured* queries always hit the cache, making the exact recursion
+//! model irrelevant to the reported numbers — but it must exist for the
+//! cache-warming query to have something to do).
+
+use crate::cache::DnsCache;
+use doqlab_dnswire::{
+    Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SvcParam,
+};
+use doqlab_dox::server::{ConnKey, DnsServerSet, ServerConfig};
+use doqlab_simnet::{Ctx, Duration, Host, Packet, SimRng, SimTime};
+use std::any::Any;
+
+/// Latency model for recursive lookups (log-normal, heavy-tailed like
+/// real recursion which may hit multiple authoritatives).
+#[derive(Debug, Clone)]
+pub struct RecursionModel {
+    /// Median recursion time.
+    pub median: Duration,
+    /// Log-normal sigma.
+    pub sigma: f64,
+    /// Processing delay for cache hits.
+    pub hit_delay: Duration,
+}
+
+impl Default for RecursionModel {
+    fn default() -> Self {
+        RecursionModel {
+            median: Duration::from_millis(60),
+            sigma: 0.8,
+            hit_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+impl RecursionModel {
+    fn sample(&self, rng: &mut SimRng) -> Duration {
+        let median_ms = self.median.as_secs_f64() * 1000.0;
+        let ms = rng.log_normal(median_ms.ln(), self.sigma);
+        Duration::from_secs_f64((ms / 1000.0).clamp(0.001, 10.0))
+    }
+}
+
+/// The deterministic IPv4 address the simulated DNS maps `name` to.
+/// Shared by the resolvers (answers) and the load simulator (where it
+/// registers the origin servers).
+pub fn ip_for_name(name: &Name) -> doqlab_simnet::Ipv4Addr {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for label in name.labels() {
+        for b in label {
+            h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h = (h ^ 0x2e).wrapping_mul(0x1000_0000_01b3);
+    }
+    doqlab_simnet::Ipv4Addr::new(
+        (h >> 24) as u8 | 1,
+        (h >> 16) as u8,
+        (h >> 8) as u8,
+        h as u8,
+    )
+}
+
+/// `ip_for_name` from a presentation-format domain string.
+pub fn ip_for_domain(domain: &str) -> doqlab_simnet::Ipv4Addr {
+    ip_for_name(&Name::parse(domain).expect("valid domain"))
+}
+
+/// Synthesize the authoritative answer for a question: a deterministic
+/// address derived from the name, so answers are stable across runs and
+/// resolvers.
+pub fn authoritative_answer(q: &Question) -> Vec<ResourceRecord> {
+    let ip = ip_for_name(&q.name).octets();
+    match q.rtype {
+        RecordType::A => {
+            vec![ResourceRecord::new(q.name.clone(), 300, RData::A(ip))]
+        }
+        RecordType::Aaaa => {
+            let mut a = [0u8; 16];
+            a[0] = 0x20;
+            a[1] = 0x01;
+            a[12..16].copy_from_slice(&ip);
+            vec![ResourceRecord::new(q.name.clone(), 300, RData::Aaaa(a))]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// A pending answer (waiting on hit-delay or recursion).
+#[derive(Debug)]
+struct PendingAnswer {
+    due: SimTime,
+    key: ConnKey,
+    response: Message,
+    /// Cache fill performed when the answer is released.
+    fill: Option<(Name, RecordType, Vec<ResourceRecord>)>,
+}
+
+/// The resolver host.
+pub struct ResolverHost {
+    set: DnsServerSet,
+    cache: DnsCache,
+    model: RecursionModel,
+    pending: Vec<PendingAnswer>,
+    /// Statistics.
+    pub queries_served: u64,
+    pub cache_hits: u64,
+}
+
+impl ResolverHost {
+    pub fn new(server_cfg: ServerConfig, model: RecursionModel) -> Self {
+        ResolverHost {
+            set: DnsServerSet::new(server_cfg),
+            cache: DnsCache::new(),
+            model,
+            pending: Vec::new(),
+            queries_served: 0,
+            cache_hits: 0,
+        }
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        self.set.config()
+    }
+
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+
+    /// The DDR designation records for this resolver's feature set.
+    fn ddr_records(&self, q: &Question) -> Vec<ResourceRecord> {
+        let cfg = self.set.config();
+        let mut designations = Vec::new();
+        if cfg.supports_doq {
+            designations.push((1u16, vec![b"doq".to_vec()], 853u16));
+        }
+        if cfg.supports_doh3 {
+            designations.push((2, vec![b"h3".to_vec()], 443));
+        }
+        if cfg.supports_doh {
+            designations.push((3, vec![b"h2".to_vec()], 443));
+        }
+        if cfg.supports_dot {
+            designations.push((4, vec![b"dot".to_vec()], 853));
+        }
+        designations
+            .into_iter()
+            .map(|(priority, alpn, port)| ResourceRecord {
+                name: q.name.clone(),
+                rtype: RecordType::Svcb,
+                class: doqlab_dnswire::RecordClass::In,
+                ttl: 300,
+                rdata: RData::Svcb {
+                    priority,
+                    target: Name::root(),
+                    params: vec![SvcParam::Alpn(alpn), SvcParam::Port(port)],
+                },
+            })
+            .collect()
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<Packet>) {
+        for ev in self.set.take_queries() {
+            self.queries_served += 1;
+            let Some(q) = ev.query.question().cloned() else {
+                let resp = Message::error_response_to(&ev.query, Rcode::FormErr);
+                self.set.respond(ctx.now, ev.key, &resp);
+                continue;
+            };
+            // DDR (RFC 9462): "_dns.resolver.arpa"/SVCB advertises the
+            // resolver's encrypted transports — this is how Cloudflare
+            // announced DoH3 support (§4 of the paper).
+            if q.rtype == RecordType::Svcb
+                && q.name.eq_ignore_case(&Name::parse("_dns.resolver.arpa").expect("const"))
+            {
+                let resp = Message::response_to(&ev.query, self.ddr_records(&q));
+                self.set.respond(ctx.now, ev.key, &resp);
+                continue;
+            }
+            match self.cache.get(ctx.now, &q.name, q.rtype) {
+                Some(records) => {
+                    self.cache_hits += 1;
+                    let response = Message::response_to(&ev.query, records);
+                    self.pending.push(PendingAnswer {
+                        due: ctx.now + self.model.hit_delay,
+                        key: ev.key,
+                        response,
+                        fill: None,
+                    });
+                }
+                None => {
+                    let records = authoritative_answer(&q);
+                    let response = if records.is_empty() {
+                        Message::error_response_to(&ev.query, Rcode::NxDomain)
+                    } else {
+                        Message::response_to(&ev.query, records.clone())
+                    };
+                    self.pending.push(PendingAnswer {
+                        due: ctx.now + self.model.sample(ctx.rng),
+                        key: ev.key,
+                        response,
+                        fill: (!records.is_empty()).then_some((q.name, q.rtype, records)),
+                    });
+                }
+            }
+        }
+        // Release due answers.
+        let mut released = Vec::new();
+        self.pending.retain(|p| {
+            if p.due <= ctx.now {
+                released.push((p.key, p.response.clone(), p.fill.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (key, response, fill) in released {
+            if let Some((name, rtype, records)) = fill {
+                self.cache.put(ctx.now, &name, rtype, records);
+            }
+            self.set.respond(ctx.now, key, &response);
+        }
+        self.set.poll(ctx.now, out);
+    }
+}
+
+impl Host for ResolverHost {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let mut out = Vec::new();
+        self.set.on_packet(ctx.now, &pkt, &mut out);
+        self.process(ctx, &mut out);
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+        let mut out = Vec::new();
+        self.set.poll(ctx.now, &mut out);
+        self.process(ctx, &mut out);
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        let pending = self.pending.iter().map(|p| p.due).min();
+        match (pending, self.set.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doqlab_dnswire::Name;
+    use doqlab_dox::{ClientConfig, DnsClientHost, DnsTransport};
+    use doqlab_simnet::path::FixedPathModel;
+    use doqlab_simnet::{Ipv4Addr, Simulator, SocketAddr};
+
+    fn run_one(
+        transport: DnsTransport,
+        warm_first: bool,
+    ) -> (f64, f64) {
+        // Returns (first resolve ms incl. recursion, second resolve ms
+        // from cache) measured as response_arrival - query_issue.
+        let resolver_ip = Ipv4Addr::new(192, 0, 2, 1);
+        let client_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let mut sim = Simulator::new(
+            7,
+            Box::new(FixedPathModel::new(Duration::from_millis(10))),
+        );
+        let resolver = ResolverHost::new(
+            ServerConfig { ip: resolver_ip, ..ServerConfig::default() },
+            RecursionModel::default(),
+        );
+        sim.add_host(Box::new(resolver), &[resolver_ip]);
+        let mut times = Vec::new();
+        for round in 0..2 {
+            if round == 1 && !warm_first {
+                break;
+            }
+            let local = SocketAddr::new(client_ip, 40_000 + round as u16);
+            let remote = SocketAddr::new(resolver_ip, transport.port());
+            let client =
+                DnsClientHost::new(transport, local, remote, &ClientConfig::default());
+            let cid = sim.add_host(Box::new(client), &[client_ip]);
+            let started = sim.now();
+            sim.with_host::<DnsClientHost, _>(cid, |c, ctx| {
+                let q = Message::query(
+                    round as u16 + 1,
+                    Name::parse("google.com").unwrap(),
+                    RecordType::A,
+                );
+                c.start_with_query(ctx, &q);
+            });
+            sim.run_until(started + Duration::from_secs(15));
+            let client = sim.host_mut::<DnsClientHost>(cid);
+            assert_eq!(client.responses.len(), 1);
+            times.push((client.responses[0].0 - started).as_secs_f64() * 1000.0);
+            // New client uses a fresh IP binding: re-register under a
+            // different ip is overkill; reuse same ip is disallowed, so
+            // clean: remove? Simulator has no remove; use distinct IPs.
+            break;
+        }
+        (times[0], *times.last().unwrap())
+    }
+
+    #[test]
+    fn miss_includes_recursion_delay() {
+        let (first, _) = run_one(DnsTransport::DoUdp, false);
+        // 1 RTT (20 ms) + recursion (tens of ms) >> bare RTT.
+        assert!(first > 25.0, "first = {first}");
+    }
+
+    #[test]
+    fn warm_then_hit_is_fast() {
+        // Warm and measure over one simulator with two distinct clients.
+        let resolver_ip = Ipv4Addr::new(192, 0, 2, 1);
+        let mut sim = Simulator::new(
+            7,
+            Box::new(FixedPathModel::new(Duration::from_millis(10))),
+        );
+        let resolver = ResolverHost::new(
+            ServerConfig { ip: resolver_ip, ..ServerConfig::default() },
+            RecursionModel::default(),
+        );
+        let rid = sim.add_host(Box::new(resolver), &[resolver_ip]);
+        let q = Message::query(1, Name::parse("google.com").unwrap(), RecordType::A);
+
+        let c1_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let c1 = DnsClientHost::new(
+            DnsTransport::DoUdp,
+            SocketAddr::new(c1_ip, 40000),
+            SocketAddr::new(resolver_ip, 53),
+            &ClientConfig::default(),
+        );
+        let c1id = sim.add_host(Box::new(c1), &[c1_ip]);
+        sim.with_host::<DnsClientHost, _>(c1id, |c, ctx| c.start_with_query(ctx, &q));
+        sim.run_until(SimTime::from_secs(15));
+        let warm_time = sim.host::<DnsClientHost>(c1id).responses[0].0;
+
+        let c2_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let c2 = DnsClientHost::new(
+            DnsTransport::DoUdp,
+            SocketAddr::new(c2_ip, 40000),
+            SocketAddr::new(resolver_ip, 53),
+            &ClientConfig::default(),
+        );
+        let c2id = sim.add_host(Box::new(c2), &[c2_ip]);
+        let t1 = sim.now();
+        sim.with_host::<DnsClientHost, _>(c2id, |c, ctx| c.start_with_query(ctx, &q));
+        sim.run_until(t1 + Duration::from_secs(15));
+        let hit = sim.host::<DnsClientHost>(c2id).responses[0].0 - t1;
+        let miss = warm_time - SimTime::ZERO;
+        assert!(hit < Duration::from_millis(22), "hit = {hit:?}");
+        assert!(miss > hit, "miss {miss:?} vs hit {hit:?}");
+        assert_eq!(sim.host::<ResolverHost>(rid).cache_hits, 1);
+        assert_eq!(sim.host::<ResolverHost>(rid).queries_served, 2);
+    }
+
+    #[test]
+    fn authoritative_answers_are_deterministic() {
+        let q = Question::new(Name::parse("example.org").unwrap(), RecordType::A);
+        assert_eq!(authoritative_answer(&q), authoritative_answer(&q));
+        // Case-insensitive: same address, owner name keeps query case.
+        let q2 = Question::new(Name::parse("EXAMPLE.ORG").unwrap(), RecordType::A);
+        assert_eq!(authoritative_answer(&q)[0].rdata, authoritative_answer(&q2)[0].rdata);
+        let aaaa = Question::new(Name::parse("example.org").unwrap(), RecordType::Aaaa);
+        assert!(matches!(authoritative_answer(&aaaa)[0].rdata, RData::Aaaa(_)));
+        let txt = Question::new(Name::parse("example.org").unwrap(), RecordType::Txt);
+        assert!(authoritative_answer(&txt).is_empty());
+    }
+}

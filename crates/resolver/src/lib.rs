@@ -1,0 +1,28 @@
+//! # doqlab-resolver — the recursive resolver substrate
+//!
+//! The paper measures 313 public resolvers that support all five DNS
+//! transports ("verified DoX resolvers"). This crate provides:
+//!
+//! * [`cache`] — a TTL-bounded record cache. The study's methodology
+//!   warms it with an identical query so that the measured query is
+//!   answered without recursion; reproducing that warm/measure split
+//!   requires a real cache, not a stub.
+//! * [`host`] — [`host::ResolverHost`]: a simulator host that terminates
+//!   all five transports (via [`doqlab_dox::DnsServerSet`]), answers
+//!   from cache, and models recursive lookups to authoritative servers
+//!   as a sampled delay.
+//! * [`population`] — synthesis of the study's resolver population:
+//!   313 DoX resolvers with the paper's continent, AS, TLS-version,
+//!   QUIC-version and DoQ-ALPN distributions, plus the wider scan
+//!   population behind the discovery funnel (1,216 DoQ resolvers with
+//!   partial protocol support, and QUIC hosts that are not DoQ).
+
+pub mod cache;
+pub mod host;
+pub mod population;
+
+pub use cache::DnsCache;
+pub use host::{authoritative_answer, ip_for_domain, ip_for_name, RecursionModel, ResolverHost};
+pub use population::{
+    synthesize_dox_population, synthesize_scan_population, ResolverProfile, ScannedHost,
+};

@@ -1,0 +1,152 @@
+//! Geographic coordinates and distance, used to derive propagation delay.
+//!
+//! The paper's vantage points are Amazon EC2 instances, one per
+//! continent, and its 313 resolvers are geolocated via an IP geolocation
+//! service (their Fig. 1). We place simulated hosts at coordinates and
+//! derive one-way propagation delay from great-circle distance: light in
+//! fiber travels at roughly 2/3 c, and real Internet paths are longer
+//! than geodesics, which is captured by a path-stretch factor in
+//! [`crate::path::GeoPathModel`].
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Speed of light in vacuum, km per second.
+pub const LIGHT_SPEED_KM_S: f64 = 299_792.458;
+
+/// Propagation speed in optical fiber (~2/3 c), km per second.
+pub const FIBER_SPEED_KM_S: f64 = LIGHT_SPEED_KM_S * 2.0 / 3.0;
+
+/// A point on the Earth's surface (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    pub lat: f64,
+    pub lon: f64,
+}
+
+impl Coord {
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Coord { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &Coord) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+/// Continents, used for the resolver population (Fig. 1) and the
+/// per-vantage-point groupings of Fig. 2 and Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    Europe,
+    Asia,
+    NorthAmerica,
+    Africa,
+    Oceania,
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents, ordered by the paper's resolver count (EU 130,
+    /// AS 128, NA 49, AF 2, OC 2, SA 2) — the row order of Fig. 2/4.
+    pub const ALL: [Continent; 6] = [
+        Continent::Europe,
+        Continent::Asia,
+        Continent::NorthAmerica,
+        Continent::Africa,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Two-letter code as used in the paper's figures.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::NorthAmerica => "NA",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+            Continent::SouthAmerica => "SA",
+        }
+    }
+
+    /// A representative central coordinate, used as the centre of the
+    /// scatter when synthesizing resolver locations.
+    pub fn center(&self) -> Coord {
+        match self {
+            Continent::Europe => Coord::new(50.1, 8.7),         // Frankfurt
+            Continent::Asia => Coord::new(1.35, 103.8),         // Singapore
+            Continent::NorthAmerica => Coord::new(39.0, -77.5), // N. Virginia
+            Continent::Africa => Coord::new(-33.9, 18.4),       // Cape Town
+            Continent::Oceania => Coord::new(-33.9, 151.2),     // Sydney
+            Continent::SouthAmerica => Coord::new(-23.5, -46.6), // Sao Paulo
+        }
+    }
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let c = Coord::new(48.1, 11.6);
+        assert!(c.distance_km(&c) < 1e-9);
+    }
+
+    #[test]
+    fn munich_to_new_york() {
+        // Known distance ~6,488 km.
+        let munich = Coord::new(48.137, 11.575);
+        let nyc = Coord::new(40.713, -74.006);
+        let d = munich.distance_km(&nyc);
+        assert!((d - 6488.0).abs() < 50.0, "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Coord::new(1.35, 103.8);
+        let b = Coord::new(-33.9, 151.2);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    fn continent_codes_unique() {
+        let codes: std::collections::HashSet<_> =
+            Continent::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn fiber_rtt_frankfurt_sydney_plausible() {
+        // Sanity-check the latency model scale: Frankfurt<->Sydney is
+        // ~16,500 km, so one-way fiber delay is ~82 ms and RTT ~165 ms
+        // before path stretch.
+        let d = Continent::Europe.center().distance_km(&Continent::Oceania.center());
+        let one_way_ms = d / FIBER_SPEED_KM_S * 1000.0;
+        assert!(one_way_ms > 60.0 && one_way_ms < 110.0, "one_way = {one_way_ms}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # doqlab-simnet — deterministic discrete-event network simulator
+//!
+//! This crate is the substrate under every experiment in the `doqlab`
+//! workspace. It replaces the real Internet used by the IMC'22 paper
+//! *"DNS Privacy with Speed?"* with a fully deterministic simulation:
+//!
+//! * [`time::SimTime`] — nanosecond-resolution simulated clock. No wall
+//!   clock is ever consulted; protocol state machines are polled with
+//!   explicit timestamps (smoltcp-style).
+//! * [`rng::SimRng`] — a seeded xoshiro256** generator. Every run of an
+//!   experiment with the same seed produces byte-identical packets and
+//!   timings.
+//! * [`net`] — IPv4-style addressing and the [`net::Packet`] unit that
+//!   travels between hosts.
+//! * [`geo`] — coordinates and great-circle distance, from which the
+//!   [`path`] model derives propagation delay (the paper's response-time
+//!   differences are driven by round-trip counts x path RTT, so a
+//!   geographic latency model preserves exactly the structure that the
+//!   paper measures).
+//! * [`sim::Simulator`] — the event loop: hosts implement [`sim::Host`]
+//!   and exchange packets through a [`path::PathModel`]; a
+//!   [`trace::PacketTrace`] records per-packet wire sizes for the size
+//!   accounting of Table 1.
+
+pub mod event;
+pub mod geo;
+pub mod net;
+pub mod path;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use geo::Coord;
+pub use net::{Ipv4Addr, Packet, SocketAddr, Transport};
+pub use path::{GeoPathModel, PathCharacteristics, PathModel};
+pub use rng::SimRng;
+pub use sim::{Ctx, Host, HostId, Simulator};
+pub use time::{Duration, SimTime};
+pub use trace::{PacketRecord, PacketTrace};

@@ -1,0 +1,152 @@
+//! Addressing and the packet unit exchanged between simulated hosts.
+//!
+//! A [`Packet`] carries one transport PDU:
+//!
+//! * for [`Transport::Udp`], `payload` is the UDP payload (the datagram
+//!   contents); the 8-byte UDP header is accounted for by
+//!   [`Packet::ip_payload_len`];
+//! * for [`Transport::Tcp`], `payload` is the full encoded TCP segment
+//!   (header + options + data) as produced by
+//!   `doqlab-netstack`'s TCP implementation, so its length *is* the IP
+//!   payload length.
+//!
+//! Table 1 of the paper reports "median IP payload bytes", i.e. the IP
+//! packet length minus the IP header; `ip_payload_len` reproduces that
+//! accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// IPv4 address (simulated; no relation to host networking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    pub fn octets(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The conventional loopback address, used for the browser-side DNS
+    /// proxy which Chromium talks to locally.
+    pub const LOCALHOST: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Transport-layer address: IP + port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SocketAddr {
+    pub ip: Ipv4Addr,
+    pub port: u16,
+}
+
+impl SocketAddr {
+    pub const fn new(ip: Ipv4Addr, port: u16) -> Self {
+        SocketAddr { ip, port }
+    }
+}
+
+impl std::fmt::Display for SocketAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// The IP protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    Udp,
+    Tcp,
+}
+
+/// Size of the UDP header in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Size of the IPv4 header (no options) in bytes. Not part of the
+/// "IP payload" accounting, but exposed for full-wire-size statistics.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// One packet in flight between two simulated hosts.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub src: SocketAddr,
+    pub dst: SocketAddr,
+    pub transport: Transport,
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    pub fn udp(src: SocketAddr, dst: SocketAddr, payload: Vec<u8>) -> Self {
+        Packet { src, dst, transport: Transport::Udp, payload }
+    }
+
+    pub fn tcp(src: SocketAddr, dst: SocketAddr, segment: Vec<u8>) -> Self {
+        Packet { src, dst, transport: Transport::Tcp, payload: segment }
+    }
+
+    /// IP payload length in bytes: transport header + transport payload.
+    /// This is the quantity reported in the paper's Table 1.
+    pub fn ip_payload_len(&self) -> usize {
+        match self.transport {
+            Transport::Udp => UDP_HEADER_LEN + self.payload.len(),
+            // TCP segments are encoded with their header included.
+            Transport::Tcp => self.payload.len(),
+        }
+    }
+
+    /// Full on-wire size including the IPv4 header.
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.ip_payload_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_display_roundtrip() {
+        let ip = Ipv4Addr::new(192, 0, 2, 7);
+        assert_eq!(ip.to_string(), "192.0.2.7");
+        assert_eq!(ip.octets(), [192, 0, 2, 7]);
+    }
+
+    #[test]
+    fn socketaddr_display() {
+        let sa = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 853);
+        assert_eq!(sa.to_string(), "10.0.0.1:853");
+    }
+
+    #[test]
+    fn udp_accounting_includes_header() {
+        let a = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 1000);
+        let b = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 2), 53);
+        let p = Packet::udp(a, b, vec![0u8; 51]);
+        assert_eq!(p.ip_payload_len(), 59);
+        assert_eq!(p.wire_len(), 79);
+    }
+
+    #[test]
+    fn tcp_accounting_is_segment_len() {
+        let a = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 1000);
+        let b = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 2), 53);
+        let p = Packet::tcp(a, b, vec![0u8; 40]);
+        assert_eq!(p.ip_payload_len(), 40);
+        assert_eq!(p.wire_len(), 60);
+    }
+
+    #[test]
+    fn addr_ordering_is_total() {
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        let b = Ipv4Addr::new(1, 2, 3, 5);
+        assert!(a < b);
+    }
+}

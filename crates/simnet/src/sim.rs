@@ -1,0 +1,559 @@
+//! The simulation driver.
+//!
+//! A [`Simulator`] owns a set of [`Host`]s (protocol endpoints: DNS
+//! clients, resolvers, web servers, ...), a [`PathModel`], a clock and an
+//! event queue. Hosts are written as poll-style state machines: they
+//! react to packet arrivals and wakeups, emit packets through a
+//! [`Ctx`], and advertise their next timer deadline via
+//! [`Host::next_wakeup`]. The driver routes every emitted packet through
+//! the path model (sampling loss, jitter and serialization delay) and
+//! schedules its arrival at the destination host.
+//!
+//! Timer handling uses lazy cancellation: wakeup events are cheap to
+//! schedule and are simply ignored at fire time if the host's deadline
+//! has moved.
+
+use crate::event::EventQueue;
+use crate::net::{Ipv4Addr, Packet};
+use crate::path::PathModel;
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+use crate::trace::{PacketRecord, PacketTrace};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Identifier of a host within one simulator.
+pub type HostId = usize;
+
+/// What a host sees when the simulator calls into it.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The simulation RNG (deterministic, shared).
+    pub rng: &'a mut SimRng,
+    out: &'a mut Vec<Packet>,
+}
+
+impl Ctx<'_> {
+    /// Queue a packet for transmission. Routing, loss and delay are
+    /// applied by the driver after the callback returns.
+    pub fn send(&mut self, pkt: Packet) {
+        self.out.push(pkt);
+    }
+}
+
+/// A simulated endpoint.
+///
+/// Implementations must be `'static` so they can be stored as trait
+/// objects; the `as_any` methods enable the measurement harness to
+/// recover the concrete type to extract results.
+pub trait Host: Any {
+    /// A packet addressed to one of this host's IPs has arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
+
+    /// A previously advertised deadline has been reached.
+    fn on_wakeup(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Earliest time this host needs to be woken. Queried after every
+    /// callback.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
+    }
+
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+enum Event {
+    Arrival(HostId, Packet),
+    Wakeup(HostId),
+}
+
+/// Counters describing everything the network carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    pub packets_delivered: u64,
+    pub packets_lost: u64,
+    pub packets_unroutable: u64,
+    pub bytes_delivered: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    clock: SimTime,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    path: Box<dyn PathModel>,
+    hosts: Vec<Option<Box<dyn Host>>>,
+    addr_map: HashMap<Ipv4Addr, HostId>,
+    link_free: HashMap<Ipv4Addr, SimTime>,
+    /// Last scheduled arrival per (src, dst) flow: paths are FIFO —
+    /// jitter may stretch a packet's delay but never reorders a flow
+    /// (real single-path routes preserve ordering almost always).
+    flow_last_arrival: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    trace: Option<PacketTrace>,
+    stats: NetStats,
+}
+
+impl Simulator {
+    pub fn new(seed: u64, path: Box<dyn PathModel>) -> Self {
+        Simulator {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::new(seed),
+            path,
+            hosts: Vec::new(),
+            addr_map: HashMap::new(),
+            link_free: HashMap::new(),
+            flow_last_arrival: HashMap::new(),
+            trace: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Start recording every packet into a trace (for size accounting).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(PacketTrace::new());
+    }
+
+    pub fn trace(&self) -> Option<&PacketTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Register a host reachable at the given IPs.
+    pub fn add_host(&mut self, host: Box<dyn Host>, ips: &[Ipv4Addr]) -> HostId {
+        let id = self.hosts.len();
+        self.hosts.push(Some(host));
+        for ip in ips {
+            let prev = self.addr_map.insert(*ip, id);
+            assert!(prev.is_none(), "address {ip} already bound");
+        }
+        // Pick up any timer the host already holds.
+        if let Some(w) = self.hosts[id].as_ref().unwrap().next_wakeup() {
+            self.queue.push(w.max(self.clock), Event::Wakeup(id));
+        }
+        id
+    }
+
+    /// Immutable access to a host by concrete type.
+    pub fn host<T: Host>(&self, id: HostId) -> &T {
+        self.hosts[id]
+            .as_ref()
+            .expect("host checked out")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("host type mismatch")
+    }
+
+    /// Mutable access to a host by concrete type (no packet I/O; use
+    /// [`Simulator::with_host`] when the host needs to transmit).
+    pub fn host_mut<T: Host>(&mut self, id: HostId) -> &mut T {
+        self.hosts[id]
+            .as_mut()
+            .expect("host checked out")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("host type mismatch")
+    }
+
+    /// Call into a host with a full [`Ctx`], e.g. to start a client.
+    /// Emitted packets are routed and the host's timer is rescheduled,
+    /// exactly as for event-driven callbacks.
+    pub fn with_host<T: Host, R>(
+        &mut self,
+        id: HostId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut host = self.hosts[id].take().expect("reentrant host dispatch");
+        let mut out = Vec::new();
+        let r = {
+            let mut ctx = Ctx { now: self.clock, rng: &mut self.rng, out: &mut out };
+            f(
+                host.as_any_mut().downcast_mut::<T>().expect("host type mismatch"),
+                &mut ctx,
+            )
+        };
+        let next = host.next_wakeup();
+        self.hosts[id] = Some(host);
+        self.after_dispatch(id, next, out);
+        r
+    }
+
+    fn after_dispatch(&mut self, id: HostId, next: Option<SimTime>, out: Vec<Packet>) {
+        let now = self.clock;
+        for pkt in out {
+            self.route(now, pkt);
+        }
+        if let Some(w) = next {
+            self.queue.push(w.max(now), Event::Wakeup(id));
+        }
+    }
+
+    /// Route one packet: apply loss, serialization and propagation, and
+    /// schedule its arrival.
+    fn route(&mut self, now: SimTime, pkt: Packet) {
+        let chars = self.path.characteristics(pkt.src.ip, pkt.dst.ip);
+        let Some(&dst_host) = self.addr_map.get(&pkt.dst.ip) else {
+            self.stats.packets_unroutable += 1;
+            if let Some(t) = &mut self.trace {
+                t.record(PacketRecord::new(now, &pkt, true));
+            }
+            return;
+        };
+        let lost = chars.loss > 0.0 && self.rng.chance(chars.loss);
+        if let Some(t) = &mut self.trace {
+            t.record(PacketRecord::new(now, &pkt, lost));
+        }
+        if lost {
+            self.stats.packets_lost += 1;
+            return;
+        }
+        // Serialization: the source's access link transmits packets one
+        // after another at its egress bandwidth.
+        let depart = match chars.egress_bps {
+            Some(bps) if bps > 0 => {
+                let free = self.link_free.entry(pkt.src.ip).or_insert(SimTime::ZERO);
+                let start = (*free).max(now);
+                let ser =
+                    Duration::from_secs_f64(pkt.wire_len() as f64 * 8.0 / bps as f64);
+                *free = start + ser;
+                *free
+            }
+            _ => now,
+        };
+        let mut arrival = depart + chars.sample_delay(&mut self.rng);
+        // FIFO per flow.
+        let key = (pkt.src.ip, pkt.dst.ip);
+        if let Some(&last) = self.flow_last_arrival.get(&key) {
+            arrival = arrival.max(last);
+        }
+        self.flow_last_arrival.insert(key, arrival);
+        self.stats.packets_delivered += 1;
+        self.stats.bytes_delivered += pkt.ip_payload_len() as u64;
+        self.queue.push(arrival, Event::Arrival(dst_host, pkt));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival(id, pkt) => {
+                let Some(mut host) = self.hosts[id].take() else { return };
+                let mut out = Vec::new();
+                {
+                    let mut ctx =
+                        Ctx { now: self.clock, rng: &mut self.rng, out: &mut out };
+                    host.on_packet(&mut ctx, pkt);
+                }
+                let next = host.next_wakeup();
+                self.hosts[id] = Some(host);
+                self.after_dispatch(id, next, out);
+            }
+            Event::Wakeup(id) => {
+                let Some(host_ref) = self.hosts[id].as_ref() else { return };
+                match host_ref.next_wakeup() {
+                    None => {}
+                    Some(w) if w <= self.clock => {
+                        let mut host = self.hosts[id].take().expect("checked above");
+                        let mut out = Vec::new();
+                        {
+                            let mut ctx = Ctx {
+                                now: self.clock,
+                                rng: &mut self.rng,
+                                out: &mut out,
+                            };
+                            host.on_wakeup(&mut ctx);
+                        }
+                        let next = host.next_wakeup();
+                        self.hosts[id] = Some(host);
+                        self.after_dispatch(id, next, out);
+                    }
+                    Some(w) => {
+                        // Deadline moved into the future: re-arm.
+                        self.queue.push(w, Event::Wakeup(id));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process events until the queue is empty or `deadline` is reached.
+    /// Returns the number of events processed. The clock ends at
+    /// `min(deadline, time of last event)`; it is advanced to `deadline`
+    /// if the queue drains first.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            self.dispatch(ev);
+            n += 1;
+        }
+        if deadline > self.clock {
+            self.clock = deadline;
+        }
+        n
+    }
+
+    /// Process events until the queue drains or `max_events` have been
+    /// handled. Returns the number of events processed; hitting the
+    /// event cap indicates a livelock in a protocol state machine.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            let Some((t, ev)) = self.queue.pop() else { break };
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            self.dispatch(ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// True if no more events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{SocketAddr, Transport};
+    use crate::path::FixedPathModel;
+
+    fn addr(n: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(Ipv4Addr::new(10, 0, 0, n), port)
+    }
+
+    /// Echoes every received packet back to its sender.
+    struct Echo {
+        received: usize,
+    }
+
+    impl Host for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received += 1;
+            ctx.send(Packet::udp(pkt.dst, pkt.src, pkt.payload));
+        }
+        fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one packet at start, records the echo arrival time.
+    struct Pinger {
+        target: SocketAddr,
+        local: SocketAddr,
+        echo_at: Option<SimTime>,
+    }
+
+    impl Pinger {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(Packet::udp(self.local, self.target, vec![1, 2, 3]));
+        }
+    }
+
+    impl Host for Pinger {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.echo_at = Some(ctx.now);
+        }
+        fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_host_sim(one_way: Duration) -> (Simulator, HostId, HostId) {
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(one_way)));
+        let a = addr(1, 40000);
+        let b = addr(2, 7);
+        let pinger =
+            sim.add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+        let echo = sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+        (sim, pinger, echo)
+    }
+
+    #[test]
+    fn ping_pong_rtt() {
+        let (mut sim, pinger, echo) = two_host_sim(Duration::from_millis(10));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.host::<Echo>(echo).received, 1);
+        let t = sim.host::<Pinger>(pinger).echo_at.expect("echo received");
+        assert_eq!(t, SimTime::from_millis(20));
+        assert_eq!(sim.stats().packets_delivered, 2);
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        let mut sim =
+            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let a = addr(1, 40000);
+        let pinger = sim.add_host(
+            Box::new(Pinger { target: addr(99, 7), local: a, echo_at: None }),
+            &[a.ip],
+        );
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.stats().packets_unroutable, 1);
+        assert!(sim.host::<Pinger>(pinger).echo_at.is_none());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut sim = Simulator::new(
+            1,
+            Box::new(FixedPathModel::with_loss(Duration::from_millis(1), 1.0)),
+        );
+        let a = addr(1, 40000);
+        let b = addr(2, 7);
+        let pinger =
+            sim.add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+        sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.stats().packets_lost, 1);
+        assert_eq!(sim.stats().packets_delivered, 0);
+    }
+
+    /// Host that re-arms a periodic timer.
+    struct Ticker {
+        period: Duration,
+        next: Option<SimTime>,
+        fired: Vec<SimTime>,
+    }
+
+    impl Host for Ticker {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+            self.fired.push(ctx.now);
+            if self.fired.len() < 5 {
+                self.next = Some(ctx.now + self.period);
+            } else {
+                self.next = None;
+            }
+        }
+        fn next_wakeup(&self) -> Option<SimTime> {
+            self.next
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn periodic_timers_fire_on_schedule() {
+        let mut sim =
+            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let id = sim.add_host(
+            Box::new(Ticker {
+                period: Duration::from_millis(100),
+                next: Some(SimTime::from_millis(100)),
+                fired: vec![],
+            }),
+            &[Ipv4Addr::new(10, 0, 0, 1)],
+        );
+        sim.run(1000);
+        let fired = &sim.host::<Ticker>(id).fired;
+        assert_eq!(
+            fired,
+            &(1..=5).map(|i| SimTime::from_millis(100 * i)).collect::<Vec<_>>()
+        );
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim =
+            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let id = sim.add_host(
+            Box::new(Ticker {
+                period: Duration::from_millis(100),
+                next: Some(SimTime::from_millis(100)),
+                fired: vec![],
+            }),
+            &[Ipv4Addr::new(10, 0, 0, 1)],
+        );
+        sim.run_until(SimTime::from_millis(250));
+        assert_eq!(sim.host::<Ticker>(id).fired.len(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(250));
+        sim.run(1000);
+        assert_eq!(sim.host::<Ticker>(id).fired.len(), 5);
+    }
+
+    #[test]
+    fn trace_records_packets() {
+        let (mut sim, pinger, _echo) = two_host_sim(Duration::from_millis(5));
+        sim.enable_trace();
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        let trace = sim.trace().expect("enabled");
+        assert_eq!(trace.records().len(), 2);
+        assert_eq!(trace.records()[0].ip_payload_len, 8 + 3);
+        assert_eq!(trace.records()[0].transport, Transport::Udp);
+    }
+
+    #[test]
+    fn duplicate_address_binding_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut sim =
+                Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+            let ip = Ipv4Addr::new(10, 0, 0, 1);
+            sim.add_host(Box::new(Echo { received: 0 }), &[ip]);
+            sim.add_host(Box::new(Echo { received: 0 }), &[ip]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut sim = Simulator::new(
+                seed,
+                Box::new(FixedPathModel::with_loss(Duration::from_millis(3), 0.3)),
+            );
+            let a = addr(1, 40000);
+            let b = addr(2, 7);
+            let pinger = sim
+                .add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+            sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+            sim.with_host::<Pinger, _>(pinger, |p, ctx| {
+                for _ in 0..50 {
+                    p.start(ctx);
+                }
+            });
+            sim.run(10_000);
+            sim.stats()
+        };
+        assert_eq!(run(7), run(7));
+        // With 30% loss and 100 transmissions, two seeds almost surely
+        // differ in at least one counter.
+        assert_ne!(run(7), run(8));
+    }
+}

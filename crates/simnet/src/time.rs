@@ -1,0 +1,151 @@
+//! Simulated time.
+//!
+//! The simulator never consults a wall clock. All state machines receive
+//! explicit [`SimTime`] values and return deadlines, in the style of
+//! smoltcp's `poll(timestamp)` API. Time is a monotonically increasing
+//! count of nanoseconds since the start of the simulation.
+
+pub use std::time::Duration;
+
+/// A point in simulated time, measured in nanoseconds since simulation
+/// start. `SimTime::ZERO` is the instant the simulation begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Construct from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Construct from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Construct from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start, as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`. Saturates to zero if `earlier` is in
+    /// the future, which keeps callers robust against reordered callbacks.
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked variant of [`SimTime::duration_since`]: `None` if `earlier`
+    /// is strictly in the future.
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+    }
+}
+
+impl std::ops::Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl std::ops::AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl std::ops::Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.as_nanos() as u64))
+    }
+}
+
+impl std::ops::Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_secs(1).as_millis_f64(), 1000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(10), Duration::from_millis(5));
+        assert_eq!(t - Duration::from_millis(3), SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.duration_since(late), Duration::ZERO);
+        assert_eq!(early.checked_duration_since(late), None);
+        assert_eq!(
+            late.checked_duration_since(early),
+            Some(Duration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn sub_below_zero_saturates() {
+        assert_eq!(
+            SimTime::from_millis(1) - Duration::from_millis(5),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_nanos(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "1.500ms");
+    }
+}

@@ -1,0 +1,155 @@
+//! Packet tracing for byte accounting.
+//!
+//! Table 1 of the paper reports the median IP payload bytes per
+//! direction and per phase (handshake vs. DNS query/response) for a
+//! single query. The measurement harness reconstructs those phases from
+//! a [`PacketTrace`]: every packet the simulator routes is recorded with
+//! its send time, endpoints and IP payload length.
+
+use crate::net::{Packet, SocketAddr, Transport};
+use crate::time::SimTime;
+
+/// One routed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Time the packet was handed to the network (send time).
+    pub sent_at: SimTime,
+    pub src: SocketAddr,
+    pub dst: SocketAddr,
+    pub transport: Transport,
+    /// IP payload length (transport header + payload), the Table 1 unit.
+    pub ip_payload_len: usize,
+    /// First byte of the transport payload (classifies QUIC long vs
+    /// short headers for phase accounting). `None` for empty payloads.
+    pub first_byte: Option<u8>,
+    /// True if the packet was subsequently lost or unroutable.
+    pub dropped: bool,
+}
+
+impl PacketRecord {
+    pub fn new(sent_at: SimTime, pkt: &Packet, dropped: bool) -> Self {
+        PacketRecord {
+            sent_at,
+            src: pkt.src,
+            dst: pkt.dst,
+            transport: pkt.transport,
+            ip_payload_len: pkt.ip_payload_len(),
+            first_byte: pkt.payload.first().copied(),
+            dropped,
+        }
+    }
+}
+
+/// An append-only log of routed packets.
+#[derive(Debug, Default, Clone)]
+pub struct PacketTrace {
+    records: Vec<PacketRecord>,
+}
+
+impl PacketTrace {
+    pub fn new() -> Self {
+        PacketTrace::default()
+    }
+
+    pub fn record(&mut self, rec: PacketRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Total IP payload bytes sent from `src` to `dst` (any ports)
+    /// within `[from, to)`. Dropped packets still count: they were put
+    /// on the wire.
+    pub fn bytes_between(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        from: SimTime,
+        to: SimTime,
+    ) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.src.ip == src.ip
+                    && r.dst.ip == dst.ip
+                    && r.sent_at >= from
+                    && r.sent_at < to
+            })
+            .map(|r| r.ip_payload_len)
+            .sum()
+    }
+
+    /// Total IP payload bytes from `src_ip` to `dst_ip` over the whole
+    /// trace, identified by IPs only.
+    pub fn total_bytes(&self, src: SocketAddr, dst: SocketAddr) -> usize {
+        self.bytes_between(src, dst, SimTime::ZERO, SimTime::from_secs(u64::MAX / 2_000_000_000))
+    }
+
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Ipv4Addr;
+
+    fn sa(n: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(Ipv4Addr::new(10, 0, 0, n), port)
+    }
+
+    fn rec(t: u64, src: SocketAddr, dst: SocketAddr, len: usize) -> PacketRecord {
+        PacketRecord {
+            sent_at: SimTime::from_millis(t),
+            src,
+            dst,
+            transport: Transport::Udp,
+            ip_payload_len: len,
+            first_byte: Some(0),
+            dropped: false,
+        }
+    }
+
+    #[test]
+    fn bytes_between_filters_by_direction_and_window() {
+        let mut trace = PacketTrace::new();
+        let a = sa(1, 100);
+        let b = sa(2, 53);
+        trace.record(rec(0, a, b, 50));
+        trace.record(rec(10, b, a, 60));
+        trace.record(rec(20, a, b, 70));
+        assert_eq!(
+            trace.bytes_between(a, b, SimTime::ZERO, SimTime::from_millis(15)),
+            50
+        );
+        assert_eq!(
+            trace.bytes_between(a, b, SimTime::ZERO, SimTime::from_millis(25)),
+            120
+        );
+        assert_eq!(
+            trace.bytes_between(b, a, SimTime::ZERO, SimTime::from_millis(25)),
+            60
+        );
+        assert_eq!(trace.total_bytes(a, b), 120);
+    }
+
+    #[test]
+    fn ports_are_ignored_ips_matter() {
+        let mut trace = PacketTrace::new();
+        trace.record(rec(0, sa(1, 100), sa(2, 53), 50));
+        trace.record(rec(0, sa(1, 200), sa(2, 853), 25));
+        assert_eq!(trace.total_bytes(sa(1, 9), sa(2, 9)), 75);
+        assert_eq!(trace.total_bytes(sa(2, 9), sa(1, 9)), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut trace = PacketTrace::new();
+        trace.record(rec(0, sa(1, 1), sa(2, 2), 10));
+        trace.clear();
+        assert!(trace.records().is_empty());
+    }
+}

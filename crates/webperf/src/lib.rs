@@ -1,0 +1,33 @@
+//! # doqlab-webperf — the Web-performance substrate
+//!
+//! Everything §3.2 of the paper needs:
+//!
+//! * [`page`] — profiles of the Tranco top-10 landing pages as resource
+//!   dependency graphs over one or more domains. The per-page average
+//!   DNS-query counts match the ordering of the paper's Fig. 4 (from
+//!   `wikipedia.org` with a single query to `youtube.com` with eleven).
+//! * [`origin`] — simulated origin web servers: HTTP/2 over TLS over
+//!   TCP, one host per content IP, serving the profile's resources.
+//! * [`http`] — the browser-side HTTPS client connection.
+//! * [`proxy`] — the local DNS proxy (the paper uses AdGuard dnsproxy):
+//!   forwards stub queries to the configured upstream resolver over any
+//!   of the five transports, cache disabled, sessions resettable
+//!   between navigations, with the paper's observed **DoT
+//!   in-flight-query reconnect bug** behind a flag.
+//! * [`browser`] — a Chromium-like page loader: per-navigation DNS
+//!   de-duplication, one HTTP/2 connection per origin, dependency-driven
+//!   resource fetching, First Contentful Paint and Page Load Time.
+//! * [`loadsim`] — assembles browser + resolver + origins into one
+//!   micro-simulation per page load and returns the metrics.
+
+pub mod browser;
+pub mod http;
+pub mod loadsim;
+pub mod origin;
+pub mod page;
+pub mod proxy;
+
+pub use browser::{BrowserHost, PageLoadResult};
+pub use loadsim::{run_page_load, PageLoadConfig};
+pub use page::{tranco_top10, PageProfile, Resource};
+pub use proxy::DnsProxy;

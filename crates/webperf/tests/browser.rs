@@ -1,0 +1,133 @@
+//! Browser-model tests: FCP/PLT semantics, dependency-driven
+//! discovery, DNS de-duplication, failure handling.
+
+use doqlab_dox::DnsTransport;
+use doqlab_simnet::Duration;
+use doqlab_webperf::page::{PageProfile, Resource};
+use doqlab_webperf::{run_page_load, tranco_top10, PageLoadConfig};
+
+fn tiny_page(domains: &[&str], blocking: usize) -> PageProfile {
+    let mut resources = Vec::new();
+    resources.push(Resource {
+        id: 0,
+        domain: domains[0].to_string(),
+        path: "/".to_string(),
+        size: 10_000,
+        render_blocking: true,
+        discovered_by: None,
+    });
+    for (i, d) in domains.iter().enumerate().skip(1) {
+        resources.push(Resource {
+            id: i,
+            domain: d.to_string(),
+            path: format!("/r{i}"),
+            size: 5_000,
+            render_blocking: i <= blocking,
+            discovered_by: Some(0),
+        });
+    }
+    PageProfile {
+        name: "test.page".to_string(),
+        resources,
+        render_ms: 100,
+        onload_ms: 200,
+    }
+}
+
+fn load(page: PageProfile, transport: DnsTransport) -> doqlab_webperf::PageLoadResult {
+    let cfg = PageLoadConfig { seed: 5, ..PageLoadConfig::new(page, transport) };
+    run_page_load(&cfg)[0]
+}
+
+#[test]
+fn fcp_precedes_plt_and_both_include_compute_budgets() {
+    let page = tiny_page(&["www.a.test", "cdn.b.test", "img.c.test"], 1);
+    let r = load(page, DnsTransport::DoUdp);
+    assert!(!r.failed);
+    assert!(r.fcp_ms >= 100.0, "render budget floors FCP: {r:?}");
+    assert!(r.plt_ms >= r.fcp_ms);
+    assert!(r.plt_ms >= 200.0);
+}
+
+#[test]
+fn dns_queries_equal_unique_domains() {
+    let page = tiny_page(&["www.a.test", "cdn.b.test", "www.a.test", "img.c.test"], 0);
+    let r = load(page, DnsTransport::DoQ);
+    assert!(!r.failed);
+    assert_eq!(r.dns_queries, 3, "duplicate domains are de-duplicated");
+}
+
+#[test]
+fn fewer_blocking_resources_means_earlier_fcp() {
+    let blocking_heavy = tiny_page(&["www.a.test", "b.test", "c.test", "d.test"], 3);
+    let blocking_light = tiny_page(&["www.a.test", "b.test", "c.test", "d.test"], 0);
+    let heavy = load(blocking_heavy, DnsTransport::DoUdp);
+    let light = load(blocking_light, DnsTransport::DoUdp);
+    assert!(!heavy.failed && !light.failed);
+    assert!(
+        light.fcp_ms <= heavy.fcp_ms,
+        "light {} vs heavy {}",
+        light.fcp_ms,
+        heavy.fcp_ms
+    );
+    // PLT is resource-bound either way: roughly equal.
+    assert!((light.plt_ms - heavy.plt_ms).abs() < light.plt_ms * 0.2);
+}
+
+#[test]
+fn deeper_dependency_chains_load_later() {
+    // Chain: root reveals r1, r1 reveals r2 (on a third domain whose
+    // DNS is only issued after r1 completes).
+    let mut page = tiny_page(&["www.a.test", "b.test"], 0);
+    page.resources.push(Resource {
+        id: 2,
+        domain: "late.c.test".to_string(),
+        path: "/r2".to_string(),
+        size: 2_000,
+        render_blocking: false,
+        discovered_by: Some(1),
+    });
+    let chained = load(page, DnsTransport::DoQ);
+    let flat = load(tiny_page(&["www.a.test", "b.test", "late.c.test"], 0), DnsTransport::DoQ);
+    assert!(!chained.failed && !flat.failed);
+    assert!(chained.plt_ms > flat.plt_ms, "chained {} vs flat {}", chained.plt_ms, flat.plt_ms);
+}
+
+#[test]
+fn all_tranco_pages_load_over_all_six_transports() {
+    for page in tranco_top10().into_iter().step_by(4) {
+        for transport in [
+            DnsTransport::DoUdp,
+            DnsTransport::DoTcp,
+            DnsTransport::DoT,
+            DnsTransport::DoH,
+            DnsTransport::DoQ,
+        ] {
+            let r = load(page.clone(), transport);
+            assert!(!r.failed, "{} over {transport}", page.name);
+        }
+    }
+}
+
+#[test]
+fn doh3_page_load_works_against_an_upgraded_resolver() {
+    let page = tranco_top10().remove(0);
+    let mut cfg = PageLoadConfig::new(page, DnsTransport::DoH3);
+    cfg.seed = 5;
+    cfg.resolver.supports_doh3 = true;
+    let r = run_page_load(&cfg)[0];
+    assert!(!r.failed, "{r:?}");
+    assert_eq!(r.dns_queries, 1);
+}
+
+#[test]
+fn unresolvable_page_fails_within_the_timeout() {
+    let page = tiny_page(&["www.a.test"], 0);
+    let mut cfg = PageLoadConfig::new(page, DnsTransport::DoUdp);
+    cfg.seed = 5;
+    cfg.resolver.supports_udp = false; // resolver silent on UDP
+    cfg.load_timeout = Duration::from_secs(20);
+    let r = run_page_load(&cfg)[0];
+    assert!(r.failed);
+    assert!(r.fcp_ms.is_nan());
+}

@@ -1,0 +1,5 @@
+//! `doqlab` — umbrella crate for the IMC'22 *"DNS Privacy with Speed?"*
+//! reproduction. Re-exports [`doqlab_core`]; see that crate (and the
+//! repository README) for the full API.
+
+pub use doqlab_core::*;

@@ -1,0 +1,88 @@
+//! The `doqlab` command-line driver: run any campaign of the study and
+//! print the paper-style report.
+//!
+//! ```sh
+//! doqlab discovery
+//! doqlab single-query --scale medium
+//! doqlab webperf --scale quick --seed 7
+//! doqlab all --scale quick
+//! ```
+
+use doqlab_core::measure::report;
+use doqlab_core::Study;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: doqlab <discovery|single-query|webperf|all> \
+         [--scale quick|medium|paper] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1) else { usage() };
+    let mut seed = 2022u64;
+    let mut scale = "quick".to_string();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].clone();
+                i += 1;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let study = match scale.as_str() {
+        "quick" => Study::quick(seed),
+        "medium" => Study::medium(seed),
+        "paper" => Study::paper(seed),
+        _ => usage(),
+    };
+
+    match command.as_str() {
+        "discovery" => run_discovery(&study),
+        "single-query" => run_single_query(&study),
+        "webperf" => run_webperf(&study),
+        "all" => {
+            run_discovery(&study);
+            run_single_query(&study);
+            run_webperf(&study);
+        }
+        _ => usage(),
+    }
+}
+
+fn run_discovery(study: &Study) {
+    println!("== discovery (§2) ==");
+    let pop = study.scan_population(200);
+    let r = study.run_discovery(&pop);
+    println!(
+        "probed {} hosts -> {} QUIC -> {} DoQ -> {} verified DoX\n\
+         (paper: 1,216 DoQ -> 313 verified)\n",
+        r.probed_hosts, r.quic_hosts, r.doq_resolvers, r.verified_dox
+    );
+}
+
+fn run_single_query(study: &Study) {
+    println!("== single query (§3.1) ==");
+    let samples = study.run_single_query();
+    println!("{}", report::render_table1(&report::table1(&samples)));
+    println!("{}", report::render_fig2(&report::fig2(&samples)));
+}
+
+fn run_webperf(study: &Study) {
+    println!("== web performance (§3.2) ==");
+    let samples = study.run_webperf();
+    let diffs =
+        report::relative_to_baseline(&samples, doqlab_core::dox::DnsTransport::DoUdp);
+    println!("{}", report::render_fig3(&diffs, "FCP"));
+    println!("{}", report::render_fig3(&diffs, "PLT"));
+    println!("{}", report::render_fig4(&report::fig4(&samples)));
+}
