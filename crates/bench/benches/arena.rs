@@ -1,0 +1,40 @@
+//! Arena-reuse benchmark: the same single-query measurement unit run
+//! with a fresh simulator per call (`run_unit`, what the campaigns did
+//! before the engine) versus a reused per-worker arena
+//! (`run_unit_in`, what `engine::run_units` gives every worker). The
+//! delta is the allocation overhead the arena amortises across a
+//! campaign's hundreds of thousands of units.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doqlab_dox::DnsTransport;
+use doqlab_measure::single_query::{run_unit, run_unit_in, SingleQueryCampaign};
+use doqlab_measure::{vantage_points, Scale};
+use doqlab_resolver::synthesize_dox_population;
+use doqlab_simnet::Simulator;
+
+fn arena_reuse(c: &mut Criterion) {
+    let population = synthesize_dox_population(1);
+    let campaign = SingleQueryCampaign::new(Scale::quick());
+    let vps = vantage_points();
+    let mut group = c.benchmark_group("single_query_unit_alloc");
+    group.bench_function("fresh_simulator", |b| {
+        b.iter(|| run_unit(&campaign, &vps[0], &population[42], DnsTransport::DoQ, 0))
+    });
+    group.bench_function("arena_reuse", |b| {
+        let mut sim = Simulator::arena();
+        b.iter(|| {
+            run_unit_in(
+                &mut sim,
+                &campaign,
+                &vps[0],
+                &population[42],
+                DnsTransport::DoQ,
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, arena_reuse);
+criterion_main!(benches);

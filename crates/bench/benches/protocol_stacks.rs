@@ -68,9 +68,20 @@ fn quic_primitives(c: &mut Criterion) {
         })
     });
     let frames = vec![
-        Frame::Crypto { offset: 0, data: vec![0; 900] },
-        Frame::Ack { ranges: vec![(9, 7), (4, 0)], delay: 0 },
-        Frame::Stream { id: 0, offset: 0, data: vec![0; 120], fin: true },
+        Frame::Crypto {
+            offset: 0,
+            data: vec![0; 900],
+        },
+        Frame::Ack {
+            ranges: vec![(9, 7), (4, 0)],
+            delay: 0,
+        },
+        Frame::Stream {
+            id: 0,
+            offset: 0,
+            data: vec![0; 120],
+            fin: true,
+        },
         Frame::Padding(100),
     ];
     let mut payload = Vec::new();

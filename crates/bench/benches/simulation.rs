@@ -29,7 +29,10 @@ fn page_loads(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_load");
     group.sample_size(20);
     for (label, page) in [("wikipedia_doq", &pages[0]), ("youtube_doq", &pages[9])] {
-        let cfg = PageLoadConfig { seed: 3, ..PageLoadConfig::new(page.clone(), DnsTransport::DoQ) };
+        let cfg = PageLoadConfig {
+            seed: 3,
+            ..PageLoadConfig::new(page.clone(), DnsTransport::DoQ)
+        };
         group.bench_function(label, |b| b.iter(|| run_page_load(&cfg)));
     }
     let cfg = PageLoadConfig {

@@ -39,9 +39,21 @@ fn main() {
     };
 
     println!("== A3: 0-RTT resolver ablation (§4 future work) ==\n");
-    compare("DoUDP single-query total (ms)", "1 RTT", format!("{udp:.1}"));
-    compare("DoQ total, today's resolvers (ms)", "~1.5x DoUDP", format!("{doq_base:.1}"));
-    compare("DoQ total, 0-RTT resolvers (ms)", "-> DoUDP", format!("{doq_0rtt:.1}"));
+    compare(
+        "DoUDP single-query total (ms)",
+        "1 RTT",
+        format!("{udp:.1}"),
+    );
+    compare(
+        "DoQ total, today's resolvers (ms)",
+        "~1.5x DoUDP",
+        format!("{doq_base:.1}"),
+    );
+    compare(
+        "DoQ total, 0-RTT resolvers (ms)",
+        "-> DoUDP",
+        format!("{doq_0rtt:.1}"),
+    );
     compare(
         "DoQ falls short of DoUDP by (today)",
         "~50%",
@@ -52,7 +64,11 @@ fn main() {
         "-> ~0%",
         format!("{:.0}%", (1.0 - udp / doq_0rtt) * 100.0),
     );
-    compare("Measured queries using accepted 0-RTT", "100% (upgraded)", format!("{:.0}%", zero_rtt_share * 100.0));
+    compare(
+        "Measured queries using accepted 0-RTT",
+        "100% (upgraded)",
+        format!("{:.0}%", zero_rtt_share * 100.0),
+    );
     if opts.json {
         let out = serde_json::json!({
             "doudp_total_ms": udp,
@@ -60,6 +76,9 @@ fn main() {
             "doq_0rtt_total_ms": doq_0rtt,
             "zero_rtt_share": zero_rtt_share,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }

@@ -71,7 +71,12 @@ fn main() {
     compare(
         "Fraction of DoQ handshakes stalled by the limit",
         "~40% (PAM'22)",
-        format!("{:.0}% ({}/{})", stalled.0 as f64 / stalled.1.max(1) as f64 * 100.0, stalled.0, stalled.1),
+        format!(
+            "{:.0}% ({}/{})",
+            stalled.0 as f64 / stalled.1.max(1) as f64 * 100.0,
+            stalled.0,
+            stalled.1
+        ),
     );
     if opts.json {
         let out = serde_json::json!({
@@ -80,6 +85,9 @@ fn main() {
             "without_resumption_p90_ms": percentile(&hs_without, 90.0),
             "stalled_fraction": stalled.0 as f64 / stalled.1.max(1) as f64,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }

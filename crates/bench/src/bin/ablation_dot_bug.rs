@@ -31,14 +31,14 @@ fn main() {
         let plt = median(&dot.iter().map(|s| s.plt_ms).collect::<Vec<_>>()).unwrap_or(f64::NAN);
         let multi: Vec<&&doqlab_core::measure::WebperfSample> =
             dot.iter().filter(|s| s.page_dns_queries > 1).collect();
-        let reconnect_loads = multi
-            .iter()
-            .filter(|s| s.proxy_connections > 1)
-            .count() as f64
+        let reconnect_loads = multi.iter().filter(|s| s.proxy_connections > 1).count() as f64
             / multi.len().max(1) as f64;
-        let conns =
-            median(&dot.iter().map(|s| s.proxy_connections as f64).collect::<Vec<_>>())
-                .unwrap_or(f64::NAN);
+        let conns = median(
+            &dot.iter()
+                .map(|s| s.proxy_connections as f64)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN);
         (plt, reconnect_loads, conns)
     };
     let (plt_buggy, frac_buggy, conns_buggy) = dot_stats(&s_buggy);
@@ -55,15 +55,34 @@ fn main() {
         "0%",
         format!("{:.0}%", frac_fixed * 100.0),
     );
-    compare("Median DoT connections per load (bug ON)", ">1", format!("{conns_buggy:.1}"));
-    compare("Median DoT connections per load (bug OFF)", "1", format!("{conns_fixed:.1}"));
-    compare("Median DoT PLT, bug ON (ms)", "worse than DoH", format!("{plt_buggy:.1}"));
-    compare("Median DoT PLT, bug OFF (ms)", "~DoH", format!("{plt_fixed:.1}"));
+    compare(
+        "Median DoT connections per load (bug ON)",
+        ">1",
+        format!("{conns_buggy:.1}"),
+    );
+    compare(
+        "Median DoT connections per load (bug OFF)",
+        "1",
+        format!("{conns_fixed:.1}"),
+    );
+    compare(
+        "Median DoT PLT, bug ON (ms)",
+        "worse than DoH",
+        format!("{plt_buggy:.1}"),
+    );
+    compare(
+        "Median DoT PLT, bug OFF (ms)",
+        "~DoH",
+        format!("{plt_fixed:.1}"),
+    );
     if opts.json {
         let out = serde_json::json!({
             "bug_on":  { "plt_median_ms": plt_buggy, "reconnect_load_fraction": frac_buggy },
             "bug_off": { "plt_median_ms": plt_fixed, "reconnect_load_fraction": frac_fixed },
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }

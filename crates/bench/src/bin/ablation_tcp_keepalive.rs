@@ -24,7 +24,10 @@ fn main() {
     // ablation drives run_page_load directly with both sides upgraded.
     let scale = &opts.study.scale;
     let resolvers: Vec<&ResolverProfile> = {
-        let n = scale.resolvers.unwrap_or(population.len()).min(population.len());
+        let n = scale
+            .resolvers
+            .unwrap_or(population.len())
+            .min(population.len());
         let stride = (population.len() / n.max(1)).max(1);
         population.iter().step_by(stride).take(n).collect()
     };
@@ -45,7 +48,8 @@ fn main() {
                         resolver_cfg.close_tcp_after_response = false;
                     }
                     let mut cfg = PageLoadConfig::new(page.clone(), DnsTransport::DoTcp);
-                    cfg.seed = opts.study.seed ^ (vp.index as u64) << 32
+                    cfg.seed = opts.study.seed
+                        ^ (vp.index as u64) << 32
                         ^ (r.index as u64) << 8
                         ^ page.dns_query_count() as u64;
                     cfg.resolver = resolver_cfg;
@@ -54,7 +58,9 @@ fn main() {
                     cfg.load_timeout = Duration::from_secs(30);
                     cfg.tcp_keepalive_client = upgraded;
                     let loads = run_page_load(&cfg);
-                    let Some(r0) = loads.first().filter(|l| !l.failed) else { continue };
+                    let Some(r0) = loads.first().filter(|l| !l.failed) else {
+                        continue;
+                    };
                     if upgraded {
                         plt_upgraded.push(r0.plt_ms);
                         conns_upgraded.push(r0.proxy_connections as f64);
@@ -93,6 +99,9 @@ fn main() {
             "default":  { "plt_median_ms": median(&plt_default), "conns_median": median(&conns_default) },
             "rfc9210":  { "plt_median_ms": median(&plt_upgraded), "conns_median": median(&conns_upgraded) },
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }

@@ -19,7 +19,12 @@ fn main() {
     let mut campaign = SingleQueryCampaign::new(opts.study.scale.clone());
     campaign.seed = opts.study.seed;
 
-    let n = opts.study.scale.resolvers.unwrap_or(population.len()).min(population.len());
+    let n = opts
+        .study
+        .scale
+        .resolvers
+        .unwrap_or(population.len())
+        .min(population.len());
     let stride = (population.len() / n.max(1)).max(1);
     let resolvers: Vec<_> = population.iter().step_by(stride).take(n).collect();
 
@@ -49,7 +54,10 @@ fn main() {
                         .entry(t.name())
                         .or_default()
                         .push(sample.handshake_ms.unwrap_or(0.0) + rs);
-                    bytes.entry(t.name()).or_default().push(sample.bytes.total() as f64);
+                    bytes
+                        .entry(t.name())
+                        .or_default()
+                        .push(sample.bytes.total() as f64);
                 }
             }
         }
@@ -92,7 +100,10 @@ fn main() {
             "median_total_ms": totals.iter().map(|(k, v)| (k.to_string(), median(v))).collect::<std::collections::BTreeMap<_, _>>(),
             "median_bytes": bytes.iter().map(|(k, v)| (k.to_string(), median(v))).collect::<std::collections::BTreeMap<_, _>>(),
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }
 

@@ -18,16 +18,50 @@ fn main() {
     let report = opts.study.run_discovery(&scan_pop);
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
     }
-    println!("== E0: discovery funnel (scan of {} candidate hosts) ==", report.probed_hosts);
-    compare("QUIC hosts answering the version-0 probe", "(not reported)", report.quic_hosts.to_string());
-    compare("DoQ resolvers (ALPN verified)", "1216", report.doq_resolvers.to_string());
-    compare("  ... also supporting DoUDP", "548", report.doudp_support.to_string());
-    compare("  ... also supporting DoTCP", "706", report.dotcp_support.to_string());
-    compare("  ... also supporting DoT", "1149", report.dot_support.to_string());
-    compare("  ... also supporting DoH", "732", report.doh_support.to_string());
-    compare("Verified DoX resolvers (full intersection)", "313", report.verified_dox.to_string());
+    println!(
+        "== E0: discovery funnel (scan of {} candidate hosts) ==",
+        report.probed_hosts
+    );
+    compare(
+        "QUIC hosts answering the version-0 probe",
+        "(not reported)",
+        report.quic_hosts.to_string(),
+    );
+    compare(
+        "DoQ resolvers (ALPN verified)",
+        "1216",
+        report.doq_resolvers.to_string(),
+    );
+    compare(
+        "  ... also supporting DoUDP",
+        "548",
+        report.doudp_support.to_string(),
+    );
+    compare(
+        "  ... also supporting DoTCP",
+        "706",
+        report.dotcp_support.to_string(),
+    );
+    compare(
+        "  ... also supporting DoT",
+        "1149",
+        report.dot_support.to_string(),
+    );
+    compare(
+        "  ... also supporting DoH",
+        "732",
+        report.doh_support.to_string(),
+    );
+    compare(
+        "Verified DoX resolvers (full intersection)",
+        "313",
+        report.verified_dox.to_string(),
+    );
 
     // Fig. 1: geography of the verified resolvers.
     let pop = opts.study.population();
@@ -53,7 +87,10 @@ fn main() {
     for r in &pop {
         *by_asn.entry(r.asn.as_str()).or_default() += 1;
     }
-    println!("\nAutonomous systems: {} distinct (paper: 107)", by_asn.len());
+    println!(
+        "\nAutonomous systems: {} distinct (paper: 107)",
+        by_asn.len()
+    );
     let mut top: Vec<(&&str, &usize)> = by_asn.iter().collect();
     top.sort_by(|a, b| b.1.cmp(a.1));
     for (asn, n) in top.iter().take(4) {

@@ -8,7 +8,10 @@ fn main() {
     let samples = opts.study.run_single_query();
     let f = fig2(&samples);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&f.handshake_ms).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&f.handshake_ms).expect("serializable")
+        );
     }
     println!("== E3: Fig. 2a — handshake time ==");
     println!("{}", render_fig2(&f));
@@ -18,7 +21,19 @@ fn main() {
     let total = &f.handshake_ms["Total"];
     let ratio = |a: &str, b: &str| total[a] / total[b];
     println!("Shape checks (paper: DoT/DoQ ~ 2.0, DoH/DoTCP ~ 2.05, DoQ/DoTCP ~ 1.02):");
-    compare("  DoT / DoQ handshake ratio", "~2.0", format!("{:.2}", ratio("DoT", "DoQ")));
-    compare("  DoH / DoTCP handshake ratio", "~2.05", format!("{:.2}", ratio("DoH", "DoTCP")));
-    compare("  DoQ / DoTCP handshake ratio", "~1.02", format!("{:.2}", ratio("DoQ", "DoTCP")));
+    compare(
+        "  DoT / DoQ handshake ratio",
+        "~2.0",
+        format!("{:.2}", ratio("DoT", "DoQ")),
+    );
+    compare(
+        "  DoH / DoTCP handshake ratio",
+        "~2.05",
+        format!("{:.2}", ratio("DoH", "DoTCP")),
+    );
+    compare(
+        "  DoQ / DoTCP handshake ratio",
+        "~1.02",
+        format!("{:.2}", ratio("DoQ", "DoTCP")),
+    );
 }

@@ -8,7 +8,10 @@ fn main() {
     let samples = opts.study.run_single_query();
     let f = fig2(&samples);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&f.resolve_ms).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&f.resolve_ms).expect("serializable")
+        );
     }
     println!("== E4: Fig. 2b — resolve time ==");
     println!("{}", render_fig2(&f));

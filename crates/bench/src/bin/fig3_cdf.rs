@@ -11,7 +11,10 @@ fn main() {
     let samples = opts.study.run_webperf();
     let diffs = relative_to_baseline(&samples, DnsTransport::DoUdp);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&diffs).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diffs).expect("serializable")
+        );
     }
     println!("== E5/E6: Fig. 3 — relative differences vs DoUDP ==");
     println!("{}", render_fig3(&diffs, "FCP"));
@@ -33,7 +36,10 @@ fn main() {
     compare(
         "  FCP: DoT delayed > 20% at that same fraction",
         ">20% delay",
-        format!("DoT <=20% frac: {:.0}%", frac_at("DoT", &diffs.fcp, 20.0) * 100.0),
+        format!(
+            "DoT <=20% frac: {:.0}%",
+            frac_at("DoT", &diffs.fcp, 20.0) * 100.0
+        ),
     );
     compare(
         "  PLT: fraction of DoQ loads with > 15% increase",

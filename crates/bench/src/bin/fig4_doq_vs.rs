@@ -3,15 +3,18 @@
 //! DNS-query count.
 
 use doqlab_bench::{compare, parse_options};
-use doqlab_core::measure::report::{fig4, render_fig4};
 use doqlab_core::measure::median;
+use doqlab_core::measure::report::{fig4, render_fig4};
 
 fn main() {
     let opts = parse_options();
     let samples = opts.study.run_webperf();
     let cells = fig4(&samples);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cells).expect("serializable")
+        );
     }
     println!("== E7: Fig. 4 — PLT vs DoQ per vantage point and page ==");
     println!("{}", render_fig4(&cells));
@@ -19,32 +22,53 @@ fn main() {
     // Aggregated paper anchors: simple pages profit most from DoQ's
     // 1-RTT setup; complex pages amortize the encryption cost.
     let page_median = |name: &str, f: &dyn Fn(&doqlab_core::measure::report::Fig4Cell) -> f64| {
-        median(&cells.iter().filter(|c| c.page == name).map(f).collect::<Vec<_>>())
-            .unwrap_or(f64::NAN)
+        median(
+            &cells
+                .iter()
+                .filter(|c| c.page == name)
+                .map(f)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN)
     };
     println!("Paper anchor points (medians across vantage points):");
     compare(
         "  wikipedia.org: DoH slower than DoQ by",
         "up to ~10%",
-        format!("{:.1}%", page_median("wikipedia.org", &|c| c.doh_rel_median_pct)),
+        format!(
+            "{:.1}%",
+            page_median("wikipedia.org", &|c| c.doh_rel_median_pct)
+        ),
     );
     compare(
         "  wikipedia.org: DoUDP faster than DoQ by",
         "up to ~10%",
-        format!("{:.1}%", -page_median("wikipedia.org", &|c| c.doudp_rel_median_pct)),
+        format!(
+            "{:.1}%",
+            -page_median("wikipedia.org", &|c| c.doudp_rel_median_pct)
+        ),
     );
     compare(
         "  youtube.com: DoUDP faster than DoQ by",
         "~2%",
-        format!("{:.1}%", -page_median("youtube.com", &|c| c.doudp_rel_median_pct)),
+        format!(
+            "{:.1}%",
+            -page_median("youtube.com", &|c| c.doudp_rel_median_pct)
+        ),
     );
     compare(
         "  microsoft.com: DoUDP faster than DoQ by",
         "~2%",
-        format!("{:.1}%", -page_median("microsoft.com", &|c| c.doudp_rel_median_pct)),
+        format!(
+            "{:.1}%",
+            -page_median("microsoft.com", &|c| c.doudp_rel_median_pct)
+        ),
     );
     let overall_doq_wins = median(
-        &cells.iter().map(|c| c.doq_faster_than_doh).collect::<Vec<_>>(),
+        &cells
+            .iter()
+            .map(|c| c.doq_faster_than_doh)
+            .collect::<Vec<_>>(),
     )
     .unwrap_or(f64::NAN);
     compare(

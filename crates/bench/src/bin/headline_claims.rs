@@ -9,7 +9,10 @@ fn main() {
     let web = opts.study.run_webperf();
     let h = headline(&sq, &web);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&h).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&h).expect("serializable")
+        );
     }
     println!("== E8: headline claims ==\n");
     compare(

@@ -9,23 +9,63 @@ fn main() {
     let samples = opts.study.run_single_query();
     let o = overview(&samples);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&o).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&o).expect("serializable")
+        );
     }
     println!("== E1: §3 overview ==\n");
     println!("QUIC versions (share of DoQ measurements):");
-    for (name, paper) in [("v1", "89.1%"), ("draft-34", "8.5%"), ("draft-32", "1.8%"), ("draft-29", "0.6%")] {
+    for (name, paper) in [
+        ("v1", "89.1%"),
+        ("draft-34", "8.5%"),
+        ("draft-32", "1.8%"),
+        ("draft-29", "0.6%"),
+    ] {
         let measured = o.quic_version_shares.get(name).copied().unwrap_or(0.0);
-        compare(&format!("  {name}"), paper, format!("{:.1}%", measured * 100.0));
+        compare(
+            &format!("  {name}"),
+            paper,
+            format!("{:.1}%", measured * 100.0),
+        );
     }
     println!("\nDoQ ALPN identifiers:");
-    for (name, paper) in [("doq-i02", "87.4%"), ("doq-i03", "10.8%"), ("doq-i00", "1.8%")] {
+    for (name, paper) in [
+        ("doq-i02", "87.4%"),
+        ("doq-i03", "10.8%"),
+        ("doq-i00", "1.8%"),
+    ] {
         let measured = o.doq_alpn_shares.get(name).copied().unwrap_or(0.0);
-        compare(&format!("  {name}"), paper, format!("{:.1}%", measured * 100.0));
+        compare(
+            &format!("  {name}"),
+            paper,
+            format!("{:.1}%", measured * 100.0),
+        );
     }
     println!("\nTLS and features:");
-    compare("  TLS 1.3 share (encrypted transports)", "~99%", format!("{:.1}%", o.tls13_share * 100.0));
-    compare("  Session Resumption on measured queries", "100%", format!("{:.1}%", o.resumption_share * 100.0));
-    compare("  0-RTT accepted", "0% (no resolver)", format!("{:.1}%", o.zero_rtt_share * 100.0));
-    compare("  TCP Fast Open support", "0% (no resolver)", "0.0% (disabled in population)".to_string());
-    compare("  edns-tcp-keepalive support", "0% (no resolver)", "0.0% (disabled in population)".to_string());
+    compare(
+        "  TLS 1.3 share (encrypted transports)",
+        "~99%",
+        format!("{:.1}%", o.tls13_share * 100.0),
+    );
+    compare(
+        "  Session Resumption on measured queries",
+        "100%",
+        format!("{:.1}%", o.resumption_share * 100.0),
+    );
+    compare(
+        "  0-RTT accepted",
+        "0% (no resolver)",
+        format!("{:.1}%", o.zero_rtt_share * 100.0),
+    );
+    compare(
+        "  TCP Fast Open support",
+        "0% (no resolver)",
+        "0.0% (disabled in population)".to_string(),
+    );
+    compare(
+        "  edns-tcp-keepalive support",
+        "0% (no resolver)",
+        "0.0% (disabled in population)".to_string(),
+    );
 }

@@ -15,7 +15,12 @@ fn main() {
     let opts = parse_options();
     let population = opts.study.population();
     let vps = vantage_points();
-    let n = opts.study.scale.resolvers.unwrap_or(24).min(population.len());
+    let n = opts
+        .study
+        .scale
+        .resolvers
+        .unwrap_or(24)
+        .min(population.len());
     let stride = (population.len() / n.max(1)).max(1);
     let resolvers: Vec<_> = population.iter().step_by(stride).take(n).collect();
     let reps = opts.study.scale.repetitions.max(2);

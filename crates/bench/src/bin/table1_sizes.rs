@@ -17,7 +17,10 @@ fn main() {
     let samples = opts.study.run_single_query();
     let t = table1(&samples);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&t).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&t).expect("serializable")
+        );
     }
     println!("== E2: Table 1 (median single-query sizes, bytes of IP payload) ==\n");
     println!("--- measured ({} scale) ---", opts.scale_name);
@@ -27,7 +30,13 @@ fn main() {
         "{:<28}{:>8}{:>8}{:>8}{:>8}{:>8}",
         "", "DoUDP", "DoTCP", "DoQ", "DoH", "DoT"
     );
-    let labels = ["Total", "Handshake C->R", "Handshake R->C", "DNS Query", "DNS Response"];
+    let labels = [
+        "Total",
+        "Handshake C->R",
+        "Handshake R->C",
+        "DNS Query",
+        "DNS Response",
+    ];
     for (i, label) in labels.iter().enumerate() {
         print!("{label:<28}");
         for (_, vals) in PAPER {

@@ -17,7 +17,9 @@
 //!
 //! Every binary accepts `--scale quick|medium|paper` (default `medium`),
 //! `--seed N` and `--json` (machine-readable output); paper-reference
-//! values are printed alongside for comparison.
+//! values are printed alongside for comparison. The environment
+//! variables `DOQLAB_SEED` (default seed) and `DOQLAB_THREADS`
+//! (campaign worker count) override via the measurement engine.
 
 use doqlab_core::measure::Scale;
 use doqlab_core::Study;
@@ -30,10 +32,12 @@ pub struct Options {
     pub scale_name: String,
 }
 
-/// Parse `--scale`, `--seed`, `--json` from `std::env::args`.
+/// Parse `--scale`, `--seed`, `--json` from `std::env::args`. The
+/// seed default honours `DOQLAB_SEED`, and every campaign honours
+/// `DOQLAB_THREADS`, via the engine's env overrides.
 pub fn parse_options() -> Options {
     let args: Vec<String> = std::env::args().collect();
-    let mut seed = 2022u64;
+    let mut seed = doqlab_core::measure::engine::env_seed(2022);
     let mut scale_name = "medium".to_string();
     let mut json = false;
     let mut resolvers: Option<usize> = None;
@@ -96,7 +100,11 @@ pub fn parse_options() -> Options {
         study.scale.repetitions = n;
         study.scale.rounds = n;
     }
-    Options { study, json, scale_name }
+    Options {
+        study,
+        json,
+        scale_name,
+    }
 }
 
 /// A scale override helper for experiments that need a custom grid.

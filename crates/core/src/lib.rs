@@ -64,13 +64,19 @@ impl Study {
 
     /// Mid-size: the full resolver population, fewer repetitions.
     pub fn medium(seed: u64) -> Study {
-        Study { scale: Scale::medium(), ..Study::quick(seed) }
+        Study {
+            scale: Scale::medium(),
+            ..Study::quick(seed)
+        }
     }
 
     /// The paper's full sample counts (~157k single-query samples and
     /// ~56k Web samples per protocol).
     pub fn paper(seed: u64) -> Study {
-        Study { scale: Scale::paper(), ..Study::quick(seed) }
+        Study {
+            scale: Scale::paper(),
+            ..Study::quick(seed)
+        }
     }
 
     /// The 313 verified DoX resolvers (§2 distributions).
@@ -124,9 +130,7 @@ pub mod prelude {
     pub use crate::Study;
     pub use doqlab_dox::{ClientConfig, DnsTransport, SessionState};
     pub use doqlab_measure::report;
-    pub use doqlab_measure::{
-        median, percentile, vantage_points, Cdf, Scale,
-    };
+    pub use doqlab_measure::{median, percentile, vantage_points, Cdf, Scale};
     pub use doqlab_resolver::{synthesize_dox_population, ResolverProfile};
     pub use doqlab_simnet::{Coord, Duration, SimTime};
     pub use doqlab_webperf::{run_page_load, tranco_top10, PageLoadConfig};
@@ -155,7 +159,7 @@ mod tests {
         let sq = study.run_single_query();
         assert_eq!(sq.len(), 6 * 2 * 5);
         let web = study.run_webperf();
-        assert_eq!(web.len(), 6 * 2 * 1 * 5);
+        assert_eq!(web.len(), (6 * 2) * 5);
         let t1 = measure::report::table1(&sq);
         assert_eq!(t1.sample_counts.len(), 5);
     }

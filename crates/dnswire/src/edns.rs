@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn from_record_rejects_wrong_type() {
-        let rr = ResourceRecord::new(
-            Name::parse("x.y").unwrap(),
-            0,
-            RData::A([1, 2, 3, 4]),
-        );
+        let rr = ResourceRecord::new(Name::parse("x.y").unwrap(), 0, RData::A([1, 2, 3, 4]));
         assert!(OptRecord::from_record(&rr).is_err());
     }
 

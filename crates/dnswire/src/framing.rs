@@ -4,7 +4,10 @@
 
 /// Prefix `msg` with its big-endian 16-bit length.
 pub fn frame(msg: &[u8]) -> Vec<u8> {
-    assert!(msg.len() <= u16::MAX as usize, "DNS message too large to frame");
+    assert!(
+        msg.len() <= u16::MAX as usize,
+        "DNS message too large to frame"
+    );
     let mut out = Vec::with_capacity(2 + msg.len());
     out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
     out.extend_from_slice(msg);

@@ -94,7 +94,11 @@ pub struct Question {
 
 impl Question {
     pub fn new(name: Name, rtype: RecordType) -> Self {
-        Question { name, rtype, class: RecordClass::In }
+        Question {
+            name,
+            rtype,
+            class: RecordClass::In,
+        }
     }
 
     fn encode(&self, w: &mut WireWriter) {
@@ -127,7 +131,10 @@ impl Message {
     /// record (as every modern stub does).
     pub fn query(id: u16, name: Name, rtype: RecordType) -> Message {
         let mut msg = Message {
-            header: Header { id, ..Header::default() },
+            header: Header {
+                id,
+                ..Header::default()
+            },
             questions: vec![Question::new(name, rtype)],
             ..Message::default()
         };
@@ -185,7 +192,12 @@ impl Message {
         for q in &self.questions {
             q.encode(&mut w);
         }
-        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             rr.encode(&mut w);
         }
         w.finish()
@@ -263,7 +275,11 @@ mod tests {
         let q = Message::query(9, name("google.com"), RecordType::A);
         let resp = Message::response_to(
             &q,
-            vec![ResourceRecord::new(name("google.com"), 300, RData::A([8, 8, 8, 8]))],
+            vec![ResourceRecord::new(
+                name("google.com"),
+                300,
+                RData::A([8, 8, 8, 8]),
+            )],
         );
         let buf = resp.encode();
         let back = Message::decode(&buf).unwrap();
@@ -305,7 +321,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut buf = Message::query(1, name("a.b"), RecordType::A).encode();
         buf.push(0);
-        assert_eq!(Message::decode(&buf), Err(WireError::Invalid("trailing bytes")));
+        assert_eq!(
+            Message::decode(&buf),
+            Err(WireError::Invalid("trailing bytes"))
+        );
     }
 
     #[test]
@@ -335,7 +354,10 @@ mod tests {
                 checking_disabled: false,
                 rcode: Rcode::NoError,
             };
-            let m = Message { header: h.clone(), ..Message::default() };
+            let m = Message {
+                header: h.clone(),
+                ..Message::default()
+            };
             assert_eq!(Message::decode(&m.encode()).unwrap().header, h);
         }
     }

@@ -85,7 +85,9 @@ impl Name {
         if self.labels.is_empty() {
             None
         } else {
-            Some(Name { labels: self.labels[1..].to_vec() })
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
         }
     }
 
@@ -144,8 +146,8 @@ impl Name {
     pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let mut labels = Vec::new();
         let mut wire_len = 1usize; // terminating root byte
-        // After following the first pointer, the reader must be restored
-        // to the position just past the pointer.
+                                   // After following the first pointer, the reader must be restored
+                                   // to the position just past the pointer.
         let mut resume: Option<usize> = None;
         // Pointers must strictly decrease to rule out loops.
         let mut last_pointer = usize::MAX;
@@ -224,7 +226,10 @@ mod tests {
         let n = Name::parse("www.Google.com").unwrap();
         assert_eq!(n.label_count(), 3);
         assert_eq!(n.to_string(), "www.Google.com.");
-        assert_eq!(Name::parse("google.com.").unwrap().to_string(), "google.com.");
+        assert_eq!(
+            Name::parse("google.com.").unwrap().to_string(),
+            "google.com."
+        );
         assert_eq!(Name::root().to_string(), ".");
         assert_eq!(Name::parse("").unwrap(), Name::root());
         assert_eq!(Name::parse(".").unwrap(), Name::root());
@@ -242,10 +247,7 @@ mod tests {
     #[test]
     fn simple_encode() {
         let n = Name::parse("google.com").unwrap();
-        assert_eq!(
-            encode_one(&n),
-            b"\x06google\x03com\x00".to_vec()
-        );
+        assert_eq!(encode_one(&n), b"\x06google\x03com\x00".to_vec());
         assert_eq!(n.wire_len(), 12);
     }
 
@@ -365,7 +367,9 @@ mod tests {
 
     #[test]
     fn display_escapes_non_printable() {
-        let n = Name { labels: vec![vec![0x07, b'.']] };
+        let n = Name {
+            labels: vec![vec![0x07, b'.']],
+        };
         assert_eq!(n.to_string(), "\\007\\046.");
     }
 }

@@ -71,7 +71,10 @@ pub enum RData {
     Ns(Name),
     Cname(Name),
     Ptr(Name),
-    Mx { preference: u16, exchange: Name },
+    Mx {
+        preference: u16,
+        exchange: Name,
+    },
     /// One or more character-strings.
     Txt(Vec<Vec<u8>>),
     Soa {
@@ -84,7 +87,11 @@ pub enum RData {
         minimum: u32,
     },
     /// SVCB (priority 0 = alias mode) / HTTPS share a format.
-    Svcb { priority: u16, target: Name, params: Vec<SvcParam> },
+    Svcb {
+        priority: u16,
+        target: Name,
+        params: Vec<SvcParam>,
+    },
     /// OPT RDATA is handled by [`crate::edns`]; at this layer it is raw.
     Opt(Vec<u8>),
     /// Unrecognized types, kept verbatim.
@@ -118,7 +125,10 @@ impl RData {
             RData::A(a) => w.put_slice(a),
             RData::Aaaa(a) => w.put_slice(a),
             RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode(w),
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 w.put_u16(*preference);
                 exchange.encode(w);
             }
@@ -128,7 +138,15 @@ impl RData {
                     w.put_slice(s);
                 }
             }
-            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
                 mname.encode(w);
                 rname.encode(w);
                 w.put_u32(*serial);
@@ -137,7 +155,11 @@ impl RData {
                 w.put_u32(*expire);
                 w.put_u32(*minimum);
             }
-            RData::Svcb { priority, target, params } => {
+            RData::Svcb {
+                priority,
+                target,
+                params,
+            } => {
                 w.put_u16(*priority);
                 target.encode_uncompressed(w);
                 for p in params {
@@ -179,7 +201,10 @@ impl RData {
             RecordType::Ptr => RData::Ptr(Name::decode(r)?),
             RecordType::Mx => {
                 let preference = r.get_u16()?;
-                RData::Mx { preference, exchange: Name::decode(r)? }
+                RData::Mx {
+                    preference,
+                    exchange: Name::decode(r)?,
+                }
             }
             RecordType::Txt => {
                 let mut strings = Vec::new();
@@ -214,7 +239,11 @@ impl RData {
                     let value = r.get_slice(len)?;
                     params.push(SvcParam::decode(key, value)?);
                 }
-                RData::Svcb { priority, target, params }
+                RData::Svcb {
+                    priority,
+                    target,
+                    params,
+                }
             }
             RecordType::Opt => RData::Opt(r.get_slice(rdlen)?.to_vec()),
             _ => RData::Unknown(r.get_slice(rdlen)?.to_vec()),
@@ -241,7 +270,13 @@ impl ResourceRecord {
     /// implied by the RDATA.
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
         let rtype = rdata.natural_type().expect("use new_raw for OPT/unknown");
-        ResourceRecord { name, rtype, class: RecordClass::In, ttl, rdata }
+        ResourceRecord {
+            name,
+            rtype,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
     }
 
     pub fn encode(&self, w: &mut WireWriter) {
@@ -263,7 +298,13 @@ impl ResourceRecord {
         let ttl = r.get_u32()?;
         let rdlen = r.get_u16()? as usize;
         let rdata = RData::decode(rtype, rdlen, r)?;
-        Ok(ResourceRecord { name, rtype, class, ttl, rdata })
+        Ok(ResourceRecord {
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata,
+        })
     }
 }
 
@@ -315,7 +356,10 @@ mod tests {
         let rr = ResourceRecord::new(
             name("example.org"),
             3600,
-            RData::Mx { preference: 10, exchange: name("mail.example.org") },
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.example.org"),
+            },
         );
         assert_eq!(roundtrip(&rr), rr);
     }
@@ -378,9 +422,7 @@ mod tests {
         );
         let mut w = WireWriter::new();
         rr.encode(&mut w);
-        let plain = name("example.org").wire_len()
-            + 10
-            + name("www.example.org").wire_len();
+        let plain = name("example.org").wire_len() + 10 + name("www.example.org").wire_len();
         assert!(w.len() < plain, "compression should shrink the record");
         let buf = w.finish();
         let mut r = WireReader::new(&buf);

@@ -20,12 +20,14 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
             .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh)| RData::Soa {
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, refresh)| RData::Soa {
                 mname,
                 rname,
                 serial,
@@ -33,7 +35,8 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
                 retry: 300,
                 expire: 600,
                 minimum: 60,
-            }),
+            }
+        ),
         (any::<u16>(), arb_name()).prop_map(|(priority, target)| RData::Svcb {
             priority,
             target,

@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn session_state_emptiness() {
         assert!(SessionState::default().is_empty());
-        let s = SessionState { quic_version: Some(1), ..SessionState::default() };
+        let s = SessionState {
+            quic_version: Some(1),
+            ..SessionState::default()
+        };
         assert!(!s.is_empty());
     }
 }

@@ -47,8 +47,10 @@ impl DoHClient {
     fn send_request(&mut self, msg: &Message) {
         let body = msg.encode();
         let headers = doh_request_headers(&self.authority, body.len());
-        let header_refs: Vec<(&str, &str)> =
-            headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let header_refs: Vec<(&str, &str)> = headers
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
         self.h2.send_request(&header_refs, &body);
         self.outstanding += 1;
     }

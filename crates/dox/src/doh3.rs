@@ -7,9 +7,7 @@
 
 use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, SessionState};
 use doqlab_dnswire::Message;
-use doqlab_netstack::http3::{
-    control_stream_preamble, doh3_request, doh3_response, H3Message,
-};
+use doqlab_netstack::http3::{control_stream_preamble, doh3_request, doh3_response, H3Message};
 use doqlab_netstack::quic::{QuicConfig, QuicConnection, QUIC_V1};
 use doqlab_netstack::tls::TlsConfig;
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
@@ -48,7 +46,10 @@ impl DoH3Client {
                 .as_ref()
                 .is_some_and(|t| t.allows_early_data);
         DoH3Client {
-            quic_cfg: QuicConfig { tls, ..QuicConfig::default() },
+            quic_cfg: QuicConfig {
+                tls,
+                ..QuicConfig::default()
+            },
             local,
             remote,
             initial_version: cfg.session.quic_version.unwrap_or(QUIC_V1),

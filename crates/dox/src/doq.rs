@@ -50,7 +50,10 @@ impl DoQClient {
                 .as_ref()
                 .is_some_and(|t| t.allows_early_data);
         DoQClient {
-            quic_cfg: QuicConfig { tls, ..QuicConfig::default() },
+            quic_cfg: QuicConfig {
+                tls,
+                ..QuicConfig::default()
+            },
             local,
             remote,
             initial_version: cfg.session.quic_version.unwrap_or(QUIC_V1),
@@ -95,8 +98,11 @@ impl DoQClient {
             let orig_id = msg.header.id;
             msg.header.id = 0; // RFC 9250 §4.2.1
             let wire = msg.encode();
-            let payload =
-                if alpn.uses_length_prefix() { framing::frame(&wire) } else { wire };
+            let payload = if alpn.uses_length_prefix() {
+                framing::frame(&wire)
+            } else {
+                wire
+            };
             let stream = conn.open_bi();
             conn.stream_send(stream, &payload, true);
             self.inflight
@@ -234,7 +240,6 @@ impl DnsClientConn for DoQClient {
                 .as_ref()
                 .and_then(|c| c.early_data_accepted())
                 .unwrap_or(false),
-            ..ConnMetadata::default()
         }
     }
 }

@@ -19,9 +19,9 @@ pub mod alpn;
 pub mod client;
 pub mod doh;
 pub mod doh3;
-pub mod host;
 pub mod doq;
 pub mod dot;
+pub mod host;
 pub mod server;
 pub mod tcp;
 pub mod udp;

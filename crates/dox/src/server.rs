@@ -105,8 +105,15 @@ pub enum ConnKey {
     Tcp(SocketAddr),
     Dot(SocketAddr),
     Doh(SocketAddr, u32),
-    Doq { peer: SocketAddr, port: u16, stream: u64 },
-    Doh3 { peer: SocketAddr, stream: u64 },
+    Doq {
+        peer: SocketAddr,
+        port: u16,
+        stream: u64,
+    },
+    Doh3 {
+        peer: SocketAddr,
+        stream: u64,
+    },
 }
 
 /// A decoded query event.
@@ -153,7 +160,10 @@ pub struct DnsServerSet {
 
 impl DnsServerSet {
     pub fn new(cfg: ServerConfig) -> Self {
-        let tcp_cfg = TcpConfig { enable_tfo: cfg.enable_tfo, ..TcpConfig::default() };
+        let tcp_cfg = TcpConfig {
+            enable_tfo: cfg.enable_tfo,
+            ..TcpConfig::default()
+        };
         let doq = cfg
             .doq_ports
             .iter()
@@ -164,7 +174,10 @@ impl DnsServerSet {
                     retry_required: cfg.retry_required,
                     ..QuicConfig::default()
                 };
-                (port, QuicServer::new(SocketAddr::new(cfg.ip, port), quic_cfg))
+                (
+                    port,
+                    QuicServer::new(SocketAddr::new(cfg.ip, port), quic_cfg),
+                )
             })
             .collect();
         let doh3 = cfg.supports_doh3.then(|| {
@@ -217,8 +230,7 @@ impl DnsServerSet {
             }
             (Transport::Udp, ports::HTTPS) => {
                 if let Some(server) = &mut self.doh3 {
-                    for (peer, dgram) in server.handle_datagram(now, pkt.src, &pkt.payload)
-                    {
+                    for (peer, dgram) in server.handle_datagram(now, pkt.src, &pkt.payload) {
                         out.push(Packet::udp(
                             SocketAddr::new(self.cfg.ip, ports::HTTPS),
                             peer,
@@ -231,16 +243,9 @@ impl DnsServerSet {
                 if !self.cfg.supports_doq {
                     return;
                 }
-                if let Some((_, server)) =
-                    self.doq.iter_mut().find(|(p, _)| *p == port)
-                {
-                    for (peer, dgram) in server.handle_datagram(now, pkt.src, &pkt.payload)
-                    {
-                        out.push(Packet::udp(
-                            SocketAddr::new(self.cfg.ip, port),
-                            peer,
-                            dgram,
-                        ));
+                if let Some((_, server)) = self.doq.iter_mut().find(|(p, _)| *p == port) {
+                    for (peer, dgram) in server.handle_datagram(now, pkt.src, &pkt.payload) {
+                        out.push(Packet::udp(SocketAddr::new(self.cfg.ip, port), peer, dgram));
                     }
                 }
             }
@@ -296,18 +301,21 @@ impl DnsServerSet {
         }
         self.events.append(&mut tcp_events);
         // Close DoTCP connections whose response has drained.
-        self.tcp_closing.retain(|peer| {
-            match self.tcp.connection(*peer) {
+        self.tcp_closing
+            .retain(|peer| match self.tcp.connection(*peer) {
                 Some(sock) if sock.tx_outstanding() == 0 => {
                     sock.close();
                     false
                 }
                 Some(_) => true,
                 None => false,
-            }
-        });
+            });
         for (peer, seg) in self.tcp.poll(now) {
-            out.push(Packet::tcp(SocketAddr::new(self.cfg.ip, ports::DNS), peer, seg.encode()));
+            out.push(Packet::tcp(
+                SocketAddr::new(self.cfg.ip, ports::DNS),
+                peer,
+                seg.encode(),
+            ));
         }
 
         // --- DoT ---
@@ -345,7 +353,11 @@ impl DnsServerSet {
         }
         self.events.append(&mut dot_events);
         for (peer, seg) in self.dot.poll(now) {
-            out.push(Packet::tcp(SocketAddr::new(self.cfg.ip, ports::DOT), peer, seg.encode()));
+            out.push(Packet::tcp(
+                SocketAddr::new(self.cfg.ip, ports::DOT),
+                peer,
+                seg.encode(),
+            ));
         }
 
         // --- DoH ---
@@ -387,7 +399,11 @@ impl DnsServerSet {
         }
         self.events.append(&mut doh_events);
         for (peer, seg) in self.doh.poll(now) {
-            out.push(Packet::tcp(SocketAddr::new(self.cfg.ip, ports::HTTPS), peer, seg.encode()));
+            out.push(Packet::tcp(
+                SocketAddr::new(self.cfg.ip, ports::HTTPS),
+                peer,
+                seg.encode(),
+            ));
         }
 
         // --- DoQ ---
@@ -415,7 +431,11 @@ impl DnsServerSet {
                         if let Ok(query) = Message::decode(&wire) {
                             if !query.header.response {
                                 doq_events.push(ServerEvent {
-                                    key: ConnKey::Doq { peer, port: *port, stream },
+                                    key: ConnKey::Doq {
+                                        peer,
+                                        port: *port,
+                                        stream,
+                                    },
                                     transport: DnsTransport::DoQ,
                                     query,
                                     received_at: now,
@@ -426,7 +446,11 @@ impl DnsServerSet {
                 }
             }
             for (peer, dgram) in server.poll_transmit(now) {
-                out.push(Packet::udp(SocketAddr::new(self.cfg.ip, *port), peer, dgram));
+                out.push(Packet::udp(
+                    SocketAddr::new(self.cfg.ip, *port),
+                    peer,
+                    dgram,
+                ));
             }
         }
         self.events.append(&mut doq_events);
@@ -452,9 +476,7 @@ impl DnsServerSet {
                     buf.extend_from_slice(&data);
                     let is_request = stream % 4 == 0; // client bidi
                     if fin && is_request {
-                        if let Some(req) =
-                            doqlab_netstack::http3::H3Message::decode(buf)
-                        {
+                        if let Some(req) = doqlab_netstack::http3::H3Message::decode(buf) {
                             if let Ok(query) = Message::decode(&req.body) {
                                 if !query.header.response {
                                     doh3_events.push(ServerEvent {
@@ -471,7 +493,11 @@ impl DnsServerSet {
                 }
             }
             for (peer, dgram) in server.poll_transmit(now) {
-                out.push(Packet::udp(SocketAddr::new(self.cfg.ip, ports::HTTPS), peer, dgram));
+                out.push(Packet::udp(
+                    SocketAddr::new(self.cfg.ip, ports::HTTPS),
+                    peer,
+                    dgram,
+                ));
             }
             self.events.append(&mut doh3_events);
         }
@@ -498,9 +524,8 @@ impl DnsServerSet {
                     if self.cfg.tcp_keepalive {
                         // RFC 7828: advertise an idle timeout (in units
                         // of 100 ms) so the client holds the connection.
-                        msg.additionals.retain(|rr| {
-                            rr.rtype != doqlab_dnswire::RecordType::Opt
-                        });
+                        msg.additionals
+                            .retain(|rr| rr.rtype != doqlab_dnswire::RecordType::Opt);
                         msg.additionals.push(
                             OptRecord {
                                 options: vec![EdnsOption::TcpKeepalive(Some(300))],
@@ -523,8 +548,10 @@ impl DnsServerSet {
             ConnKey::Doh(peer, stream) => {
                 if let Some(conn) = self.doh_conns.get_mut(&peer) {
                     let (headers, body) = doh_response_parts(msg);
-                    let refs: Vec<(&str, &str)> =
-                        headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+                    let refs: Vec<(&str, &str)> = headers
+                        .iter()
+                        .map(|(n, v)| (n.as_str(), v.as_str()))
+                        .collect();
                     conn.h2.send_response(stream, &refs, &body);
                 }
             }

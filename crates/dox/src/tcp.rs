@@ -37,7 +37,10 @@ pub struct DoTcpClient {
 
 impl DoTcpClient {
     pub fn new(local: SocketAddr, remote: SocketAddr, cfg: &ClientConfig) -> Self {
-        let tcp_cfg = TcpConfig { enable_tfo: cfg.enable_tfo, ..TcpConfig::default() };
+        let tcp_cfg = TcpConfig {
+            enable_tfo: cfg.enable_tfo,
+            ..TcpConfig::default()
+        };
         DoTcpClient {
             // ISS is assigned at start() from the shared RNG.
             tcp: TcpSocket::client(local, remote, 0, tcp_cfg),
@@ -136,7 +139,7 @@ mod tests {
         for _ in 0..200 {
             // Deliver client -> server.
             let to_server = std::mem::take(&mut out);
-            now = now + doqlab_simnet::Duration::from_millis(5);
+            now += doqlab_simnet::Duration::from_millis(5);
             for pkt in to_server {
                 if let Some(seg) = TcpSegment::decode(&pkt.payload) {
                     listener.on_segment(now, client_addr, &seg);
@@ -156,7 +159,7 @@ mod tests {
                 }
             }
             // Deliver server -> client.
-            now = now + doqlab_simnet::Duration::from_millis(5);
+            now += doqlab_simnet::Duration::from_millis(5);
             let mut segs = Vec::new();
             for (_, seg) in listener.poll(now) {
                 segs.push(seg);
@@ -181,8 +184,7 @@ mod tests {
 
     #[test]
     fn query_response_over_tcp() {
-        let mut client =
-            DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
+        let mut client = DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
         let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
         client.query(SimTime::ZERO, &q);
         let mut listener = TcpListener::new(sa(2, 53), TcpConfig::default());
@@ -194,8 +196,7 @@ mod tests {
 
     #[test]
     fn handshake_takes_one_rtt_before_query_flows() {
-        let mut client =
-            DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
+        let mut client = DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
         let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
         client.query(SimTime::ZERO, &q);
         let mut rng = SimRng::new(9);

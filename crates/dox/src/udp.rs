@@ -73,7 +73,9 @@ impl DnsClientConn for DoUdpClient {
     }
 
     fn on_packet(&mut self, now: SimTime, pkt: &Packet, _out: &mut Vec<Packet>) {
-        let Ok(msg) = Message::decode(&pkt.payload) else { return };
+        let Ok(msg) = Message::decode(&pkt.payload) else {
+            return;
+        };
         if !msg.header.response {
             return;
         }
@@ -129,7 +131,9 @@ impl DnsClientConn for DoUdpClient {
 /// Server side: stateless — decode, hand to the resolver logic, encode.
 /// Provided as a helper for [`crate::server::DnsServerSet`].
 pub fn decode_udp_query(pkt: &Packet) -> Option<Message> {
-    Message::decode(&pkt.payload).ok().filter(|m| !m.header.response)
+    Message::decode(&pkt.payload)
+        .ok()
+        .filter(|m| !m.header.response)
 }
 
 #[cfg(test)]
@@ -202,12 +206,8 @@ mod tests {
         c.query(SimTime::ZERO, &query(7));
         let mut out = Vec::new();
         c.start(SimTime::ZERO, &mut rng, &mut out);
-        let mut now = SimTime::ZERO;
         for _ in 0..5 {
-            match c.next_timeout() {
-                Some(t) => now = t,
-                None => break,
-            }
+            let Some(now) = c.next_timeout() else { break };
             c.poll(now, &mut out);
         }
         assert!(c.failed());

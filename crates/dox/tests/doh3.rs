@@ -68,12 +68,11 @@ fn run_query(
     server_cfg: ServerConfig,
     client_cfg: ClientConfig,
 ) -> (Option<f64>, f64, SessionState, usize) {
-    let mut sim = Simulator::new(
-        11,
-        Box::new(FixedPathModel::new(Duration::from_millis(25))),
-    );
+    let mut sim = Simulator::new(11, Box::new(FixedPathModel::new(Duration::from_millis(25))));
     sim.enable_trace();
-    let resolver = EchoResolver { set: DnsServerSet::new(server_cfg) };
+    let resolver = EchoResolver {
+        set: DnsServerSet::new(server_cfg),
+    };
     sim.add_host(Box::new(resolver), &[resolver_ip()]);
     let local = SocketAddr::new(client_ip(), 40_000);
     let remote = SocketAddr::new(resolver_ip(), transport.port());
@@ -97,7 +96,10 @@ fn run_query(
 }
 
 fn doh3_server() -> ServerConfig {
-    ServerConfig { supports_doh3: true, ..ServerConfig::default() }
+    ServerConfig {
+        supports_doh3: true,
+        ..ServerConfig::default()
+    }
 }
 
 #[test]
@@ -113,14 +115,17 @@ fn doh3_resolves_like_doq_round_trips() {
 
 #[test]
 fn doh3_matches_doq_and_beats_doh_on_time() {
-    let (_, doh3_at, _, _) =
-        run_query(DnsTransport::DoH3, doh3_server(), ClientConfig::default());
-    let (_, doq_at, _, _) =
-        run_query(DnsTransport::DoQ, doh3_server(), ClientConfig::default());
-    let (_, doh_at, _, _) =
-        run_query(DnsTransport::DoH, doh3_server(), ClientConfig::default());
-    assert!((doh3_at - doq_at).abs() < 1.0, "DoH3 {doh3_at} vs DoQ {doq_at}");
-    assert!((doh_at - doh3_at - 50.0).abs() < 1.0, "DoH {doh_at} vs DoH3 {doh3_at}");
+    let (_, doh3_at, _, _) = run_query(DnsTransport::DoH3, doh3_server(), ClientConfig::default());
+    let (_, doq_at, _, _) = run_query(DnsTransport::DoQ, doh3_server(), ClientConfig::default());
+    let (_, doh_at, _, _) = run_query(DnsTransport::DoH, doh3_server(), ClientConfig::default());
+    assert!(
+        (doh3_at - doq_at).abs() < 1.0,
+        "DoH3 {doh3_at} vs DoQ {doq_at}"
+    );
+    assert!(
+        (doh_at - doh3_at - 50.0).abs() < 1.0,
+        "DoH {doh_at} vs DoH3 {doh3_at}"
+    );
 }
 
 #[test]
@@ -128,8 +133,7 @@ fn doh3_costs_more_bytes_than_doq() {
     // Same transport, but HTTP framing + QPACK headers per query.
     let (_, _, _, doh3_bytes) =
         run_query(DnsTransport::DoH3, doh3_server(), ClientConfig::default());
-    let (_, _, _, doq_bytes) =
-        run_query(DnsTransport::DoQ, doh3_server(), ClientConfig::default());
+    let (_, _, _, doq_bytes) = run_query(DnsTransport::DoQ, doh3_server(), ClientConfig::default());
     assert!(
         doh3_bytes > doq_bytes + 100,
         "DoH3 {doh3_bytes} vs DoQ {doq_bytes}"
@@ -140,11 +144,17 @@ fn doh3_costs_more_bytes_than_doq() {
 fn doh3_resumption_and_0rtt() {
     // Capture a ticket, resume with 0-RTT on an upgraded resolver:
     // the query rides the first flight, 1 RTT total like DoUDP.
-    let server = ServerConfig { enable_0rtt: true, ..doh3_server() };
-    let (_, _, session, _) =
-        run_query(DnsTransport::DoH3, server.clone(), ClientConfig::default());
+    let server = ServerConfig {
+        enable_0rtt: true,
+        ..doh3_server()
+    };
+    let (_, _, session, _) = run_query(DnsTransport::DoH3, server.clone(), ClientConfig::default());
     assert!(session.tls_ticket.as_ref().unwrap().allows_early_data);
-    let cfg = ClientConfig { session, enable_0rtt: true, ..ClientConfig::default() };
+    let cfg = ClientConfig {
+        session,
+        enable_0rtt: true,
+        ..ClientConfig::default()
+    };
     let (_, at, _, _) = run_query(DnsTransport::DoH3, server, cfg);
     assert!((at - 50.0).abs() < 1.0, "0-RTT DoH3 resolve at {at}");
 }
@@ -153,11 +163,10 @@ fn doh3_resumption_and_0rtt() {
 fn default_resolvers_do_not_speak_doh3() {
     // The study-era population: UDP 443 is silent (only Cloudflare had
     // deployed DoH3) — the client times out and fails.
-    let mut sim = Simulator::new(
-        3,
-        Box::new(FixedPathModel::new(Duration::from_millis(25))),
-    );
-    let resolver = EchoResolver { set: DnsServerSet::new(ServerConfig::default()) };
+    let mut sim = Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(25))));
+    let resolver = EchoResolver {
+        set: DnsServerSet::new(ServerConfig::default()),
+    };
     sim.add_host(Box::new(resolver), &[resolver_ip()]);
     let client = DnsClientHost::new(
         DnsTransport::DoH3,
@@ -183,7 +192,14 @@ fn doh3_and_doq_coexist_on_one_resolver() {
 #[test]
 fn doh3_key_is_distinct_conn_key() {
     // Sanity: the ConnKey variants stay disjoint for routing.
-    let a = ConnKey::Doh3 { peer: SocketAddr::new(client_ip(), 1), stream: 0 };
-    let b = ConnKey::Doq { peer: SocketAddr::new(client_ip(), 1), port: 443, stream: 0 };
+    let a = ConnKey::Doh3 {
+        peer: SocketAddr::new(client_ip(), 1),
+        stream: 0,
+    };
+    let b = ConnKey::Doq {
+        peer: SocketAddr::new(client_ip(), 1),
+        port: 443,
+        stream: 0,
+    };
     assert_ne!(a, b);
 }

@@ -3,7 +3,6 @@
 //! the measurement harness uses.
 
 use doqlab_dnswire::{Message, Name, RData, RecordType, ResourceRecord};
-use doqlab_dox::server::ConnKey;
 use doqlab_dox::*;
 use doqlab_simnet::path::FixedPathModel;
 use doqlab_simnet::*;
@@ -77,7 +76,9 @@ fn build_sim(server_cfg: ServerConfig) -> (Simulator, HostId, HostId) {
         Box::new(FixedPathModel::new(Duration::from_millis(ONE_WAY_MS))),
     );
     sim.enable_trace();
-    let resolver = EchoResolver { set: DnsServerSet::new(server_cfg) };
+    let resolver = EchoResolver {
+        set: DnsServerSet::new(server_cfg),
+    };
     let resolver_id = sim.add_host(Box::new(resolver), &[resolver_ip()]);
     (sim, resolver_id, 0)
 }
@@ -112,8 +113,11 @@ fn run_query(
 
 #[test]
 fn doudp_resolves_in_one_rtt() {
-    let (hs, at, session) =
-        run_query(DnsTransport::DoUdp, ServerConfig::default(), ClientConfig::default());
+    let (hs, at, session) = run_query(
+        DnsTransport::DoUdp,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
     assert_eq!(hs, Some(0.0), "UDP has no handshake");
     assert!((at - 50.0).abs() < 1.0, "resolve at {at} ms");
     assert!(session.is_empty());
@@ -121,8 +125,11 @@ fn doudp_resolves_in_one_rtt() {
 
 #[test]
 fn dotcp_takes_two_rtts_total() {
-    let (hs, at, _) =
-        run_query(DnsTransport::DoTcp, ServerConfig::default(), ClientConfig::default());
+    let (hs, at, _) = run_query(
+        DnsTransport::DoTcp,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
     // Handshake 1 RTT, then query/response 1 RTT.
     assert!((hs.unwrap() - 50.0).abs() < 1.0, "handshake {hs:?}");
     assert!((at - 100.0).abs() < 1.0, "resolve at {at}");
@@ -130,19 +137,31 @@ fn dotcp_takes_two_rtts_total() {
 
 #[test]
 fn dot_full_handshake_is_two_rtts_after_tcp() {
-    let (hs, at, session) =
-        run_query(DnsTransport::DoT, ServerConfig::default(), ClientConfig::default());
+    let (hs, at, session) = run_query(
+        DnsTransport::DoT,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
     // TCP 1 RTT + TLS1.3 1 RTT = 2 RTT handshake; query rides with Fin.
     assert!((hs.unwrap() - 100.0).abs() < 1.0, "handshake {hs:?}");
     assert!((at - 150.0).abs() < 1.0, "resolve at {at}");
-    assert!(session.tls_ticket.is_some(), "ticket captured for resumption");
+    assert!(
+        session.tls_ticket.is_some(),
+        "ticket captured for resumption"
+    );
 }
 
 #[test]
 fn dot_resumption_still_two_rtts_but_no_cert() {
-    let (_, _, session) =
-        run_query(DnsTransport::DoT, ServerConfig::default(), ClientConfig::default());
-    let cfg = ClientConfig { session, ..ClientConfig::default() };
+    let (_, _, session) = run_query(
+        DnsTransport::DoT,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+    let cfg = ClientConfig {
+        session,
+        ..ClientConfig::default()
+    };
     let (hs, at, _) = run_query(DnsTransport::DoT, ServerConfig::default(), cfg);
     assert!((hs.unwrap() - 100.0).abs() < 1.0);
     assert!((at - 150.0).abs() < 1.0);
@@ -150,8 +169,11 @@ fn dot_resumption_still_two_rtts_but_no_cert() {
 
 #[test]
 fn doh_matches_dot_round_trips() {
-    let (hs, at, session) =
-        run_query(DnsTransport::DoH, ServerConfig::default(), ClientConfig::default());
+    let (hs, at, session) = run_query(
+        DnsTransport::DoH,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
     assert!((hs.unwrap() - 100.0).abs() < 1.0, "handshake {hs:?}");
     assert!((at - 150.0).abs() < 1.0, "resolve at {at}");
     assert!(session.tls_ticket.is_some());
@@ -160,40 +182,73 @@ fn doh_matches_dot_round_trips() {
 #[test]
 fn doq_handshake_is_one_rtt_with_resumption() {
     // First connection: full handshake, captures ticket+token+version.
-    let (hs1, _, session) =
-        run_query(DnsTransport::DoQ, ServerConfig::default(), ClientConfig::default());
-    assert!((hs1.unwrap() - 50.0).abs() < 1.0, "fresh DoQ handshake {hs1:?}");
+    let (hs1, _, session) = run_query(
+        DnsTransport::DoQ,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+    assert!(
+        (hs1.unwrap() - 50.0).abs() < 1.0,
+        "fresh DoQ handshake {hs1:?}"
+    );
     assert!(session.tls_ticket.is_some());
     assert!(session.quic_token.is_some());
     assert_eq!(session.quic_version, Some(doqlab_netstack::quic::QUIC_V1));
 
     // Resumed: still 1 RTT handshake, query+response 1 more RTT.
-    let cfg = ClientConfig { session, ..ClientConfig::default() };
+    let cfg = ClientConfig {
+        session,
+        ..ClientConfig::default()
+    };
     let (hs2, at, _) = run_query(DnsTransport::DoQ, ServerConfig::default(), cfg);
-    assert!((hs2.unwrap() - 50.0).abs() < 1.0, "resumed DoQ handshake {hs2:?}");
+    assert!(
+        (hs2.unwrap() - 50.0).abs() < 1.0,
+        "resumed DoQ handshake {hs2:?}"
+    );
     assert!((at - 100.0).abs() < 1.0, "resolve at {at}");
 }
 
 #[test]
 fn doq_total_beats_dot_and_doh_by_one_rtt() {
-    let (_, doq_at, _) =
-        run_query(DnsTransport::DoQ, ServerConfig::default(), ClientConfig::default());
-    let (_, dot_at, _) =
-        run_query(DnsTransport::DoT, ServerConfig::default(), ClientConfig::default());
-    let (_, doh_at, _) =
-        run_query(DnsTransport::DoH, ServerConfig::default(), ClientConfig::default());
-    assert!((dot_at - doq_at - 50.0).abs() < 1.0, "DoT {dot_at} vs DoQ {doq_at}");
-    assert!((doh_at - doq_at - 50.0).abs() < 1.0, "DoH {doh_at} vs DoQ {doq_at}");
+    let (_, doq_at, _) = run_query(
+        DnsTransport::DoQ,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+    let (_, dot_at, _) = run_query(
+        DnsTransport::DoT,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+    let (_, doh_at, _) = run_query(
+        DnsTransport::DoH,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+    assert!(
+        (dot_at - doq_at - 50.0).abs() < 1.0,
+        "DoT {dot_at} vs DoQ {doq_at}"
+    );
+    assert!(
+        (doh_at - doq_at - 50.0).abs() < 1.0,
+        "DoH {doh_at} vs DoQ {doq_at}"
+    );
 }
 
 #[test]
 fn doq_zero_rtt_resolves_in_one_rtt_total() {
     // Against a 0-RTT-enabled resolver (the paper's future-work case).
-    let server = ServerConfig { enable_0rtt: true, ..ServerConfig::default() };
-    let (_, _, session) =
-        run_query(DnsTransport::DoQ, server.clone(), ClientConfig::default());
+    let server = ServerConfig {
+        enable_0rtt: true,
+        ..ServerConfig::default()
+    };
+    let (_, _, session) = run_query(DnsTransport::DoQ, server.clone(), ClientConfig::default());
     assert!(session.tls_ticket.as_ref().unwrap().allows_early_data);
-    let cfg = ClientConfig { session, enable_0rtt: true, ..ClientConfig::default() };
+    let cfg = ClientConfig {
+        session,
+        enable_0rtt: true,
+        ..ClientConfig::default()
+    };
     let (_, at, _) = run_query(DnsTransport::DoQ, server, cfg);
     // Query goes out with the first flight: resolve in 1 RTT, like DoUDP.
     assert!((at - 50.0).abs() < 1.0, "0-RTT resolve at {at}");
@@ -209,7 +264,10 @@ fn doq_works_with_both_stream_mappings() {
         vec![DoqAlpn::Rfc9250],
         vec![DoqAlpn::Draft(0)],
     ] {
-        let server = ServerConfig { doq_alpns: alpns.clone(), ..ServerConfig::default() };
+        let server = ServerConfig {
+            doq_alpns: alpns.clone(),
+            ..ServerConfig::default()
+        };
         let (_, at, _) = run_query(DnsTransport::DoQ, server, ClientConfig::default());
         assert!((at - 100.0).abs() < 1.0, "{alpns:?}: resolve at {at}");
     }
@@ -217,12 +275,14 @@ fn doq_works_with_both_stream_mappings() {
 
 #[test]
 fn unsupported_protocol_gets_no_answer() {
-    let server = ServerConfig { supports_udp: false, ..ServerConfig::default() };
+    let server = ServerConfig {
+        supports_udp: false,
+        ..ServerConfig::default()
+    };
     let (mut sim, _r, _) = build_sim(server);
     let local = SocketAddr::new(client_ip(), 40_000);
     let remote = SocketAddr::new(resolver_ip(), 53);
-    let client =
-        DnsClientHost::new(DnsTransport::DoUdp, local, remote, &ClientConfig::default());
+    let client = DnsClientHost::new(DnsTransport::DoUdp, local, remote, &ClientConfig::default());
     let cid = sim.add_host(Box::new(client), &[client_ip()]);
     sim.with_host::<DnsClientHost, _>(cid, |c, ctx| c.start_with_query(ctx, &query()));
     sim.run_until(SimTime::from_secs(30));
@@ -257,7 +317,10 @@ fn table1_size_shape_holds_per_transport() {
         let cid = sim.add_host(Box::new(client), &[client_ip()]);
         sim.with_host::<DnsClientHost, _>(cid, |c, ctx| c.start_with_query(ctx, &query()));
         sim.run_until(SimTime::from_secs(2));
-        assert!(!sim.host::<DnsClientHost>(cid).responses.is_empty(), "{transport}");
+        assert!(
+            !sim.host::<DnsClientHost>(cid).responses.is_empty(),
+            "{transport}"
+        );
         let trace = sim.trace().unwrap();
         let c2r = trace.total_bytes(local, remote);
         let r2c = trace.total_bytes(remote, local);

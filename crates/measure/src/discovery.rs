@@ -12,14 +12,14 @@
 //!    each DoQ resolver over DoUDP/DoTCP/DoT/DoH; the intersection of
 //!    all five is the verified DoX set.
 
+use crate::engine;
+use crate::Scale;
 use doqlab_dnswire::{Message, Name, RecordType};
 use doqlab_dox::{ClientConfig, DnsClientHost, DnsTransport};
-use doqlab_netstack::quic::{QuicPacket, PacketType, VersionNegotiation};
+use doqlab_netstack::quic::{PacketType, QuicPacket, VersionNegotiation};
 use doqlab_resolver::{RecursionModel, ResolverHost, ScannedHost};
 use doqlab_simnet::path::FixedPathModel;
-use doqlab_simnet::{
-    Ctx, Duration, Host, Ipv4Addr, Packet, SimTime, Simulator, SocketAddr,
-};
+use doqlab_simnet::{Ctx, Duration, Host, Ipv4Addr, Packet, SimTime, Simulator, SocketAddr};
 use serde::Serialize;
 use std::any::Any;
 
@@ -37,6 +37,21 @@ pub struct DiscoveryReport {
     pub doh_support: usize,
     /// Resolvers supporting every protocol.
     pub verified_dox: usize,
+}
+
+impl DiscoveryReport {
+    /// Accumulate another report's counts (merging per-host funnels
+    /// back into the campaign total).
+    pub fn absorb(&mut self, other: &DiscoveryReport) {
+        self.probed_hosts += other.probed_hosts;
+        self.quic_hosts += other.quic_hosts;
+        self.doq_resolvers += other.doq_resolvers;
+        self.doudp_support += other.doudp_support;
+        self.dotcp_support += other.dotcp_support;
+        self.dot_support += other.dot_support;
+        self.doh_support += other.doh_support;
+        self.verified_dox += other.verified_dox;
+    }
 }
 
 /// A host that fires one UDP datagram and records any response.
@@ -83,18 +98,22 @@ fn probe_payload() -> Vec<u8> {
     buf
 }
 
-fn fresh_sim(host: &ScannedHost, server_id: u64) -> (Simulator, Ipv4Addr) {
-    let mut sim =
-        Simulator::new(server_id ^ 0x5CA9, Box::new(FixedPathModel::new(Duration::from_millis(15))));
+/// Reset the arena to a fresh probe topology: one resolver host under
+/// a fixed 15 ms path, seeded per scanned host.
+fn reset_probe_sim(sim: &mut Simulator, host: &ScannedHost, server_id: u64) -> Ipv4Addr {
+    sim.reset(
+        server_id ^ 0x5CA9,
+        Box::new(FixedPathModel::new(Duration::from_millis(15))),
+    );
     let resolver = ResolverHost::new(host.server_config(server_id), RecursionModel::default());
     sim.add_host(Box::new(resolver), &[host.ip]);
-    (sim, host.ip)
+    host.ip
 }
 
 /// Stage 1: does any DoQ port answer the version-0 probe with VN?
-fn quic_probe(host: &ScannedHost, server_id: u64, ports: &[u16]) -> bool {
+fn quic_probe(sim: &mut Simulator, host: &ScannedHost, server_id: u64, ports: &[u16]) -> bool {
     for &port in ports {
-        let (mut sim, ip) = fresh_sim(host, server_id);
+        let ip = reset_probe_sim(sim, host, server_id);
         let scanner_ip = Ipv4Addr::new(10, 200, 0, 1);
         let local = SocketAddr::new(scanner_ip, 61_000);
         let prober = Prober {
@@ -117,8 +136,14 @@ fn quic_probe(host: &ScannedHost, server_id: u64, ports: &[u16]) -> bool {
 }
 
 /// Stage 2/3: can we complete a DNS exchange over `transport`?
-fn protocol_probe(host: &ScannedHost, server_id: u64, transport: DnsTransport, port: u16) -> bool {
-    let (mut sim, ip) = fresh_sim(host, server_id);
+fn protocol_probe(
+    sim: &mut Simulator,
+    host: &ScannedHost,
+    server_id: u64,
+    transport: DnsTransport,
+    port: u16,
+) -> bool {
+    let ip = reset_probe_sim(sim, host, server_id);
     let scanner_ip = Ipv4Addr::new(10, 200, 0, 1);
     let client = DnsClientHost::new(
         transport,
@@ -135,23 +160,26 @@ fn protocol_probe(host: &ScannedHost, server_id: u64, transport: DnsTransport, p
     !sim.host::<DnsClientHost>(cid).responses.is_empty()
 }
 
-fn scan_one(host: &ScannedHost, server_id: u64) -> DiscoveryReport {
+fn scan_one(sim: &mut Simulator, host: &ScannedHost, server_id: u64) -> DiscoveryReport {
     let standard_ports = [853u16, 784, 8853];
-    let mut report = DiscoveryReport { probed_hosts: 1, ..Default::default() };
-    if !quic_probe(host, server_id, &standard_ports) {
+    let mut report = DiscoveryReport {
+        probed_hosts: 1,
+        ..Default::default()
+    };
+    if !quic_probe(sim, host, server_id, &standard_ports) {
         return report;
     }
     report.quic_hosts = 1;
     // Verify DoQ on the first answering port.
     let port = host.quic_ports.first().copied().unwrap_or(853);
-    if !protocol_probe(host, server_id, DnsTransport::DoQ, port) {
+    if !protocol_probe(sim, host, server_id, DnsTransport::DoQ, port) {
         return report;
     }
     report.doq_resolvers = 1;
-    let udp = protocol_probe(host, server_id, DnsTransport::DoUdp, 53);
-    let tcp = protocol_probe(host, server_id, DnsTransport::DoTcp, 53);
-    let dot = protocol_probe(host, server_id, DnsTransport::DoT, 853);
-    let doh = protocol_probe(host, server_id, DnsTransport::DoH, 443);
+    let udp = protocol_probe(sim, host, server_id, DnsTransport::DoUdp, 53);
+    let tcp = protocol_probe(sim, host, server_id, DnsTransport::DoTcp, 53);
+    let dot = protocol_probe(sim, host, server_id, DnsTransport::DoT, 853);
+    let doh = protocol_probe(sim, host, server_id, DnsTransport::DoH, 443);
     report.doudp_support = udp as usize;
     report.dotcp_support = tcp as usize;
     report.dot_support = dot as usize;
@@ -160,45 +188,21 @@ fn scan_one(host: &ScannedHost, server_id: u64) -> DiscoveryReport {
     report
 }
 
-/// Run the whole funnel over a scan population (host-parallel).
+/// Run the whole funnel over a scan population: one unit per host,
+/// scheduled by the work-stealing engine on per-worker simulator
+/// arenas. The per-host server id is the host's position in the
+/// population, so results don't depend on thread count.
 pub fn run_discovery(population: &[ScannedHost]) -> DiscoveryReport {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let chunk = population.len().div_ceil(threads).max(1);
+    let reports = engine::run_units(
+        engine::env_threads(Scale::default_threads()),
+        population,
+        Simulator::arena,
+        |sim, host, i| scan_one(sim, host, 0x5CA_0000 + i as u64),
+    );
     let mut report = DiscoveryReport::default();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = population
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, hosts)| {
-                scope.spawn(move || {
-                    let mut acc = DiscoveryReport::default();
-                    for (i, host) in hosts.iter().enumerate() {
-                        let r = scan_one(host, 0x5CA_0000 + (ci * chunk + i) as u64);
-                        acc.probed_hosts += r.probed_hosts;
-                        acc.quic_hosts += r.quic_hosts;
-                        acc.doq_resolvers += r.doq_resolvers;
-                        acc.doudp_support += r.doudp_support;
-                        acc.dotcp_support += r.dotcp_support;
-                        acc.dot_support += r.dot_support;
-                        acc.doh_support += r.doh_support;
-                        acc.verified_dox += r.verified_dox;
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            let r = h.join().expect("scan worker panicked");
-            report.probed_hosts += r.probed_hosts;
-            report.quic_hosts += r.quic_hosts;
-            report.doq_resolvers += r.doq_resolvers;
-            report.doudp_support += r.doudp_support;
-            report.dotcp_support += r.dotcp_support;
-            report.dot_support += r.dot_support;
-            report.doh_support += r.doh_support;
-            report.verified_dox += r.verified_dox;
-        }
-    });
+    for r in &reports {
+        report.absorb(r);
+    }
     report
 }
 
@@ -229,8 +233,10 @@ mod tests {
         assert_eq!(report.doq_resolvers, 50);
         // Exactly the 20 full-DoX hosts support everything.
         assert_eq!(report.verified_dox, 20);
-        let expected_udp =
-            pop.iter().filter(|h| h.speaks_doq && h.supports_udp).count();
+        let expected_udp = pop
+            .iter()
+            .filter(|h| h.speaks_doq && h.supports_udp)
+            .count();
         assert_eq!(report.doudp_support, expected_udp);
     }
 
@@ -238,11 +244,12 @@ mod tests {
     fn version_zero_probe_is_stateless() {
         let pop = mini_population();
         let host = &pop[0];
-        assert!(quic_probe(host, 1, &[853]));
+        let mut sim = Simulator::arena();
+        assert!(quic_probe(&mut sim, host, 1, &[853]));
         // A host with no QUIC ports does not answer.
         let mut dark = host.clone();
         dark.quic_ports = vec![];
         dark.speaks_doq = false;
-        assert!(!quic_probe(&dark, 2, &[853]));
+        assert!(!quic_probe(&mut sim, &dark, 2, &[853]));
     }
 }

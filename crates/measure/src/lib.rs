@@ -20,6 +20,7 @@
 //! study's sample counts, `Scale::quick()` is for tests and examples.
 
 pub mod discovery;
+pub mod engine;
 pub mod report;
 pub mod single_query;
 pub mod stats;
@@ -27,9 +28,7 @@ pub mod vantage;
 pub mod webperf;
 
 pub use discovery::{run_discovery, DiscoveryReport};
-pub use single_query::{
-    run_single_query_campaign, SingleQueryCampaign, SingleQuerySample,
-};
+pub use single_query::{run_single_query_campaign, SingleQueryCampaign, SingleQuerySample};
 pub use stats::{cdf_points, median, percentile, Cdf};
 pub use vantage::{vantage_points, VantagePoint};
 pub use webperf::{run_webperf_campaign, WebperfCampaign, WebperfSample};
@@ -64,7 +63,7 @@ impl Scale {
             rounds: 3,
             loads_per_round: 4,
             pages: None,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: Scale::default_threads(),
         }
     }
 
@@ -76,7 +75,7 @@ impl Scale {
             rounds: 1,
             loads_per_round: 1,
             pages: Some(4),
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: Scale::default_threads(),
         }
     }
 
@@ -88,7 +87,36 @@ impl Scale {
             rounds: 1,
             loads_per_round: 2,
             pages: None,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: Scale::default_threads(),
+        }
+    }
+
+    /// One worker per available core (`DOQLAB_THREADS` overrides this
+    /// at campaign time via [`engine::env_threads`]).
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+
+    /// The resolver subset a campaign runs against. The population is
+    /// ordered by continent, so a reduced set is stride-subsampled —
+    /// rather than truncated — to keep spanning all continents the way
+    /// the full 313-resolver set does.
+    pub fn sample_resolvers<'a, T>(&self, population: &'a [T]) -> Vec<&'a T> {
+        match self.resolvers {
+            None => population.iter().collect(),
+            Some(n) => {
+                let stride = population.len() / n.max(1);
+                population.iter().step_by(stride.max(1)).take(n).collect()
+            }
+        }
+    }
+
+    /// The page subset a webperf campaign loads (the Tranco list is
+    /// already rank-ordered, so a reduced set is a prefix).
+    pub fn sample_pages<'a, T>(&self, pages: &'a [T]) -> Vec<&'a T> {
+        match self.pages {
+            None => pages.iter().collect(),
+            Some(n) => pages.iter().take(n).collect(),
         }
     }
 }

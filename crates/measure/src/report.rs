@@ -22,8 +22,10 @@ pub fn table1(samples: &[SingleQuerySample]) -> Table1 {
     let mut sizes = BTreeMap::new();
     let mut counts = BTreeMap::new();
     for t in DnsTransport::ALL {
-        let of_t: Vec<&SingleQuerySample> =
-            samples.iter().filter(|s| s.transport == t && !s.failed).collect();
+        let of_t: Vec<&SingleQuerySample> = samples
+            .iter()
+            .filter(|s| s.transport == t && !s.failed)
+            .collect();
         let col = |f: fn(&SingleQuerySample) -> f64| {
             median(&of_t.iter().map(|s| f(s)).collect::<Vec<_>>()).unwrap_or(f64::NAN)
         };
@@ -39,7 +41,10 @@ pub fn table1(samples: &[SingleQuerySample]) -> Table1 {
         );
         counts.insert(t.name().to_string(), of_t.len());
     }
-    Table1 { sizes, sample_counts: counts }
+    Table1 {
+        sizes,
+        sample_counts: counts,
+    }
 }
 
 pub fn render_table1(t: &Table1) -> String {
@@ -88,8 +93,8 @@ pub struct Fig2 {
 pub fn fig2(samples: &[SingleQuerySample]) -> Fig2 {
     let mut handshake = BTreeMap::new();
     let mut resolve = BTreeMap::new();
-    let mut rows: Vec<(String, Box<dyn Fn(&SingleQuerySample) -> bool>)> =
-        vec![("Total".to_string(), Box::new(|_| true))];
+    type SampleFilter = Box<dyn Fn(&SingleQuerySample) -> bool>;
+    let mut rows: Vec<(String, SampleFilter)> = vec![("Total".to_string(), Box::new(|_| true))];
     for c in Continent::ALL {
         rows.push((c.code().to_string(), Box::new(move |s| s.vp_continent == c)));
     }
@@ -117,15 +122,19 @@ pub fn fig2(samples: &[SingleQuerySample]) -> Fig2 {
         handshake.insert(label.clone(), hs_row);
         resolve.insert(label, rs_row);
     }
-    Fig2 { handshake_ms: handshake, resolve_ms: resolve }
+    Fig2 {
+        handshake_ms: handshake,
+        resolve_ms: resolve,
+    }
 }
 
 pub fn render_fig2(f: &Fig2) -> String {
     let mut out = String::new();
     let order = ["Total", "EU", "AS", "NA", "AF", "OC", "SA"];
-    for (title, table) in
-        [("Handshake time (ms, median)", &f.handshake_ms), ("Resolve time (ms, median)", &f.resolve_ms)]
-    {
+    for (title, table) in [
+        ("Handshake time (ms, median)", &f.handshake_ms),
+        ("Resolve time (ms, median)", &f.resolve_ms),
+    ] {
         out.push_str(&format!("\n{title}\n"));
         out.push_str(&format!("{:<8}", "VP"));
         for t in DnsTransport::ALL {
@@ -228,20 +237,21 @@ pub struct RelativeDiffs {
     pub plt: BTreeMap<String, Vec<f64>>,
 }
 
-pub fn relative_to_baseline(
-    samples: &[WebperfSample],
-    baseline: DnsTransport,
-) -> RelativeDiffs {
+pub fn relative_to_baseline(samples: &[WebperfSample], baseline: DnsTransport) -> RelativeDiffs {
     // Group by (vp, resolver, page, round).
-    let mut groups: HashMap<(usize, usize, usize, usize), Vec<&WebperfSample>> =
-        HashMap::new();
+    let mut groups: HashMap<(usize, usize, usize, usize), Vec<&WebperfSample>> = HashMap::new();
     for s in samples.iter().filter(|s| !s.failed) {
-        groups.entry((s.vp, s.resolver, s.page, s.round)).or_default().push(s);
+        groups
+            .entry((s.vp, s.resolver, s.page, s.round))
+            .or_default()
+            .push(s);
     }
     let mut fcp: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut plt: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for (_, group) in groups {
-        let Some(base) = group.iter().find(|s| s.transport == baseline) else { continue };
+        let Some(base) = group.iter().find(|s| s.transport == baseline) else {
+            continue;
+        };
         for s in &group {
             if s.transport == baseline {
                 continue;
@@ -259,7 +269,11 @@ pub fn relative_to_baseline(
 
 /// Fig. 3 rendering: CDF series of relative differences vs. DoUDP.
 pub fn render_fig3(diffs: &RelativeDiffs, metric: &str) -> String {
-    let table = if metric == "FCP" { &diffs.fcp } else { &diffs.plt };
+    let table = if metric == "FCP" {
+        &diffs.fcp
+    } else {
+        &diffs.plt
+    };
     let mut out = format!("\nCDF of relative {metric} difference vs DoUDP (%)\n");
     out.push_str(&format!("{:<10}", "quantile"));
     let protos: Vec<&String> = table.keys().collect();
@@ -301,7 +315,13 @@ pub fn fig4(samples: &[WebperfSample]) -> Vec<Fig4Cell> {
     let mut cells = Vec::new();
     let mut keys: Vec<(usize, Continent, usize, String, usize)> = Vec::new();
     for s in samples {
-        let key = (s.vp, s.vp_continent, s.page, s.page_name.clone(), s.page_dns_queries);
+        let key = (
+            s.vp,
+            s.vp_continent,
+            s.page,
+            s.page_name.clone(),
+            s.page_dns_queries,
+        );
         if !keys.contains(&key) {
             keys.push(key);
         }
@@ -406,9 +426,7 @@ pub fn headline(sq: &[SingleQuerySample], web: &[WebperfSample]) -> Headline {
         median(
             &sq.iter()
                 .filter(|s| s.transport == t && !s.failed)
-                .filter_map(|s| {
-                    Some(s.handshake_ms.unwrap_or(0.0) + s.resolve_ms?)
-                })
+                .filter_map(|s| Some(s.handshake_ms.unwrap_or(0.0) + s.resolve_ms?))
                 .collect::<Vec<_>>(),
         )
         .unwrap_or(f64::NAN)

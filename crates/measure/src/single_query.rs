@@ -15,8 +15,12 @@
 //! The sample records the handshake time (first transport packet ->
 //! session established), the resolve time (first DNS-query packet ->
 //! valid response) and the per-direction, per-phase IP payload bytes
-//! of Table 1.
+//! of Table 1. Byte accounting is streaming: a [`PhaseByteTap`]
+//! classifies packets as the simulator routes them, so a unit never
+//! retains its full packet trace. The campaign itself is a unit grid
+//! executed by [`crate::engine`] on reusable simulator arenas.
 
+use crate::engine;
 use crate::vantage::{vantage_points, VantagePoint};
 use crate::Scale;
 use doqlab_dnswire::{Message, Name, RecordType};
@@ -24,7 +28,7 @@ use doqlab_dox::{ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, Sessio
 use doqlab_resolver::{RecursionModel, ResolverHost, ResolverProfile};
 use doqlab_simnet::geo::Continent;
 use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
-use doqlab_simnet::{Duration, Ipv4Addr, SimTime, Simulator, SocketAddr};
+use doqlab_simnet::{Duration, Ipv4Addr, PacketRecord, PacketTap, SimTime, Simulator, SocketAddr};
 
 /// Byte totals per phase and direction (IP payload, like Table 1).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -38,6 +42,131 @@ pub struct PhaseBytes {
 impl PhaseBytes {
     pub fn total(&self) -> usize {
         self.handshake_c2r + self.handshake_r2c + self.query_c2r + self.response_r2c
+    }
+}
+
+/// Streaming Table-1 byte accounting.
+///
+/// Installed as the simulator's [`PacketTap`] for the measured phase of
+/// a unit, it classifies every client<->resolver packet into the four
+/// [`PhaseBytes`] buckets the moment it is routed. It replaces the
+/// retained [`doqlab_simnet::PacketTrace`] + post-hoc scan the campaign
+/// used to do per unit, and produces bit-identical totals:
+///
+/// * **DoQ** — the long-header bit of the first payload byte marks
+///   Initial/Handshake datagrams; short headers carry the 1-RTT query
+///   and response.
+/// * **Stream transports** — packets sent before the handshake
+///   completed are handshake bytes. Until completion is observed the
+///   split is unknown, so packets buffer in `pending` (a handful of
+///   handshake flights at most) and are classified when
+///   [`PhaseByteTap::set_split`] delivers the completion time. If the
+///   handshake never completes, [`PhaseByteTap::finish`] classifies
+///   everything as query/response — exactly the historical
+///   `split = started` accounting for failed handshakes, and for
+///   connectionless DoUDP.
+#[derive(Debug)]
+pub struct PhaseByteTap {
+    client: Ipv4Addr,
+    resolver: Ipv4Addr,
+    mode: TapMode,
+    /// `(sent_at, client-to-resolver, ip_payload_len)` of packets seen
+    /// before the time split is known.
+    pending: Vec<(SimTime, bool, usize)>,
+    bytes: PhaseBytes,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TapMode {
+    /// QUIC: classify by the long-header bit, no time split needed.
+    QuicHeader,
+    /// Stream transports: classify by send time against the handshake
+    /// completion instant (`None` while still unobserved).
+    TimeSplit(Option<SimTime>),
+}
+
+impl PhaseByteTap {
+    /// Accounting for DoQ (long/short header classification).
+    pub fn quic(client: Ipv4Addr, resolver: Ipv4Addr) -> Self {
+        PhaseByteTap {
+            client,
+            resolver,
+            mode: TapMode::QuicHeader,
+            pending: Vec::new(),
+            bytes: PhaseBytes::default(),
+        }
+    }
+
+    /// Accounting for stream transports and DoUDP: the handshake/data
+    /// split instant is delivered later via [`PhaseByteTap::set_split`].
+    pub fn deferred_split(client: Ipv4Addr, resolver: Ipv4Addr) -> Self {
+        PhaseByteTap {
+            client,
+            resolver,
+            mode: TapMode::TimeSplit(None),
+            pending: Vec::new(),
+            bytes: PhaseBytes::default(),
+        }
+    }
+
+    /// Deliver the handshake completion instant: buffered packets sent
+    /// strictly before `split` are handshake bytes, the rest (and all
+    /// subsequent packets) are query/response bytes.
+    pub fn set_split(&mut self, split: SimTime) {
+        if let TapMode::TimeSplit(slot @ None) = &mut self.mode {
+            *slot = Some(split);
+            for (sent_at, c2r, len) in std::mem::take(&mut self.pending) {
+                self.account(sent_at >= split, c2r, len);
+            }
+        }
+    }
+
+    /// Finalize and return the totals. Packets still pending — the
+    /// handshake never completed — all count as query/response, which
+    /// is what the historical trace scan did (`split = started`).
+    pub fn finish(&mut self) -> PhaseBytes {
+        for (_, c2r, len) in std::mem::take(&mut self.pending) {
+            self.account(true, c2r, len);
+        }
+        self.bytes
+    }
+
+    fn account(&mut self, app: bool, c2r: bool, len: usize) {
+        match (app, c2r) {
+            (false, true) => self.bytes.handshake_c2r += len,
+            (false, false) => self.bytes.handshake_r2c += len,
+            (true, true) => self.bytes.query_c2r += len,
+            (true, false) => self.bytes.response_r2c += len,
+        }
+    }
+}
+
+impl PacketTap for PhaseByteTap {
+    fn on_packet(&mut self, rec: &PacketRecord) {
+        let c2r = rec.src.ip == self.client && rec.dst.ip == self.resolver;
+        let r2c = rec.src.ip == self.resolver && rec.dst.ip == self.client;
+        if !c2r && !r2c {
+            return;
+        }
+        match self.mode {
+            TapMode::QuicHeader => {
+                let long = rec.first_byte.is_some_and(|fb| fb & 0x80 != 0);
+                self.account(!long, c2r, rec.ip_payload_len);
+            }
+            TapMode::TimeSplit(Some(split)) => {
+                self.account(rec.sent_at >= split, c2r, rec.ip_payload_len);
+            }
+            TapMode::TimeSplit(None) => {
+                self.pending.push((rec.sent_at, c2r, rec.ip_payload_len));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -84,16 +213,7 @@ impl SingleQueryCampaign {
     }
 }
 
-fn unit_seed(seed: u64, vp: usize, resolver: usize, transport: usize, rep: usize) -> u64 {
-    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
-    for v in [vp as u64, resolver as u64, transport as u64, rep as u64] {
-        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = h.rotate_left(27).wrapping_mul(5).wrapping_add(0x52DC_E729);
-    }
-    h
-}
-
-/// Run a single measurement unit.
+/// Run a single measurement unit in a simulator of its own.
 pub fn run_unit(
     campaign: &SingleQueryCampaign,
     vp: &VantagePoint,
@@ -101,15 +221,51 @@ pub fn run_unit(
     transport: DnsTransport,
     rep: usize,
 ) -> SingleQuerySample {
-    let seed = unit_seed(campaign.seed, vp.index, profile.index, transport as usize, rep);
+    let mut sim = Simulator::arena();
+    run_unit_in(&mut sim, campaign, vp, profile, transport, rep)
+}
+
+/// Run a single measurement unit in a reusable simulator arena: the
+/// arena is reset (reusing its allocations) and left holding the
+/// unit's final state.
+pub fn run_unit_in(
+    sim: &mut Simulator,
+    campaign: &SingleQueryCampaign,
+    vp: &VantagePoint,
+    profile: &ResolverProfile,
+    transport: DnsTransport,
+    rep: usize,
+) -> SingleQuerySample {
+    run_unit_inner(sim, campaign, vp, profile, transport, rep).0
+}
+
+/// The unit body; also returns the measured-phase start and handshake
+/// completion instants so tests can replay the historical trace-based
+/// byte accounting against the tap's.
+fn run_unit_inner(
+    sim: &mut Simulator,
+    campaign: &SingleQueryCampaign,
+    vp: &VantagePoint,
+    profile: &ResolverProfile,
+    transport: DnsTransport,
+    rep: usize,
+) -> (SingleQuerySample, SimTime, Option<SimTime>) {
+    let seed = engine::unit_seed(
+        campaign.seed,
+        &[
+            vp.index as u64,
+            profile.index as u64,
+            transport as u64,
+            rep as u64,
+        ],
+    );
     let mut path = GeoPathModel::new(campaign.path_params.clone());
     let warm_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 2);
     let meas_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 3);
     path.place(warm_ip, vp.location);
     path.place(meas_ip, vp.location);
     path.place(profile.ip, profile.location);
-    let mut sim = Simulator::new(seed, Box::new(path));
-    sim.enable_trace();
+    sim.reset(seed, Box::new(path));
 
     let mut server_cfg = profile.server_config();
     if campaign.enable_0rtt_resolvers {
@@ -144,8 +300,17 @@ pub fn run_unit(
     };
 
     // --- measured query -----------------------------------------------------
+    let tap = match transport {
+        DnsTransport::DoQ => PhaseByteTap::quic(meas_ip, profile.ip),
+        _ => PhaseByteTap::deferred_split(meas_ip, profile.ip),
+    };
+    sim.set_tap(Box::new(tap));
     let meas_cfg = ClientConfig {
-        session: if campaign.use_resumption { session } else { SessionState::default() },
+        session: if campaign.use_resumption {
+            session
+        } else {
+            SessionState::default()
+        },
         ..ClientConfig::default()
     };
     let meas = DnsClientHost::new(
@@ -157,7 +322,25 @@ pub fn run_unit(
     let mid = sim.add_host(Box::new(meas), &[meas_ip]);
     let started = sim.now();
     sim.with_host::<DnsClientHost, _>(mid, |c, ctx| c.start_with_query(ctx, &query));
-    sim.run_until(started + Duration::from_secs(20));
+    let deadline = started + Duration::from_secs(20);
+    if transport != DnsTransport::DoQ {
+        // Step one event at a time until the handshake completes, then
+        // hand the tap its phase split. Stepping dispatches in exactly
+        // run_until's order, so the simulation is unchanged.
+        loop {
+            let hs = sim.host::<DnsClientHost>(mid).conn.handshake_done_at();
+            if let Some(t) = hs {
+                if let Some(tap) = sim.tap_mut::<PhaseByteTap>() {
+                    tap.set_split(t);
+                }
+                break;
+            }
+            if !sim.step_until(deadline) {
+                break;
+            }
+        }
+    }
+    sim.run_until(deadline);
 
     let meas = sim.host::<DnsClientHost>(mid);
     let hs_done = meas.conn.handshake_done_at();
@@ -171,21 +354,48 @@ pub fn run_unit(
     let resolve_from = hs_done.unwrap_or(started);
     let resolve_ms = response_at.map(|t| (t - resolve_from).as_secs_f64() * 1000.0);
 
-    // --- byte accounting --------------------------------------------------
-    let trace = sim.trace().expect("enabled");
-    let bytes = if transport == DnsTransport::DoQ {
-        // QUIC: the handshake phase is exactly the long-header
-        // (Initial/Handshake) datagrams; 1-RTT short-header datagrams
-        // carry the query and response. This matches how the paper's
-        // traces split DoQ's padded flights.
+    let mut tap = sim.take_tap().expect("tap installed for measured phase");
+    let bytes = tap
+        .as_any_mut()
+        .downcast_mut::<PhaseByteTap>()
+        .expect("phase-byte tap")
+        .finish();
+
+    let sample = SingleQuerySample {
+        vp: vp.index,
+        vp_continent: vp.continent,
+        resolver: profile.index,
+        resolver_continent: profile.continent,
+        transport,
+        handshake_ms,
+        resolve_ms,
+        bytes,
+        metadata,
+        failed,
+    };
+    (sample, started, hs_done)
+}
+
+/// The pre-tap byte accounting: scan a retained trace after the run.
+/// Kept (test-only) as the reference the streaming tap must match.
+#[cfg(test)]
+fn trace_phase_bytes(
+    trace: &doqlab_simnet::PacketTrace,
+    transport: DnsTransport,
+    meas_ip: Ipv4Addr,
+    resolver_ip: Ipv4Addr,
+    started: SimTime,
+    hs_done: Option<SimTime>,
+) -> PhaseBytes {
+    if transport == DnsTransport::DoQ {
         let mut b = PhaseBytes::default();
         for rec in trace.records() {
             if rec.sent_at < started {
                 continue;
             }
             let long = rec.first_byte.is_some_and(|fb| fb & 0x80 != 0);
-            let c2r = rec.src.ip == meas_ip && rec.dst.ip == profile.ip;
-            let r2c = rec.src.ip == profile.ip && rec.dst.ip == meas_ip;
+            let c2r = rec.src.ip == meas_ip && rec.dst.ip == resolver_ip;
+            let r2c = rec.src.ip == resolver_ip && rec.dst.ip == meas_ip;
             match (c2r, r2c, long) {
                 (true, _, true) => b.handshake_c2r += rec.ip_payload_len,
                 (true, _, false) => b.query_c2r += rec.ip_payload_len,
@@ -197,9 +407,10 @@ pub fn run_unit(
         b
     } else {
         let c = SocketAddr::new(meas_ip, 0);
-        let r = SocketAddr::new(profile.ip, 0);
-        let split =
-            hs_done.filter(|_| transport != DnsTransport::DoUdp).unwrap_or(started);
+        let r = SocketAddr::new(resolver_ip, 0);
+        let split = hs_done
+            .filter(|_| transport != DnsTransport::DoUdp)
+            .unwrap_or(started);
         let far = SimTime::from_secs(1_000_000);
         PhaseBytes {
             handshake_c2r: trace.bytes_between(c, r, started, split),
@@ -207,76 +418,42 @@ pub fn run_unit(
             query_c2r: trace.bytes_between(c, r, split, far),
             response_r2c: trace.bytes_between(r, c, split, far),
         }
-    };
-
-    SingleQuerySample {
-        vp: vp.index,
-        vp_continent: vp.continent,
-        resolver: profile.index,
-        resolver_continent: profile.continent,
-        transport,
-        handshake_ms,
-        resolve_ms,
-        bytes,
-        metadata,
-        failed,
     }
 }
 
 /// Run the full campaign: every vantage point x resolver x protocol x
-/// repetition, sharded across threads.
+/// repetition, scheduled by the work-stealing engine on per-worker
+/// simulator arenas. Output order (and content) is independent of
+/// thread count.
 pub fn run_single_query_campaign(
     campaign: &SingleQueryCampaign,
     population: &[ResolverProfile],
 ) -> Vec<SingleQuerySample> {
     let vps = vantage_points();
-    // Subsample with a stride so a reduced set still spans all
-    // continents (the population is ordered by continent).
-    let resolvers: Vec<&ResolverProfile> = match campaign.scale.resolvers {
-        Some(n) if n < population.len() => {
-            let stride = population.len() / n.max(1);
-            population.iter().step_by(stride.max(1)).take(n).collect()
-        }
-        _ => population.iter().collect(),
+    let resolvers = campaign.scale.sample_resolvers(population);
+    let grid = engine::UnitGrid {
+        vps: vps.len(),
+        resolvers: resolvers.len(),
+        pages: 1,
+        transports: DnsTransport::ALL.len(),
+        reps: campaign.scale.repetitions,
     };
-    let mut units: Vec<(usize, usize, DnsTransport, usize)> = Vec::new();
-    for vp in &vps {
-        for r in &resolvers {
-            for t in DnsTransport::ALL {
-                for rep in 0..campaign.scale.repetitions {
-                    units.push((vp.index, r.index, t, rep));
-                }
-            }
-        }
-    }
-    let threads = campaign.scale.threads.max(1);
-    let chunk = units.len().div_ceil(threads);
-    let mut samples: Vec<SingleQuerySample> = Vec::with_capacity(units.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = units
-            .chunks(chunk.max(1))
-            .map(|chunk| {
-                let vps = &vps;
-                let resolvers = &resolvers;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&(vp, r, t, rep)| {
-                            let profile = resolvers
-                                .iter()
-                                .find(|p| p.index == r)
-                                .expect("listed");
-                            run_unit(campaign, &vps[vp], profile, t, rep)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            samples.extend(h.join().expect("worker panicked"));
-        }
-    });
-    samples
+    let units = grid.units();
+    engine::run_units(
+        engine::env_threads(campaign.scale.threads),
+        &units,
+        Simulator::arena,
+        |sim, u, _| {
+            run_unit_in(
+                sim,
+                campaign,
+                &vps[u.vp],
+                resolvers[u.resolver],
+                DnsTransport::ALL[u.transport],
+                u.rep,
+            )
+        },
+    )
 }
 
 #[cfg(test)]
@@ -285,8 +462,16 @@ mod tests {
     use doqlab_resolver::synthesize_dox_population;
 
     fn tiny_campaign() -> (SingleQueryCampaign, Vec<ResolverProfile>) {
-        let scale = Scale { resolvers: Some(3), repetitions: 1, threads: 2, ..Scale::quick() };
-        (SingleQueryCampaign::new(scale), synthesize_dox_population(1))
+        let scale = Scale {
+            resolvers: Some(3),
+            repetitions: 1,
+            threads: 2,
+            ..Scale::quick()
+        };
+        (
+            SingleQueryCampaign::new(scale),
+            synthesize_dox_population(1),
+        )
     }
 
     #[test]
@@ -351,10 +536,15 @@ mod tests {
     fn doq_uses_resumption_and_remembered_version() {
         let (c, pop) = tiny_campaign();
         let samples = run_single_query_campaign(&c, &pop);
-        let doq: Vec<_> =
-            samples.iter().filter(|s| s.transport == DnsTransport::DoQ && !s.failed).collect();
+        let doq: Vec<_> = samples
+            .iter()
+            .filter(|s| s.transport == DnsTransport::DoQ && !s.failed)
+            .collect();
         assert!(!doq.is_empty());
-        assert!(doq.iter().all(|s| s.metadata.resumed), "all DoQ measured queries resume");
+        assert!(
+            doq.iter().all(|s| s.metadata.resumed),
+            "all DoQ measured queries resume"
+        );
         assert!(doq.iter().all(|s| s.metadata.quic_version.is_some()));
         assert!(doq.iter().all(|s| s.metadata.doq_alpn.is_some()));
     }
@@ -378,18 +568,28 @@ mod tests {
         let doq = med_total(DnsTransport::DoQ);
         let doh = med_total(DnsTransport::DoH);
         let dot = med_total(DnsTransport::DoT);
-        assert!(udp < tcp && tcp < dot && dot < doh && doh < doq,
-            "Table 1 ordering: udp {udp} tcp {tcp} dot {dot} doh {doh} doq {doq}");
+        assert!(
+            udp < tcp && tcp < dot && dot < doh && doh < doq,
+            "Table 1 ordering: udp {udp} tcp {tcp} dot {dot} doh {doh} doq {doq}"
+        );
         // DoQ handshake roughly doubles DoH's total (1200-byte padding).
         assert!(doq / doh > 1.5, "doq {doq} vs doh {doh}");
     }
 
     #[test]
     fn no_resumption_ablation_increases_doq_handshake_sometimes() {
-        let scale = Scale { resolvers: Some(8), repetitions: 1, threads: 2, ..Scale::quick() };
+        let scale = Scale {
+            resolvers: Some(8),
+            repetitions: 1,
+            threads: 2,
+            ..Scale::quick()
+        };
         let pop = synthesize_dox_population(1);
         let with = SingleQueryCampaign::new(scale.clone());
-        let without = SingleQueryCampaign { use_resumption: false, ..SingleQueryCampaign::new(scale) };
+        let without = SingleQueryCampaign {
+            use_resumption: false,
+            ..SingleQueryCampaign::new(scale)
+        };
         let s_with = run_single_query_campaign(&with, &pop);
         let s_without = run_single_query_campaign(&without, &pop);
         let med = |ss: &[SingleQuerySample]| {
@@ -403,7 +603,63 @@ mod tests {
         };
         // Without resumption, large certificates hit the amplification
         // limit: the handshake median rises.
-        assert!(med(&s_without) > med(&s_with) * 1.1,
-            "without {} vs with {}", med(&s_without), med(&s_with));
+        assert!(
+            med(&s_without) > med(&s_with) * 1.1,
+            "without {} vs with {}",
+            med(&s_without),
+            med(&s_with)
+        );
+    }
+
+    #[test]
+    fn tap_accounting_matches_retained_trace() {
+        // The streaming PhaseByteTap must reproduce, bit for bit, the
+        // retained-trace scan it replaced — for every transport,
+        // including DoUDP (no handshake) and across arena reuse.
+        let (c, pop) = tiny_campaign();
+        let vps = vantage_points();
+        let mut sim = Simulator::arena();
+        sim.enable_trace();
+        for t in DnsTransport::ALL {
+            for profile in pop.iter().step_by(37).take(3) {
+                let (sample, started, hs_done) =
+                    run_unit_inner(&mut sim, &c, &vps[1], profile, t, 0);
+                let meas_ip = Ipv4Addr::new(10, 10, 2, 3);
+                let trace = sim.trace().expect("trace enabled on the arena");
+                let legacy = trace_phase_bytes(trace, t, meas_ip, profile.ip, started, hs_done);
+                assert_eq!(
+                    sample.bytes, legacy,
+                    "tap vs trace mismatch: {t:?} resolver {}",
+                    profile.index
+                );
+                assert!(sample.bytes.total() > 0, "{t:?} moved no bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_handshake_bytes_all_count_as_query_phase() {
+        // A tap whose split never arrives classifies everything as
+        // query/response — the historical `split = started` rule.
+        let client = Ipv4Addr::new(10, 0, 0, 1);
+        let resolver = Ipv4Addr::new(10, 0, 0, 2);
+        let mut tap = PhaseByteTap::deferred_split(client, resolver);
+        let rec = |src: Ipv4Addr, dst: Ipv4Addr, len: usize| PacketRecord {
+            sent_at: SimTime::from_millis(5),
+            src: SocketAddr::new(src, 1),
+            dst: SocketAddr::new(dst, 2),
+            transport: doqlab_simnet::Transport::Tcp,
+            ip_payload_len: len,
+            first_byte: Some(0x16),
+            dropped: false,
+        };
+        tap.on_packet(&rec(client, resolver, 100));
+        tap.on_packet(&rec(resolver, client, 60));
+        // Unrelated traffic is ignored entirely.
+        tap.on_packet(&rec(Ipv4Addr::new(10, 0, 0, 9), resolver, 999));
+        let bytes = tap.finish();
+        assert_eq!(bytes.handshake_c2r + bytes.handshake_r2c, 0);
+        assert_eq!(bytes.query_c2r, 100);
+        assert_eq!(bytes.response_r2c, 60);
     }
 }

@@ -22,10 +22,22 @@ pub fn vantage_points() -> Vec<VantagePoint> {
     let spec: [(&'static str, Continent, Coord); 6] = [
         ("eu-central-1", Continent::Europe, Coord::new(50.11, 8.68)),
         ("ap-southeast-1", Continent::Asia, Coord::new(1.35, 103.82)),
-        ("us-east-1", Continent::NorthAmerica, Coord::new(38.95, -77.45)),
+        (
+            "us-east-1",
+            Continent::NorthAmerica,
+            Coord::new(38.95, -77.45),
+        ),
         ("af-south-1", Continent::Africa, Coord::new(-33.93, 18.42)),
-        ("ap-southeast-2", Continent::Oceania, Coord::new(-33.87, 151.21)),
-        ("sa-east-1", Continent::SouthAmerica, Coord::new(-23.55, -46.63)),
+        (
+            "ap-southeast-2",
+            Continent::Oceania,
+            Coord::new(-33.87, 151.21),
+        ),
+        (
+            "sa-east-1",
+            Continent::SouthAmerica,
+            Coord::new(-23.55, -46.63),
+        ),
     ];
     spec.into_iter()
         .enumerate()
@@ -47,8 +59,7 @@ mod tests {
     fn six_vantage_points_one_per_continent() {
         let vps = vantage_points();
         assert_eq!(vps.len(), 6);
-        let continents: std::collections::HashSet<_> =
-            vps.iter().map(|v| v.continent).collect();
+        let continents: std::collections::HashSet<_> = vps.iter().map(|v| v.continent).collect();
         assert_eq!(continents.len(), 6);
     }
 

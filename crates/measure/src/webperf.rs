@@ -7,14 +7,15 @@
 //! against DoQ (Fig. 4) are computed per `[vantage point : resolver]`
 //! pair by the experiment drivers.
 
+use crate::engine;
 use crate::vantage::vantage_points;
 use crate::Scale;
 use doqlab_dox::DnsTransport;
 use doqlab_resolver::ResolverProfile;
 use doqlab_simnet::geo::Continent;
 use doqlab_simnet::path::GeoPathParams;
-use doqlab_simnet::Duration;
-use doqlab_webperf::{run_page_load, PageLoadConfig, PageProfile};
+use doqlab_simnet::{Duration, Simulator};
+use doqlab_webperf::{run_page_load_in, PageLoadConfig, PageProfile};
 
 /// One Web-performance sample (already the median over the round's
 /// loads).
@@ -59,123 +60,123 @@ impl WebperfCampaign {
     }
 }
 
-fn unit_seed(seed: u64, parts: [usize; 4]) -> u64 {
-    let mut h = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
-    for v in parts {
-        h ^= (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0x2545_F491_4F6C_DD1D);
-        h = h.rotate_left(31).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-    h
+/// Domain separation from the single-query campaign's seeds.
+const WEBPERF_SEED_DOMAIN: u64 = 0xA5A5_5A5A_DEAD_BEEF;
+
+/// Per-unit RNG seed: every coordinate of the `[vp : resolver : page :
+/// protocol : round]` tuple is hashed separately. (An earlier version
+/// packed page and protocol into one integer as `pi * 16 + t`, which
+/// collides as soon as the page list outgrows the packing radix.)
+fn unit_seed(
+    seed: u64,
+    vp: usize,
+    resolver: usize,
+    page: usize,
+    t: DnsTransport,
+    round: usize,
+) -> u64 {
+    engine::unit_seed(
+        seed ^ WEBPERF_SEED_DOMAIN,
+        &[
+            vp as u64,
+            resolver as u64,
+            page as u64,
+            t as u64,
+            round as u64,
+        ],
+    )
 }
 
-/// Run the campaign (sharded across threads).
+/// Run one `[vp : resolver : page : protocol : round]` unit in a
+/// reusable simulator arena.
+#[allow(clippy::too_many_arguments)] // the unit tuple is the argument list
+pub fn run_webperf_unit(
+    sim: &mut Simulator,
+    campaign: &WebperfCampaign,
+    vp: usize,
+    profile: &ResolverProfile,
+    pi: usize,
+    page: &PageProfile,
+    t: DnsTransport,
+    round: usize,
+) -> WebperfSample {
+    let vps = vantage_points();
+    let mut resolver_cfg = profile.server_config();
+    if campaign.enable_0rtt_resolvers {
+        resolver_cfg.enable_0rtt = true;
+    }
+    let cfg = PageLoadConfig {
+        seed: unit_seed(campaign.seed, vp, profile.index, pi, t, round),
+        transport: t,
+        page: page.clone(),
+        resolver: resolver_cfg,
+        recursion: Default::default(),
+        vp_location: vps[vp].location,
+        resolver_location: profile.location,
+        dot_bug: campaign.dot_bug,
+        enable_0rtt: true,
+        tcp_keepalive_client: false,
+        measured_loads: campaign.scale.loads_per_round,
+        load_timeout: Duration::from_secs(30),
+        path_params: campaign.path_params.clone(),
+    };
+    let loads = run_page_load_in(sim, &cfg);
+    let fcp = crate::stats::median(&loads.iter().map(|l| l.fcp_ms).collect::<Vec<_>>());
+    let plt = crate::stats::median(&loads.iter().map(|l| l.plt_ms).collect::<Vec<_>>());
+    let failed = loads.iter().all(|l| l.failed) || fcp.is_none() || plt.is_none();
+    WebperfSample {
+        vp,
+        vp_continent: vps[vp].continent,
+        resolver: profile.index,
+        page: pi,
+        page_name: page.name.clone(),
+        page_dns_queries: page.dns_query_count(),
+        transport: t,
+        round,
+        fcp_ms: fcp.unwrap_or(f64::NAN),
+        plt_ms: plt.unwrap_or(f64::NAN),
+        proxy_connections: loads.iter().map(|l| l.proxy_connections).max().unwrap_or(0),
+        failed,
+    }
+}
+
+/// Run the campaign: every vantage point x resolver x page x protocol
+/// x round, scheduled by the work-stealing engine on per-worker
+/// simulator arenas. Output order (and content) is independent of
+/// thread count.
 pub fn run_webperf_campaign(
     campaign: &WebperfCampaign,
     population: &[ResolverProfile],
     pages: &[PageProfile],
 ) -> Vec<WebperfSample> {
     let vps = vantage_points();
-    // Subsample with a stride so a reduced set still spans all
-    // continents (the population is ordered by continent).
-    let resolvers: Vec<&ResolverProfile> = match campaign.scale.resolvers {
-        Some(n) if n < population.len() => {
-            let stride = population.len() / n.max(1);
-            population.iter().step_by(stride.max(1)).take(n).collect()
-        }
-        _ => population.iter().collect(),
+    let resolvers = campaign.scale.sample_resolvers(population);
+    let pages = campaign.scale.sample_pages(pages);
+    let grid = engine::UnitGrid {
+        vps: vps.len(),
+        resolvers: resolvers.len(),
+        pages: pages.len(),
+        transports: DnsTransport::ALL.len(),
+        reps: campaign.scale.rounds,
     };
-    let pages: Vec<&PageProfile> = match campaign.scale.pages {
-        Some(n) => pages.iter().take(n).collect(),
-        None => pages.iter().collect(),
-    };
-    let mut units: Vec<(usize, usize, usize, DnsTransport, usize)> = Vec::new();
-    for vp in &vps {
-        for (ri, _) in resolvers.iter().enumerate() {
-            for (pi, _) in pages.iter().enumerate() {
-                for t in DnsTransport::ALL {
-                    for round in 0..campaign.scale.rounds {
-                        units.push((vp.index, ri, pi, t, round));
-                    }
-                }
-            }
-        }
-    }
-    let threads = campaign.scale.threads.max(1);
-    let chunk = units.len().div_ceil(threads).max(1);
-    let mut samples = Vec::with_capacity(units.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = units
-            .chunks(chunk)
-            .map(|chunk| {
-                let vps = &vps;
-                let resolvers = &resolvers;
-                let pages = &pages;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&(vp, ri, pi, t, round)| {
-                            let profile = resolvers[ri];
-                            let page = pages[pi];
-                            let mut resolver_cfg = profile.server_config();
-                            if campaign.enable_0rtt_resolvers {
-                                resolver_cfg.enable_0rtt = true;
-                            }
-                            let cfg = PageLoadConfig {
-                                seed: unit_seed(
-                                    campaign.seed,
-                                    [vp, profile.index, pi * 16 + t as usize, round],
-                                ),
-                                transport: t,
-                                page: page.clone(),
-                                resolver: resolver_cfg,
-                                recursion: Default::default(),
-                                vp_location: vps[vp].location,
-                                resolver_location: profile.location,
-                                dot_bug: campaign.dot_bug,
-                                enable_0rtt: true,
-                                tcp_keepalive_client: false,
-                                measured_loads: campaign.scale.loads_per_round,
-                                load_timeout: Duration::from_secs(30),
-                                path_params: campaign.path_params.clone(),
-                            };
-                            let loads = run_page_load(&cfg);
-                            let fcp = crate::stats::median(
-                                &loads.iter().map(|l| l.fcp_ms).collect::<Vec<_>>(),
-                            );
-                            let plt = crate::stats::median(
-                                &loads.iter().map(|l| l.plt_ms).collect::<Vec<_>>(),
-                            );
-                            let failed = loads.iter().all(|l| l.failed)
-                                || fcp.is_none()
-                                || plt.is_none();
-                            WebperfSample {
-                                vp,
-                                vp_continent: vps[vp].continent,
-                                resolver: profile.index,
-                                page: pi,
-                                page_name: page.name.clone(),
-                                page_dns_queries: page.dns_query_count(),
-                                transport: t,
-                                round,
-                                fcp_ms: fcp.unwrap_or(f64::NAN),
-                                plt_ms: plt.unwrap_or(f64::NAN),
-                                proxy_connections: loads
-                                    .iter()
-                                    .map(|l| l.proxy_connections)
-                                    .max()
-                                    .unwrap_or(0),
-                                failed,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            samples.extend(h.join().expect("worker panicked"));
-        }
-    });
-    samples
+    let units = grid.units();
+    engine::run_units(
+        engine::env_threads(campaign.scale.threads),
+        &units,
+        Simulator::arena,
+        |sim, u, _| {
+            run_webperf_unit(
+                sim,
+                campaign,
+                u.vp,
+                resolvers[u.resolver],
+                u.page,
+                pages[u.page],
+                DnsTransport::ALL[u.transport],
+                u.rep,
+            )
+        },
+    )
 }
 
 #[cfg(test)]
@@ -203,6 +204,9 @@ mod tests {
         let ok = samples.iter().filter(|s| !s.failed).count();
         assert!(ok as f64 / samples.len() as f64 > 0.9, "ok = {ok}/120");
         // Simple page (wikipedia) has exactly 1 DNS query recorded.
-        assert!(samples.iter().filter(|s| s.page == 0).all(|s| s.page_dns_queries == 1));
+        assert!(samples
+            .iter()
+            .filter(|s| s.page == 0)
+            .all(|s| s.page_dns_queries == 1));
     }
 }

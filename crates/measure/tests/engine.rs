@@ -1,0 +1,73 @@
+//! Determinism guarantees of the shared campaign engine (DESIGN.md §7):
+//! for a fixed seed, campaign outputs are byte-identical regardless of
+//! how many worker threads execute the unit grid. Samples carry floats,
+//! so the comparison goes through their `Debug` rendering — identical
+//! strings mean identical bits.
+
+use doqlab_measure::single_query::run_single_query_campaign;
+use doqlab_measure::webperf::run_webperf_campaign;
+use doqlab_measure::{Scale, SingleQueryCampaign, WebperfCampaign};
+use doqlab_resolver::synthesize_dox_population;
+use doqlab_webperf::tranco_top10;
+
+fn single_query_scale(threads: usize) -> Scale {
+    Scale {
+        resolvers: Some(3),
+        repetitions: 2,
+        threads,
+        ..Scale::quick()
+    }
+}
+
+fn webperf_scale(threads: usize) -> Scale {
+    Scale {
+        resolvers: Some(2),
+        pages: Some(2),
+        rounds: 1,
+        loads_per_round: 1,
+        threads,
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn single_query_campaign_is_thread_count_invariant() {
+    let pop = synthesize_dox_population(1);
+    let mut renderings = Vec::new();
+    for threads in [1, 4, 8] {
+        let campaign = SingleQueryCampaign::new(single_query_scale(threads));
+        let samples = run_single_query_campaign(&campaign, &pop);
+        assert!(!samples.is_empty());
+        renderings.push(format!("{samples:?}"));
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+}
+
+#[test]
+fn webperf_campaign_is_thread_count_invariant() {
+    let pop = synthesize_dox_population(1);
+    let pages = tranco_top10();
+    let mut renderings = Vec::new();
+    for threads in [1, 4, 8] {
+        let campaign = WebperfCampaign::new(webperf_scale(threads));
+        let samples = run_webperf_campaign(&campaign, &pop, &pages);
+        assert!(!samples.is_empty());
+        renderings.push(format!("{samples:?}"));
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+}
+
+#[test]
+fn seed_changes_campaign_output() {
+    let pop = synthesize_dox_population(1);
+    let base = SingleQueryCampaign::new(single_query_scale(4));
+    let reseeded = SingleQueryCampaign {
+        seed: base.seed ^ 1,
+        ..base.clone()
+    };
+    let a = run_single_query_campaign(&base, &pop);
+    let b = run_single_query_campaign(&reseeded, &pop);
+    assert_ne!(format!("{a:?}"), format!("{b:?}"));
+}

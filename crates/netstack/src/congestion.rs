@@ -102,7 +102,10 @@ mod tests {
         let before = cc.window();
         cc.on_ack(before); // one full window acked
         let growth = cc.window() - before;
-        assert!(growth <= 1100, "CA growth per RTT should be ~1 MSS, was {growth}");
+        assert!(
+            growth <= 1100,
+            "CA growth per RTT should be ~1 MSS, was {growth}"
+        );
         assert!(growth >= 900);
     }
 

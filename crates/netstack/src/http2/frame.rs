@@ -105,7 +105,12 @@ impl H2Frame {
     }
 
     pub fn ping_ack(payload: Vec<u8>) -> H2Frame {
-        H2Frame { ftype: H2FrameType::Ping, flags: FLAG_ACK, stream_id: 0, payload }
+        H2Frame {
+            ftype: H2FrameType::Ping,
+            flags: FLAG_ACK,
+            stream_id: 0,
+            payload,
+        }
     }
 
     pub fn goaway() -> H2Frame {

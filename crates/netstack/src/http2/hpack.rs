@@ -187,7 +187,10 @@ fn static_find(name: &str, value: &str) -> Option<usize> {
 }
 
 fn static_find_name(name: &str) -> Option<usize> {
-    STATIC_TABLE.iter().position(|(n, _)| *n == name).map(|i| i + 1)
+    STATIC_TABLE
+        .iter()
+        .position(|(n, _)| *n == name)
+        .map(|i| i + 1)
 }
 
 fn table_get(dynamic: &DynamicTable, index: usize) -> Option<(String, String)> {
@@ -216,21 +219,21 @@ impl Default for HpackEncoder {
 
 impl HpackEncoder {
     pub fn new() -> Self {
-        HpackEncoder { dynamic: DynamicTable::new() }
+        HpackEncoder {
+            dynamic: DynamicTable::new(),
+        }
     }
 
     pub fn encode(&mut self, headers: &[(&str, &str)]) -> Vec<u8> {
         let mut out = Vec::new();
         for (name, value) in headers {
             // Fully indexed?
-            if let Some(idx) = static_find(name, value).or_else(|| self.dynamic.find(name, value))
-            {
+            if let Some(idx) = static_find(name, value).or_else(|| self.dynamic.find(name, value)) {
                 encode_int(&mut out, 0x80, 7, idx as u64);
                 continue;
             }
             // Literal with incremental indexing; name indexed if known.
-            let name_idx =
-                static_find_name(name).or_else(|| self.dynamic.find_name(name));
+            let name_idx = static_find_name(name).or_else(|| self.dynamic.find_name(name));
             match name_idx {
                 Some(idx) => encode_int(&mut out, 0x40, 6, idx as u64),
                 None => {
@@ -259,7 +262,9 @@ impl Default for HpackDecoder {
 
 impl HpackDecoder {
     pub fn new() -> Self {
-        HpackDecoder { dynamic: DynamicTable::new() }
+        HpackDecoder {
+            dynamic: DynamicTable::new(),
+        }
     }
 
     pub fn decode(&mut self, block: &[u8]) -> Option<Vec<(String, String)>> {
@@ -315,7 +320,10 @@ mod tests {
     }
 
     fn to_owned(headers: &[(&str, &str)]) -> Vec<(String, String)> {
-        headers.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect()
+        headers
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -329,7 +337,11 @@ mod tests {
     #[test]
     fn fully_indexed_static_pairs_are_one_byte() {
         let mut enc = HpackEncoder::new();
-        let block = enc.encode(&[(":method", "POST"), (":scheme", "https"), (":status", "200")]);
+        let block = enc.encode(&[
+            (":method", "POST"),
+            (":scheme", "https"),
+            (":status", "200"),
+        ]);
         assert_eq!(block.len(), 3);
     }
 
@@ -358,7 +370,12 @@ mod tests {
         let mut dec = HpackDecoder::new();
         let first = enc.encode(&headers);
         let second = enc.encode(&headers);
-        assert!(second.len() < first.len() / 3, "{} vs {}", second.len(), first.len());
+        assert!(
+            second.len() < first.len() / 3,
+            "{} vs {}",
+            second.len(),
+            first.len()
+        );
         assert_eq!(dec.decode(&first).unwrap(), to_owned(&headers));
         assert_eq!(dec.decode(&second).unwrap(), to_owned(&headers));
     }

@@ -152,7 +152,8 @@ impl H2Connection {
         match frame.ftype {
             H2FrameType::Settings => {
                 if !frame.flags_ack() {
-                    self.out.extend_from_slice(&H2Frame::settings(true).encode());
+                    self.out
+                        .extend_from_slice(&H2Frame::settings(true).encode());
                 } else {
                     self.settings_acked = true;
                 }
@@ -180,9 +181,8 @@ impl H2Connection {
             H2FrameType::GoAway => self.goaway = true,
             H2FrameType::Ping => {
                 if !frame.flags_ack() {
-                    self.out.extend_from_slice(
-                        &H2Frame::ping_ack(frame.payload.clone()).encode(),
-                    );
+                    self.out
+                        .extend_from_slice(&H2Frame::ping_ack(frame.payload.clone()).encode());
                 }
             }
             H2FrameType::WindowUpdate | H2FrameType::RstStream | H2FrameType::Other(_) => {}
@@ -259,7 +259,10 @@ mod tests {
     }
 
     fn hdrs(pairs: &[(String, String)]) -> Vec<(&str, &str)> {
-        pairs.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect()
+        pairs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect()
     }
 
     #[test]
@@ -276,7 +279,10 @@ mod tests {
         assert_eq!(reqs[0].body, b"query");
         assert_eq!(reqs[0].header(":method"), Some("POST"));
         assert_eq!(reqs[0].header(":path"), Some("/dns-query"));
-        assert_eq!(reqs[0].header("content-type"), Some("application/dns-message"));
+        assert_eq!(
+            reqs[0].header("content-type"),
+            Some("application/dns-message")
+        );
 
         let resp_headers = doh_response_headers(6);
         s.send_response(1, &hdrs(&resp_headers), b"answer");

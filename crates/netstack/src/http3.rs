@@ -72,7 +72,11 @@ pub fn control_stream_preamble() -> Vec<u8> {
         write_varint(&mut settings, id);
         write_varint(&mut settings, value);
     }
-    H3Frame { ftype: FRAME_SETTINGS, payload: settings }.encode(&mut out);
+    H3Frame {
+        ftype: FRAME_SETTINGS,
+        payload: settings,
+    }
+    .encode(&mut out);
     out
 }
 
@@ -173,12 +177,23 @@ impl H3Message {
 
     /// Serialize as HEADERS + DATA stream bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let refs: Vec<(&str, &str)> =
-            self.headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let refs: Vec<(&str, &str)> = self
+            .headers
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
         let mut out = Vec::new();
-        H3Frame { ftype: FRAME_HEADERS, payload: qpack_encode(&refs) }.encode(&mut out);
+        H3Frame {
+            ftype: FRAME_HEADERS,
+            payload: qpack_encode(&refs),
+        }
+        .encode(&mut out);
         if !self.body.is_empty() {
-            H3Frame { ftype: FRAME_DATA, payload: self.body.clone() }.encode(&mut out);
+            H3Frame {
+                ftype: FRAME_DATA,
+                payload: self.body.clone(),
+            }
+            .encode(&mut out);
         }
         out
     }
@@ -196,7 +211,10 @@ impl H3Message {
                 _ => {} // unknown frames are ignored (greasing)
             }
         }
-        Some(H3Message { headers: headers?, body })
+        Some(H3Message {
+            headers: headers?,
+            body,
+        })
     }
 }
 
@@ -234,7 +252,10 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let f = H3Frame { ftype: FRAME_HEADERS, payload: vec![1, 2, 3] };
+        let f = H3Frame {
+            ftype: FRAME_HEADERS,
+            payload: vec![1, 2, 3],
+        };
         let mut buf = Vec::new();
         f.encode(&mut buf);
         let mut pos = 0;
@@ -244,7 +265,10 @@ mod tests {
 
     #[test]
     fn incomplete_frames_rewind() {
-        let f = H3Frame { ftype: FRAME_DATA, payload: vec![9; 50] };
+        let f = H3Frame {
+            ftype: FRAME_DATA,
+            payload: vec![9; 50],
+        };
         let mut buf = Vec::new();
         f.encode(&mut buf);
         for cut in [0, 1, 10, buf.len() - 1] {
@@ -256,7 +280,10 @@ mod tests {
 
     #[test]
     fn qpack_roundtrip() {
-        let headers = [(":method", "POST"), ("content-type", "application/dns-message")];
+        let headers = [
+            (":method", "POST"),
+            ("content-type", "application/dns-message"),
+        ];
         let block = qpack_encode(&headers);
         assert_eq!(block[0], 0, "required insert count 0");
         let out = qpack_decode(&block).unwrap();

@@ -10,9 +10,7 @@
 use super::frame::Frame;
 use super::packet::{Packet, PacketType, VersionNegotiation, CID_LEN};
 use super::{draft_version, AMPLIFICATION_FACTOR, MIN_INITIAL_SIZE, PACKET_TAG_LEN, QUIC_V1};
-use crate::tls::{
-    HandshakeMessage, HandshakePayload, SessionTicket, TlsConfig, TlsVersion,
-};
+use crate::tls::{HandshakeMessage, HandshakePayload, SessionTicket, TlsConfig, TlsVersion};
 use doqlab_simnet::{Duration, SimRng, SimTime, SocketAddr};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -40,7 +38,12 @@ pub struct QuicConfig {
 impl Default for QuicConfig {
     fn default() -> Self {
         QuicConfig {
-            versions: vec![QUIC_V1, draft_version(34), draft_version(32), draft_version(29)],
+            versions: vec![
+                QUIC_V1,
+                draft_version(34),
+                draft_version(32),
+                draft_version(29),
+            ],
             tls: TlsConfig::default(),
             initial_pto: Duration::from_secs(1),
             max_idle: Duration::from_secs(30),
@@ -532,7 +535,9 @@ impl QuicConnection {
         }
         let mut pos = 0;
         while pos < data.len() {
-            let Some(pkt) = Packet::decode(data, &mut pos) else { break };
+            let Some(pkt) = Packet::decode(data, &mut pos) else {
+                break;
+            };
             self.on_packet(now, pkt);
             if self.draining {
                 return;
@@ -579,7 +584,9 @@ impl QuicConnection {
         if !self.spaces[epoch].received.insert(pkt.packet_number) {
             return; // duplicate
         }
-        let Some(frames) = Frame::decode_all(&pkt.payload) else { return };
+        let Some(frames) = Frame::decode_all(&pkt.payload) else {
+            return;
+        };
         let zero_rtt = pkt.ptype == PacketType::ZeroRtt;
         let mut ack_eliciting = false;
         for frame in frames {
@@ -607,10 +614,14 @@ impl QuicConnection {
                     self.new_token_rx = Some(token);
                 }
             }
-            Frame::Stream { id, offset, data, fin } => {
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin,
+            } => {
                 // 0-RTT stream data is dropped unless accepted.
-                if zero_rtt && self.role == Role::Server && self.early_accepted != Some(true)
-                {
+                if zero_rtt && self.role == Role::Server && self.early_accepted != Some(true) {
                     return;
                 }
                 let known = self.streams.contains_key(&id);
@@ -641,8 +652,7 @@ impl QuicConnection {
         let mut rtt_sample = None;
         for &(hi, lo) in ranges {
             let space = &mut self.spaces[epoch];
-            let acked: Vec<u64> =
-                space.sent.range(lo..=hi).map(|(pn, _)| *pn).collect();
+            let acked: Vec<u64> = space.sent.range(lo..=hi).map(|(pn, _)| *pn).collect();
             for pn in acked {
                 let sp = space.sent.remove(&pn).expect("ranged");
                 newly_acked = true;
@@ -683,7 +693,12 @@ impl QuicConnection {
                 Frame::Crypto { offset, data } => {
                     self.spaces[epoch].crypto_tx.on_lost(offset, data)
                 }
-                Frame::Stream { id, offset, data, fin } => {
+                Frame::Stream {
+                    id,
+                    offset,
+                    data,
+                    fin,
+                } => {
                     if let Some(s) = self.streams.get_mut(&id) {
                         s.send.on_lost(offset, data);
                         if fin {
@@ -704,11 +719,8 @@ impl QuicConnection {
     fn process_crypto(&mut self, now: SimTime, epoch: usize) {
         let bytes = self.spaces[epoch].crypto_rx.take();
         self.spaces[epoch].hs_partial.extend_from_slice(&bytes);
-        loop {
-            let Some((msg, used)) = HandshakeMessage::decode(&self.spaces[epoch].hs_partial)
-            else {
-                break; // partial message: wait for more CRYPTO data
-            };
+        // Decode until a partial message remains (wait for more CRYPTO data).
+        while let Some((msg, used)) = HandshakeMessage::decode(&self.spaces[epoch].hs_partial) {
             self.spaces[epoch].hs_partial.drain(..used);
             self.on_handshake_message(now, msg);
             if self.hs == HsState::Failed || self.draining {
@@ -721,7 +733,13 @@ impl QuicConnection {
         match (self.role, msg.payload) {
             (
                 Role::Server,
-                HandshakePayload::ClientHello { versions, alpn, psk, early_data, .. },
+                HandshakePayload::ClientHello {
+                    versions,
+                    alpn,
+                    psk,
+                    early_data,
+                    ..
+                },
             ) => {
                 if self.hs != HsState::Initial {
                     return;
@@ -729,8 +747,7 @@ impl QuicConnection {
                 if !versions.contains(&TlsVersion::Tls13) {
                     return self.hs_fail("QUIC requires TLS 1.3");
                 }
-                let chosen =
-                    alpn.iter().find(|a| self.cfg.tls.alpn.contains(a)).cloned();
+                let chosen = alpn.iter().find(|a| self.cfg.tls.alpn.contains(a)).cloned();
                 if chosen.is_none() {
                     self.error = Some(QuicError::NoCommonAlpn);
                     self.close_queued = Some(0x178); // crypto error: no_application_protocol
@@ -782,7 +799,10 @@ impl QuicConnection {
             }
             (
                 Role::Client,
-                HandshakePayload::EncryptedExtensions { alpn, early_data_accepted },
+                HandshakePayload::EncryptedExtensions {
+                    alpn,
+                    early_data_accepted,
+                },
             ) => {
                 self.alpn = alpn;
                 if self.early_permitted {
@@ -859,7 +879,10 @@ impl QuicConnection {
         if self.draining {
             return None;
         }
-        [self.pto_deadline, self.idle_deadline].into_iter().flatten().min()
+        [self.pto_deadline, self.idle_deadline]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     fn pto_duration(&self) -> Duration {
@@ -879,7 +902,18 @@ impl QuicConnection {
             .filter(|sp| sp.ack_eliciting)
             .map(|sp| sp.time)
             .min();
-        self.pto_deadline = oldest.map(|t| (t + self.pto_duration()).max(now));
+        self.pto_deadline = match oldest {
+            Some(t) => Some((t + self.pto_duration()).max(now)),
+            // RFC 9002 §6.2.2.1: a client keeps a PTO armed until the
+            // handshake completes even with nothing ack-eliciting in
+            // flight. Its ACK-only flights elicit no response, and the
+            // server may be amplification-blocked after losing its
+            // flight — without a client probe the handshake deadlocks.
+            None if self.role == Role::Client && self.hs != HsState::Done => {
+                Some(now + self.pto_duration())
+            }
+            None => None,
+        };
     }
 
     /// Fire expired timers. Called from `poll_transmit`.
@@ -912,11 +946,16 @@ impl QuicConnection {
                         self.requeue_lost_frames(epoch, sp.frames);
                     }
                 }
-                // A client with nothing in flight still probes.
-                if self.spaces.iter().all(|s| s.sent.is_empty())
-                    && self.role == Role::Client
-                    && self.hs != HsState::Done
-                {
+                // A client with nothing ack-eliciting in flight still
+                // probes: ACK-only packets sit in `sent` without ever
+                // eliciting a response, so an emptiness check alone
+                // would leave the handshake stuck.
+                let eliciting_in_flight = self
+                    .spaces
+                    .iter()
+                    .flat_map(|s| s.sent.values())
+                    .any(|sp| sp.ack_eliciting);
+                if !eliciting_in_flight && self.role == Role::Client && self.hs != HsState::Done {
                     self.ping_queued = true;
                 }
                 self.pto_deadline = Some(now + self.pto_duration());
@@ -978,8 +1017,10 @@ impl QuicConnection {
                 } else {
                     PacketType::Initial
                 };
-                let frames =
-                    vec![Frame::ConnectionClose { error_code: code, reason: Vec::new() }];
+                let frames = vec![Frame::ConnectionClose {
+                    error_code: code,
+                    reason: Vec::new(),
+                }];
                 let mut out = Vec::new();
                 self.encode_packet(epoch_type, frames, &mut out);
                 self.draining = true;
@@ -989,9 +1030,10 @@ impl QuicConnection {
         }
 
         // Initial + Handshake epochs: ACKs then CRYPTO.
-        for (epoch, ptype) in
-            [(EPOCH_INITIAL, PacketType::Initial), (EPOCH_HANDSHAKE, PacketType::Handshake)]
-        {
+        for (epoch, ptype) in [
+            (EPOCH_INITIAL, PacketType::Initial),
+            (EPOCH_HANDSHAKE, PacketType::Handshake),
+        ] {
             if remaining < LONG_OVERHEAD + 8 {
                 break;
             }
@@ -1007,8 +1049,7 @@ impl QuicConnection {
                 remaining - LONG_OVERHEAD - frames.iter().map(|f| f.wire_len()).sum::<usize>();
             while frame_budget > 8 {
                 let max_chunk = frame_budget - 8; // frame header slack
-                let Some((offset, data)) =
-                    self.spaces[epoch].crypto_tx.next_chunk(max_chunk)
+                let Some((offset, data)) = self.spaces[epoch].crypto_tx.next_chunk(max_chunk)
                 else {
                     break;
                 };
@@ -1023,11 +1064,9 @@ impl QuicConnection {
             if !frames.is_empty() {
                 if ptype == PacketType::Initial {
                     contains_initial = true;
-                    initial_ack_eliciting |=
-                        frames.iter().any(|f| f.is_ack_eliciting());
+                    initial_ack_eliciting |= frames.iter().any(|f| f.is_ack_eliciting());
                 }
-                remaining -= LONG_OVERHEAD
-                    + frames.iter().map(|f| f.wire_len()).sum::<usize>();
+                remaining -= LONG_OVERHEAD + frames.iter().map(|f| f.wire_len()).sum::<usize>();
                 parts.push((ptype, frames));
             }
         }
@@ -1049,17 +1088,18 @@ impl QuicConnection {
             None
         } else if can_send_1rtt {
             Some(PacketType::OneRtt)
-        } else if self.role == Role::Client
-            && self.early_permitted
-            && self.early_accepted.is_none()
+        } else if self.role == Role::Client && self.early_permitted && self.early_accepted.is_none()
         {
             Some(PacketType::ZeroRtt)
         } else {
             None
         };
         if let Some(ptype) = app_ptype {
-            let overhead =
-                if ptype == PacketType::OneRtt { SHORT_OVERHEAD } else { LONG_OVERHEAD };
+            let overhead = if ptype == PacketType::OneRtt {
+                SHORT_OVERHEAD
+            } else {
+                LONG_OVERHEAD
+            };
             if remaining >= overhead + 8 {
                 let mut frames = Vec::new();
                 let mut frame_budget = remaining - overhead;
@@ -1085,8 +1125,9 @@ impl QuicConnection {
                         .saturating_sub(frames.iter().map(|f| f.wire_len()).sum::<usize>());
                     // Post-handshake CRYPTO (session tickets).
                     while frame_budget > 8 {
-                        let Some((offset, data)) =
-                            self.spaces[EPOCH_APP].crypto_tx.next_chunk(frame_budget - 8)
+                        let Some((offset, data)) = self.spaces[EPOCH_APP]
+                            .crypto_tx
+                            .next_chunk(frame_budget - 8)
                         else {
                             break;
                         };
@@ -1110,17 +1151,20 @@ impl QuicConnection {
                         match chunk {
                             Some((offset, data)) => {
                                 let end = offset + data.len() as u64;
-                                let fin = stream.fin_queued
-                                    && end == stream.send.data.len() as u64;
+                                let fin = stream.fin_queued && end == stream.send.data.len() as u64;
                                 if fin {
                                     stream.fin_offset = Some(end);
                                     stream.fin_sent = true;
                                 }
-                                let f = Frame::Stream { id, offset, data: data.clone(), fin };
+                                let f = Frame::Stream {
+                                    id,
+                                    offset,
+                                    data: data.clone(),
+                                    fin,
+                                };
                                 frame_budget = frame_budget.saturating_sub(f.wire_len());
                                 if ptype == PacketType::ZeroRtt {
-                                    self.early_stream_frames
-                                        .push((id, offset, data, fin));
+                                    self.early_stream_frames.push((id, offset, data, fin));
                                 }
                                 frames.push(f);
                             }
@@ -1137,8 +1181,7 @@ impl QuicConnection {
                                         data: Vec::new(),
                                         fin: true,
                                     };
-                                    frame_budget =
-                                        frame_budget.saturating_sub(f.wire_len());
+                                    frame_budget = frame_budget.saturating_sub(f.wire_len());
                                     frames.push(f);
                                 }
                                 break;
@@ -1175,7 +1218,11 @@ impl QuicConnection {
             let size: usize = parts
                 .iter()
                 .map(|(ptype, frames)| {
-                    let tl = if *ptype == PacketType::Initial { token_len } else { 0 };
+                    let tl = if *ptype == PacketType::Initial {
+                        token_len
+                    } else {
+                        0
+                    };
                     exact(*ptype, frames.iter().map(|f| f.wire_len()).sum(), tl)
                 })
                 .sum();
@@ -1184,16 +1231,18 @@ impl QuicConnection {
                 // Pad inside the Initial packet; adding padding can grow
                 // the length varint, so add then shrink to hit the
                 // target exactly.
-                if let Some((_, frames)) =
-                    parts.iter_mut().find(|(t, _)| *t == PacketType::Initial)
+                if let Some((_, frames)) = parts.iter_mut().find(|(t, _)| *t == PacketType::Initial)
                 {
                     frames.push(Frame::Padding(target - size));
                 }
                 let current: usize = parts
                     .iter()
                     .map(|(ptype, frames)| {
-                        let tl =
-                            if *ptype == PacketType::Initial { token_len } else { 0 };
+                        let tl = if *ptype == PacketType::Initial {
+                            token_len
+                        } else {
+                            0
+                        };
                         exact(*ptype, frames.iter().map(|f| f.wire_len()).sum(), tl)
                     })
                     .sum();
@@ -1252,9 +1301,14 @@ impl QuicConnection {
         let ack_eliciting = frames.iter().any(|f| f.is_ack_eliciting());
         self.encode_packet(ptype, frames.clone(), out);
         if ack_eliciting {
-            self.spaces[epoch]
-                .sent
-                .insert(pn, SentPacket { time: now, ack_eliciting, frames });
+            self.spaces[epoch].sent.insert(
+                pn,
+                SentPacket {
+                    time: now,
+                    ack_eliciting,
+                    frames,
+                },
+            );
             if self.pto_deadline.is_none() {
                 self.pto_deadline = Some(now + self.pto_duration());
             }
@@ -1292,7 +1346,11 @@ pub struct QuicServer {
 
 impl QuicServer {
     pub fn new(local: SocketAddr, cfg: QuicConfig) -> Self {
-        QuicServer { local, cfg, conns: HashMap::new() }
+        QuicServer {
+            local,
+            cfg,
+            conns: HashMap::new(),
+        }
     }
 
     /// Handle a datagram from `src`; immediate stateless responses
@@ -1327,14 +1385,22 @@ impl QuicServer {
             return vec![(src, vn.encode())];
         }
         let mut pos = 0;
-        let Some(pkt) = Packet::decode(data, &mut pos) else { return Vec::new() };
+        let Some(pkt) = Packet::decode(data, &mut pos) else {
+            return Vec::new();
+        };
         if pkt.ptype != PacketType::Initial {
             return Vec::new();
         }
         let has_valid_token = token_valid(&pkt.token, self.cfg.tls.server_id, src);
         if self.cfg.retry_required && !has_valid_token {
-            let mut retry =
-                Packet::new(PacketType::Retry, version, pkt.scid, pkt.dcid, 0, Vec::new());
+            let mut retry = Packet::new(
+                PacketType::Retry,
+                version,
+                pkt.scid,
+                pkt.dcid,
+                0,
+                Vec::new(),
+            );
             retry.token = make_token(self.cfg.tls.server_id, src);
             let mut out = Vec::new();
             retry.encode(&mut out);

@@ -12,17 +12,36 @@ pub enum Frame {
     Padding(usize),
     Ping,
     /// Acknowledged packet-number ranges, descending, inclusive.
-    Ack { ranges: Vec<(u64, u64)>, delay: u64 },
-    Crypto { offset: u64, data: Vec<u8> },
-    NewToken { token: Vec<u8> },
-    Stream { id: u64, offset: u64, data: Vec<u8>, fin: bool },
-    ConnectionClose { error_code: u64, reason: Vec<u8> },
+    Ack {
+        ranges: Vec<(u64, u64)>,
+        delay: u64,
+    },
+    Crypto {
+        offset: u64,
+        data: Vec<u8>,
+    },
+    NewToken {
+        token: Vec<u8>,
+    },
+    Stream {
+        id: u64,
+        offset: u64,
+        data: Vec<u8>,
+        fin: bool,
+    },
+    ConnectionClose {
+        error_code: u64,
+        reason: Vec<u8>,
+    },
     HandshakeDone,
 }
 
 impl Frame {
     pub fn is_ack_eliciting(&self) -> bool {
-        !matches!(self, Frame::Padding(_) | Frame::Ack { .. } | Frame::ConnectionClose { .. })
+        !matches!(
+            self,
+            Frame::Padding(_) | Frame::Ack { .. } | Frame::ConnectionClose { .. }
+        )
     }
 
     /// Encoded size in bytes.
@@ -31,7 +50,10 @@ impl Frame {
             Frame::Padding(n) => *n,
             Frame::Ping => 1,
             Frame::Ack { ranges, .. } => {
-                let mut len = 1 + varint_len(ranges[0].0) + varint_len(0) + varint_len(ranges.len() as u64 - 1);
+                let mut len = 1
+                    + varint_len(ranges[0].0)
+                    + varint_len(0)
+                    + varint_len(ranges.len() as u64 - 1);
                 len += varint_len(ranges[0].0 - ranges[0].1);
                 for w in ranges.windows(2) {
                     let gap = w[0].1 - w[1].0 - 2;
@@ -43,7 +65,9 @@ impl Frame {
                 1 + varint_len(*offset) + varint_len(data.len() as u64) + data.len()
             }
             Frame::NewToken { token } => 1 + varint_len(token.len() as u64) + token.len(),
-            Frame::Stream { id, offset, data, .. } => {
+            Frame::Stream {
+                id, offset, data, ..
+            } => {
                 1 + varint_len(*id)
                     + varint_len(*offset)
                     + varint_len(data.len() as u64)
@@ -90,7 +114,12 @@ impl Frame {
                 write_varint(out, token.len() as u64);
                 out.extend_from_slice(token);
             }
-            Frame::Stream { id, offset, data, fin } => {
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin,
+            } => {
                 // 0x08 | OFF(0x04) | LEN(0x02) | FIN(0x01); we always set
                 // OFF and LEN for a self-delimiting encoding.
                 out.push(0x08 | 0x04 | 0x02 | (*fin as u8));
@@ -153,7 +182,10 @@ impl Frame {
                     if pos + len > buf.len() {
                         return None;
                     }
-                    frames.push(Frame::Crypto { offset, data: buf[pos..pos + len].to_vec() });
+                    frames.push(Frame::Crypto {
+                        offset,
+                        data: buf[pos..pos + len].to_vec(),
+                    });
                     pos += len;
                 }
                 0x07 => {
@@ -162,7 +194,9 @@ impl Frame {
                     if pos + len > buf.len() {
                         return None;
                     }
-                    frames.push(Frame::NewToken { token: buf[pos..pos + len].to_vec() });
+                    frames.push(Frame::NewToken {
+                        token: buf[pos..pos + len].to_vec(),
+                    });
                     pos += len;
                 }
                 0x08..=0x0F => {
@@ -171,7 +205,11 @@ impl Frame {
                     let has_off = ftype & 0x04 != 0;
                     pos += 1;
                     let id = read_varint(buf, &mut pos)?;
-                    let offset = if has_off { read_varint(buf, &mut pos)? } else { 0 };
+                    let offset = if has_off {
+                        read_varint(buf, &mut pos)?
+                    } else {
+                        0
+                    };
                     let len = if has_len {
                         read_varint(buf, &mut pos)? as usize
                     } else {
@@ -233,10 +271,16 @@ mod tests {
     fn simple_frames_roundtrip() {
         roundtrip(vec![
             Frame::Ping,
-            Frame::Crypto { offset: 0, data: vec![1, 2, 3] },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
             Frame::NewToken { token: vec![9; 32] },
             Frame::HandshakeDone,
-            Frame::ConnectionClose { error_code: 0, reason: b"bye".to_vec() },
+            Frame::ConnectionClose {
+                error_code: 0,
+                reason: b"bye".to_vec(),
+            },
         ]);
     }
 
@@ -253,8 +297,14 @@ mod tests {
 
     #[test]
     fn single_range_ack() {
-        roundtrip(vec![Frame::Ack { ranges: vec![(7, 3)], delay: 25 }]);
-        roundtrip(vec![Frame::Ack { ranges: vec![(0, 0)], delay: 0 }]);
+        roundtrip(vec![Frame::Ack {
+            ranges: vec![(7, 3)],
+            delay: 25,
+        }]);
+        roundtrip(vec![Frame::Ack {
+            ranges: vec![(0, 0)],
+            delay: 0,
+        }]);
     }
 
     #[test]
@@ -269,9 +319,24 @@ mod tests {
     #[test]
     fn stream_frames_with_fin() {
         roundtrip(vec![
-            Frame::Stream { id: 0, offset: 0, data: b"query".to_vec(), fin: true },
-            Frame::Stream { id: 4, offset: 100, data: vec![], fin: true },
-            Frame::Stream { id: 8, offset: 5, data: vec![7; 50], fin: false },
+            Frame::Stream {
+                id: 0,
+                offset: 0,
+                data: b"query".to_vec(),
+                fin: true,
+            },
+            Frame::Stream {
+                id: 4,
+                offset: 100,
+                data: vec![],
+                fin: true,
+            },
+            Frame::Stream {
+                id: 8,
+                offset: 5,
+                data: vec![7; 50],
+                fin: false,
+            },
         ]);
     }
 
@@ -284,7 +349,12 @@ mod tests {
         buf.extend_from_slice(b"rest");
         assert_eq!(
             Frame::decode_all(&buf),
-            Some(vec![Frame::Stream { id: 4, offset: 0, data: b"rest".to_vec(), fin: false }])
+            Some(vec![Frame::Stream {
+                id: 4,
+                offset: 0,
+                data: b"rest".to_vec(),
+                fin: false
+            }])
         );
     }
 
@@ -301,9 +371,21 @@ mod tests {
     #[test]
     fn ack_eliciting_classification() {
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: vec![]
+        }
+        .is_ack_eliciting());
         assert!(!Frame::Padding(1).is_ack_eliciting());
-        assert!(!Frame::Ack { ranges: vec![(0, 0)], delay: 0 }.is_ack_eliciting());
-        assert!(!Frame::ConnectionClose { error_code: 0, reason: vec![] }.is_ack_eliciting());
+        assert!(!Frame::Ack {
+            ranges: vec![(0, 0)],
+            delay: 0
+        }
+        .is_ack_eliciting());
+        assert!(!Frame::ConnectionClose {
+            error_code: 0,
+            reason: vec![]
+        }
+        .is_ack_eliciting());
     }
 }

@@ -43,7 +43,15 @@ impl Packet {
         packet_number: u64,
         payload: Vec<u8>,
     ) -> Self {
-        Packet { ptype, version, dcid, scid, token: Vec::new(), packet_number, payload }
+        Packet {
+            ptype,
+            version,
+            dcid,
+            scid,
+            token: Vec::new(),
+            packet_number,
+            payload,
+        }
     }
 
     fn type_bits(ptype: PacketType) -> u8 {
@@ -192,7 +200,15 @@ impl Packet {
         let pn = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().ok()?) as u64;
         let payload = buf[*pos + 4..*pos + length - PACKET_TAG_LEN].to_vec();
         *pos += length;
-        Some(Packet { ptype, version, dcid, scid, token, packet_number: pn, payload })
+        Some(Packet {
+            ptype,
+            version,
+            dcid,
+            scid,
+            token,
+            packet_number: pn,
+            payload,
+        })
     }
 
     /// Peek the version field of a long-header packet without full
@@ -258,7 +274,11 @@ impl VersionNegotiation {
             supported.push(u32::from_be_bytes(buf[pos..pos + 4].try_into().ok()?));
             pos += 4;
         }
-        Some(VersionNegotiation { dcid, scid, supported })
+        Some(VersionNegotiation {
+            dcid,
+            scid,
+            supported,
+        })
     }
 }
 
@@ -304,7 +324,14 @@ mod tests {
 
     #[test]
     fn short_header_roundtrip() {
-        let p = Packet::new(PacketType::OneRtt, 0, cid(5), cid(0), 42, b"stream".to_vec());
+        let p = Packet::new(
+            PacketType::OneRtt,
+            0,
+            cid(5),
+            cid(0),
+            42,
+            b"stream".to_vec(),
+        );
         let mut buf = Vec::new();
         p.encode(&mut buf);
         let mut pos = 0;
@@ -320,10 +347,16 @@ mod tests {
         // Initial + Handshake + 1-RTT in one datagram, like a server's
         // first flight.
         let mut buf = Vec::new();
-        Packet::new(PacketType::Initial, QUIC_V1, cid(1), cid(2), 0, vec![2; 10])
-            .encode(&mut buf);
-        Packet::new(PacketType::Handshake, QUIC_V1, cid(1), cid(2), 0, vec![3; 20])
-            .encode(&mut buf);
+        Packet::new(PacketType::Initial, QUIC_V1, cid(1), cid(2), 0, vec![2; 10]).encode(&mut buf);
+        Packet::new(
+            PacketType::Handshake,
+            QUIC_V1,
+            cid(1),
+            cid(2),
+            0,
+            vec![3; 20],
+        )
+        .encode(&mut buf);
         Packet::new(PacketType::OneRtt, 0, cid(1), cid(0), 0, vec![4; 30]).encode(&mut buf);
         let mut pos = 0;
         let a = Packet::decode(&buf, &mut pos).unwrap();
@@ -332,7 +365,11 @@ mod tests {
         assert_eq!(pos, buf.len());
         assert_eq!(
             (a.ptype, b.ptype, c.ptype),
-            (PacketType::Initial, PacketType::Handshake, PacketType::OneRtt)
+            (
+                PacketType::Initial,
+                PacketType::Handshake,
+                PacketType::OneRtt
+            )
         );
         assert_eq!(c.payload.len(), 30);
     }
@@ -374,7 +411,14 @@ mod tests {
 
     #[test]
     fn peek_version() {
-        let p = Packet::new(PacketType::Initial, 0xff00_0022, cid(1), cid(2), 0, vec![1; 30]);
+        let p = Packet::new(
+            PacketType::Initial,
+            0xff00_0022,
+            cid(1),
+            cid(2),
+            0,
+            vec![1; 30],
+        );
         let mut buf = Vec::new();
         p.encode(&mut buf);
         assert_eq!(Packet::peek_long_header_version(&buf), Some(0xff00_0022));
@@ -391,7 +435,10 @@ mod tests {
         p.encode(&mut buf);
         for cut in [1, 5, 10, buf.len() - 1] {
             let mut pos = 0;
-            assert!(Packet::decode(&buf[..cut], &mut pos).is_none(), "cut = {cut}");
+            assert!(
+                Packet::decode(&buf[..cut], &mut pos).is_none(),
+                "cut = {cut}"
+            );
         }
     }
 }

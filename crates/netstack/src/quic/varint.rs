@@ -6,9 +6,7 @@ pub fn write_varint(out: &mut Vec<u8>, v: u64) {
     match v {
         0..=0x3F => out.push(v as u8),
         0x40..=0x3FFF => out.extend_from_slice(&((v as u16) | 0x4000).to_be_bytes()),
-        0x4000..=0x3FFF_FFFF => {
-            out.extend_from_slice(&((v as u32) | 0x8000_0000).to_be_bytes())
-        }
+        0x4000..=0x3FFF_FFFF => out.extend_from_slice(&((v as u32) | 0x8000_0000).to_be_bytes()),
         0x4000_0000..=0x3FFF_FFFF_FFFF_FFFF => {
             out.extend_from_slice(&(v | 0xC000_0000_0000_0000).to_be_bytes())
         }
@@ -50,7 +48,10 @@ mod tests {
     fn rfc_examples() {
         // RFC 9000 §A.1 sample values.
         let cases: &[(u64, &[u8])] = &[
-            (151_288_809_941_952_652, &[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C]),
+            (
+                151_288_809_941_952_652,
+                &[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C],
+            ),
             (494_878_333, &[0x9D, 0x7F, 0x3E, 0x7D]),
             (15_293, &[0x7B, 0xBD]),
             (37, &[0x25]),
@@ -67,8 +68,16 @@ mod tests {
 
     #[test]
     fn boundaries_roundtrip() {
-        for v in [0, 0x3F, 0x40, 0x3FFF, 0x4000, 0x3FFF_FFFF, 0x4000_0000, (1u64 << 62) - 1]
-        {
+        for v in [
+            0,
+            0x3F,
+            0x40,
+            0x3FFF,
+            0x4000,
+            0x3FFF_FFFF,
+            0x4000_0000,
+            (1u64 << 62) - 1,
+        ] {
             let mut out = Vec::new();
             write_varint(&mut out, v);
             assert_eq!(out.len(), varint_len(v));

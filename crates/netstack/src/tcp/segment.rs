@@ -16,11 +16,41 @@ pub struct TcpFlags {
 }
 
 impl TcpFlags {
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 
     fn to_bits(self) -> u8 {
         (self.fin as u8)
@@ -133,9 +163,7 @@ impl TcpSegment {
         for opt in &self.options {
             opt.encode(&mut out);
         }
-        for _ in opt_len..padded {
-            out.push(1); // NOP
-        }
+        out.extend(std::iter::repeat_n(1u8, padded - opt_len)); // NOP padding
         out.extend_from_slice(&self.payload);
         out
     }
@@ -158,8 +186,8 @@ impl TcpSegment {
         let mut i = TCP_HEADER_LEN;
         while i < header_len {
             match buf[i] {
-                0 => break,    // end of options
-                1 => i += 1,   // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 kind => {
                     if i + 1 >= header_len {
                         return None;
@@ -261,7 +289,12 @@ mod tests {
             dst_port: 10,
             seq: 0xFFFF_FFF0,
             ack: 77,
-            flags: TcpFlags { fin: true, ack: true, psh: true, ..TcpFlags::default() },
+            flags: TcpFlags {
+                fin: true,
+                ack: true,
+                psh: true,
+                ..TcpFlags::default()
+            },
             window: 1024,
             options: vec![TcpOption::Timestamps { value: 3, echo: 4 }],
             payload: b"data".to_vec(),

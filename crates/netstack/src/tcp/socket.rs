@@ -76,7 +76,12 @@ struct RtoEstimator {
 
 impl RtoEstimator {
     fn new(initial: Duration, min_rto: Duration) -> Self {
-        RtoEstimator { srtt: None, rttvar: Duration::ZERO, rto: initial, min_rto }
+        RtoEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: initial,
+            min_rto,
+        }
     }
 
     fn on_sample(&mut self, rtt: Duration) {
@@ -86,7 +91,7 @@ impl RtoEstimator {
                 self.rttvar = rtt / 2;
             }
             Some(srtt) => {
-                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                let delta = srtt.abs_diff(rtt);
                 self.rttvar = (self.rttvar * 3 + delta) / 4;
                 self.srtt = Some((srtt * 7 + rtt) / 8);
             }
@@ -357,8 +362,10 @@ impl TcpSocket {
             }
             return;
         }
-        if let Some(TcpOption::Timestamps { value, .. }) =
-            seg.options.iter().find(|o| matches!(o, TcpOption::Timestamps { .. }))
+        if let Some(TcpOption::Timestamps { value, .. }) = seg
+            .options
+            .iter()
+            .find(|o| matches!(o, TcpOption::Timestamps { .. }))
         {
             self.ts_echo = *value;
         }
@@ -380,12 +387,13 @@ impl TcpSocket {
         self.state = TcpState::SynReceived;
         self.snd_nxt = 1;
         self.need_syn = true; // SYN-ACK
-        // TCP Fast Open (server side): accept SYN data when the client
-        // presented a cookie and we support TFO.
+                              // TCP Fast Open (server side): accept SYN data when the client
+                              // presented a cookie and we support TFO.
         if self.cfg.enable_tfo && !seg.payload.is_empty() {
-            let has_cookie = seg.options.iter().any(
-                |o| matches!(o, TcpOption::FastOpenCookie(c) if !c.is_empty()),
-            );
+            let has_cookie = seg
+                .options
+                .iter()
+                .any(|o| matches!(o, TcpOption::FastOpenCookie(c) if !c.is_empty()));
             if has_cookie {
                 self.rx_buf.extend_from_slice(&seg.payload);
                 self.rcv_nxt += seg.payload.len() as u64;
@@ -458,8 +466,7 @@ impl TcpSocket {
     }
 
     fn apply_peer_mss(&mut self, seg: &TcpSegment) {
-        if let Some(TcpOption::Mss(m)) =
-            seg.options.iter().find(|o| matches!(o, TcpOption::Mss(_)))
+        if let Some(TcpOption::Mss(m)) = seg.options.iter().find(|o| matches!(o, TcpOption::Mss(_)))
         {
             self.cfg.mss = self.cfg.mss.min(*m as usize);
         }
@@ -619,7 +626,13 @@ impl TcpSocket {
         t
     }
 
-    fn make_segment(&self, flags: TcpFlags, abs_seq: u64, payload: Vec<u8>, now: SimTime) -> TcpSegment {
+    fn make_segment(
+        &self,
+        flags: TcpFlags,
+        abs_seq: u64,
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> TcpSegment {
         let mut options = Vec::new();
         if flags.syn {
             options.push(TcpOption::Mss(self.cfg.mss as u16));
@@ -639,7 +652,11 @@ impl TcpSocket {
             src_port: self.local.port,
             dst_port: self.remote.port,
             seq: self.wire_seq(abs_seq),
-            ack: if flags.ack { self.irs.wrapping_add(self.rcv_nxt as u32) } else { 0 },
+            ack: if flags.ack {
+                self.irs.wrapping_add(self.rcv_nxt as u32)
+            } else {
+                0
+            },
             flags,
             window: 65535,
             options,
@@ -695,7 +712,10 @@ impl TcpSocket {
                 TcpState::SynReceived => TcpFlags::SYN_ACK,
                 // A rewind in an established state means the SYN was
                 // already acked; skip.
-                _ => TcpFlags { syn: false, ..TcpFlags::default() },
+                _ => TcpFlags {
+                    syn: false,
+                    ..TcpFlags::default()
+                },
             };
             if flags.syn {
                 let mut payload = Vec::new();
@@ -738,7 +758,10 @@ impl TcpSocket {
                 | TcpState::Closing
                 | TcpState::LastAck
         ) {
-            let window = self.cc.window().min(self.peer_window.max(1460) as usize * 128);
+            let window = self
+                .cc
+                .window()
+                .min(self.peer_window.max(1460) as usize * 128);
             loop {
                 let inflight = (self.snd_nxt - self.snd_una) as usize;
                 if inflight >= window {
@@ -755,8 +778,7 @@ impl TcpSocket {
                 if n == 0 {
                     break;
                 }
-                let payload: Vec<u8> =
-                    self.tx_buf.iter().skip(start).take(n).copied().collect();
+                let payload: Vec<u8> = self.tx_buf.iter().skip(start).take(n).copied().collect();
                 let last = start + n == self.tx_buf.len();
                 let mut flags = TcpFlags::ACK;
                 flags.psh = last;
@@ -789,9 +811,7 @@ impl TcpSocket {
         // Pure ACKs if no data segment carried them. One ACK per
         // ACK-eliciting segment received, so duplicate ACKs reach the
         // peer and trigger its fast retransmit.
-        if self.pending_acks > 0
-            && (self.is_established() || self.state == TcpState::TimeWait)
-        {
+        if self.pending_acks > 0 && (self.is_established() || self.state == TcpState::TimeWait) {
             if out.is_empty() {
                 for _ in 0..self.pending_acks {
                     out.push(self.make_segment(TcpFlags::ACK, self.snd_nxt, Vec::new(), now));
@@ -817,14 +837,22 @@ pub struct TcpListener {
 
 impl TcpListener {
     pub fn new(local: SocketAddr, cfg: TcpConfig) -> Self {
-        TcpListener { local, cfg, conns: HashMap::new() }
+        TcpListener {
+            local,
+            cfg,
+            conns: HashMap::new(),
+        }
     }
 
     /// Route a segment from `peer`, creating a socket on SYN.
     pub fn on_segment(&mut self, now: SimTime, peer: SocketAddr, seg: &TcpSegment) {
         let sock = self.conns.entry(peer).or_insert_with(|| {
             // Deterministic per-peer ISS.
-            let iss = peer.ip.0.wrapping_mul(2654435761).wrapping_add(peer.port as u32);
+            let iss = peer
+                .ip
+                .0
+                .wrapping_mul(2654435761)
+                .wrapping_add(peer.port as u32);
             TcpSocket::server(self.local, peer, iss, self.cfg.clone())
         });
         sock.on_segment(now, seg);
@@ -1026,7 +1054,10 @@ mod tests {
 
     #[test]
     fn connection_gives_up_after_max_retries() {
-        let cfg = TcpConfig { max_retries: 2, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            max_retries: 2,
+            ..TcpConfig::default()
+        };
         let mut a = TcpSocket::client(sa(1, 1), sa(2, 2), 5, cfg);
         a.open(SimTime::ZERO);
         let mut now = SimTime::ZERO;
@@ -1111,7 +1142,10 @@ mod tests {
 
     #[test]
     fn tfo_first_connection_requests_cookie_and_caches_it() {
-        let cfg = TcpConfig { enable_tfo: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            enable_tfo: true,
+            ..TcpConfig::default()
+        };
         let mut a = TcpSocket::client(sa(1, 1), sa(2, 2), 5, cfg.clone());
         let mut b = TcpSocket::server(sa(2, 2), sa(1, 1), 9, cfg);
         a.open(SimTime::ZERO);
@@ -1130,7 +1164,10 @@ mod tests {
 
     #[test]
     fn tfo_repeat_connection_sends_data_on_syn() {
-        let cfg = TcpConfig { enable_tfo: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            enable_tfo: true,
+            ..TcpConfig::default()
+        };
         let mut a = TcpSocket::client(sa(1, 1), sa(2, 2), 5, cfg.clone());
         a.set_tfo_cookie(vec![0xC0; 8]);
         a.send(b"early-query");
@@ -1146,7 +1183,10 @@ mod tests {
 
     #[test]
     fn tfo_data_ignored_when_server_does_not_support_it() {
-        let client_cfg = TcpConfig { enable_tfo: true, ..TcpConfig::default() };
+        let client_cfg = TcpConfig {
+            enable_tfo: true,
+            ..TcpConfig::default()
+        };
         let mut a = TcpSocket::client(sa(1, 1), sa(2, 2), 5, client_cfg);
         a.set_tfo_cookie(vec![0xC0; 8]);
         a.send(b"early");

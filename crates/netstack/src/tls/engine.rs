@@ -210,7 +210,10 @@ impl TlsClient {
             }
             TlsRecord::ChangeCipherSpec => {}
             TlsRecord::PlainHandshake(bytes)
-            | TlsRecord::Encrypted { inner_type: 22, plaintext: bytes } => {
+            | TlsRecord::Encrypted {
+                inner_type: 22,
+                plaintext: bytes,
+            } => {
                 self.hs_in.push(&bytes);
                 while let Some(msg) = self.hs_in.next_message() {
                     self.on_handshake(now, msg);
@@ -219,7 +222,10 @@ impl TlsClient {
                     }
                 }
             }
-            TlsRecord::Encrypted { inner_type: 23, plaintext } => {
+            TlsRecord::Encrypted {
+                inner_type: 23,
+                plaintext,
+            } => {
                 self.app_rx.extend_from_slice(&plaintext);
             }
             TlsRecord::Encrypted { .. } => {}
@@ -228,10 +234,7 @@ impl TlsClient {
 
     fn on_handshake(&mut self, now: SimTime, msg: HandshakeMessage) {
         match (self.state, msg.payload) {
-            (
-                ClientState::WaitServerHello,
-                HandshakePayload::ServerHello { version, resumed },
-            ) => {
+            (ClientState::WaitServerHello, HandshakePayload::ServerHello { version, resumed }) => {
                 self.version = Some(version);
                 match version {
                     TlsVersion::Tls13 => self.state = ClientState::WaitServerFlight13,
@@ -251,7 +254,10 @@ impl TlsClient {
             }
             (
                 ClientState::WaitServerFlight13,
-                HandshakePayload::EncryptedExtensions { alpn, early_data_accepted },
+                HandshakePayload::EncryptedExtensions {
+                    alpn,
+                    early_data_accepted,
+                },
             ) => {
                 self.alpn = alpn;
                 self.seen_ee = true;
@@ -307,7 +313,11 @@ impl TlsClient {
     }
 
     fn fail(&mut self, e: TlsError) {
-        TlsRecord::Alert { fatal: true, code: 40 }.encode(&mut self.out);
+        TlsRecord::Alert {
+            fatal: true,
+            code: 40,
+        }
+        .encode(&mut self.out);
         self.error = Some(e);
         self.state = ClientState::Failed;
     }
@@ -453,7 +463,10 @@ impl TlsServer {
             }
             TlsRecord::ChangeCipherSpec => {}
             TlsRecord::PlainHandshake(bytes)
-            | TlsRecord::Encrypted { inner_type: 22, plaintext: bytes } => {
+            | TlsRecord::Encrypted {
+                inner_type: 22,
+                plaintext: bytes,
+            } => {
                 self.hs_in.push(&bytes);
                 while let Some(msg) = self.hs_in.next_message() {
                     self.on_handshake(now, msg);
@@ -462,7 +475,10 @@ impl TlsServer {
                     }
                 }
             }
-            TlsRecord::Encrypted { inner_type: 23, plaintext } => {
+            TlsRecord::Encrypted {
+                inner_type: 23,
+                plaintext,
+            } => {
                 if self.state == ServerState::Connected {
                     self.app_rx.extend_from_slice(&plaintext);
                 } else if self.early_accepted {
@@ -479,7 +495,13 @@ impl TlsServer {
         match (self.state, msg.payload) {
             (
                 ServerState::WaitClientHello,
-                HandshakePayload::ClientHello { versions, alpn, psk, early_data, .. },
+                HandshakePayload::ClientHello {
+                    versions,
+                    alpn,
+                    psk,
+                    early_data,
+                    ..
+                },
             ) => self.on_client_hello(now, versions, alpn, psk, early_data),
             (ServerState::WaitClientFinished13, HandshakePayload::Finished) => {
                 self.complete(now);
@@ -510,10 +532,18 @@ impl TlsServer {
         early_data: bool,
     ) {
         // Version: server preference order.
-        let Some(version) =
-            self.cfg.versions.iter().copied().find(|v| versions.contains(v))
+        let Some(version) = self
+            .cfg
+            .versions
+            .iter()
+            .copied()
+            .find(|v| versions.contains(v))
         else {
-            TlsRecord::Alert { fatal: true, code: 70 }.encode(&mut self.out);
+            TlsRecord::Alert {
+                fatal: true,
+                code: 70,
+            }
+            .encode(&mut self.out);
             self.error = Some(TlsError::NoCommonVersion);
             self.state = ServerState::Failed;
             return;
@@ -521,7 +551,11 @@ impl TlsServer {
         // ALPN: first client protocol the server supports.
         let chosen_alpn = alpn.iter().find(|a| self.cfg.alpn.contains(a)).cloned();
         if chosen_alpn.is_none() && !self.cfg.alpn.is_empty() && !alpn.is_empty() {
-            TlsRecord::Alert { fatal: true, code: 120 }.encode(&mut self.out);
+            TlsRecord::Alert {
+                fatal: true,
+                code: 120,
+            }
+            .encode(&mut self.out);
             self.error = Some(TlsError::NoCommonAlpn);
             self.state = ServerState::Failed;
             return;
@@ -543,7 +577,10 @@ impl TlsServer {
                     && psk.as_ref().is_some_and(|t| t.allows_early_data);
                 self.send_handshake(
                     true,
-                    HandshakePayload::ServerHello { version, resumed: psk_ok },
+                    HandshakePayload::ServerHello {
+                        version,
+                        resumed: psk_ok,
+                    },
                 );
                 self.send_handshake(
                     false,
@@ -555,7 +592,9 @@ impl TlsServer {
                 if !psk_ok {
                     self.send_handshake(
                         false,
-                        HandshakePayload::Certificate { chain_len: self.cfg.cert_chain_len },
+                        HandshakePayload::Certificate {
+                            chain_len: self.cfg.cert_chain_len,
+                        },
                     );
                     self.send_handshake(false, HandshakePayload::CertificateVerify);
                 }
@@ -566,7 +605,10 @@ impl TlsServer {
                 self.resumed = psk_ok;
                 self.send_handshake(
                     true,
-                    HandshakePayload::ServerHello { version, resumed: psk_ok },
+                    HandshakePayload::ServerHello {
+                        version,
+                        resumed: psk_ok,
+                    },
                 );
                 if psk_ok {
                     TlsRecord::ChangeCipherSpec.encode(&mut self.out);
@@ -575,7 +617,9 @@ impl TlsServer {
                 } else {
                     self.send_handshake(
                         true,
-                        HandshakePayload::Certificate { chain_len: self.cfg.cert_chain_len },
+                        HandshakePayload::Certificate {
+                            chain_len: self.cfg.cert_chain_len,
+                        },
                     );
                     self.send_handshake(true, HandshakePayload::ServerHelloDone);
                     self.state = ServerState::WaitClientKeyExchange;
@@ -649,12 +693,14 @@ impl TlsServer {
 
     /// The handshake resumed a previous session (PSK / session ID).
     pub fn is_resumption(&self) -> bool {
-        self.resumed || self.early_accepted || (self.version == Some(TlsVersion::Tls13) && {
-            // For 1.3 the `resumed` field is reused via SH echo; track
-            // it through the certificate-skip: connected without a
-            // certificate having been sent.
-            false
-        })
+        self.resumed
+            || self.early_accepted
+            || (self.version == Some(TlsVersion::Tls13) && {
+                // For 1.3 the `resumed` field is reused via SH echo; track
+                // it through the certificate-skip: connected without a
+                // certificate having been sent.
+                false
+            })
     }
 }
 
@@ -776,8 +822,11 @@ mod tests {
         s2.read_wire(SimTime::ZERO, &c2.take_output());
         let resumed_flight = s2.take_output();
 
-        assert!(full_flight > resumed_flight.len() + 2000,
-            "full {full_flight} vs resumed {}", resumed_flight.len());
+        assert!(
+            full_flight > resumed_flight.len() + 2000,
+            "full {full_flight} vs resumed {}",
+            resumed_flight.len()
+        );
         // Finish the resumed handshake.
         c2.read_wire(SimTime::ZERO, &resumed_flight);
         run(&mut c2, &mut s2);
@@ -813,8 +862,14 @@ mod tests {
 
     #[test]
     fn zero_rtt_accepted_delivers_before_client_finished() {
-        let s_cfg = TlsConfig { enable_0rtt: true, ..cfg_server(&["doq"]) };
-        let c_cfg = TlsConfig { enable_0rtt: true, ..cfg_client(&["doq"]) };
+        let s_cfg = TlsConfig {
+            enable_0rtt: true,
+            ..cfg_server(&["doq"])
+        };
+        let c_cfg = TlsConfig {
+            enable_0rtt: true,
+            ..cfg_client(&["doq"])
+        };
         let ticket = obtain_ticket(&s_cfg, &c_cfg);
         assert!(ticket.allows_early_data);
         let mut c = TlsClient::new(c_cfg, Some(ticket));
@@ -835,7 +890,10 @@ mod tests {
         // measured); ticket therefore forbids early data, client with
         // 0-RTT enabled cannot attempt it, and the data flows 1-RTT.
         let s_cfg = cfg_server(&["doq"]);
-        let c_cfg = TlsConfig { enable_0rtt: true, ..cfg_client(&["doq"]) };
+        let c_cfg = TlsConfig {
+            enable_0rtt: true,
+            ..cfg_client(&["doq"])
+        };
         let ticket = obtain_ticket(&s_cfg, &c_cfg);
         assert!(!ticket.allows_early_data);
         let mut c = TlsClient::new(c_cfg, Some(ticket));
@@ -850,7 +908,10 @@ mod tests {
 
     #[test]
     fn tls12_full_handshake_takes_two_client_flights() {
-        let s_cfg = TlsConfig { versions: vec![TlsVersion::Tls12], ..cfg_server(&["dot"]) };
+        let s_cfg = TlsConfig {
+            versions: vec![TlsVersion::Tls12],
+            ..cfg_server(&["dot"])
+        };
         let mut c = TlsClient::new(cfg_client(&["dot"]), None);
         let mut s = TlsServer::new(s_cfg);
         c.start(SimTime::ZERO);
@@ -862,7 +923,10 @@ mod tests {
 
     #[test]
     fn tls12_resumption_takes_one_round_less() {
-        let s_cfg = TlsConfig { versions: vec![TlsVersion::Tls12], ..cfg_server(&["dot"]) };
+        let s_cfg = TlsConfig {
+            versions: vec![TlsVersion::Tls12],
+            ..cfg_server(&["dot"])
+        };
         let c_cfg = cfg_client(&["dot"]);
         let ticket = obtain_ticket(&s_cfg, &c_cfg);
         assert_eq!(ticket.version, TlsVersion::Tls12);
@@ -872,13 +936,22 @@ mod tests {
         // CH -> SH+CCS+Fin: after one server flight the client finishes.
         s.read_wire(SimTime::ZERO, &c.take_output());
         c.read_wire(SimTime::ZERO, &s.take_output());
-        assert!(c.is_connected(), "client connects after first server flight");
+        assert!(
+            c.is_connected(),
+            "client connects after first server flight"
+        );
     }
 
     #[test]
     fn no_common_version_fails_cleanly() {
-        let s_cfg = TlsConfig { versions: vec![TlsVersion::Tls12], ..cfg_server(&["dot"]) };
-        let c_cfg = TlsConfig { versions: vec![TlsVersion::Tls13], ..cfg_client(&["dot"]) };
+        let s_cfg = TlsConfig {
+            versions: vec![TlsVersion::Tls12],
+            ..cfg_server(&["dot"])
+        };
+        let c_cfg = TlsConfig {
+            versions: vec![TlsVersion::Tls13],
+            ..cfg_client(&["dot"])
+        };
         let mut c = TlsClient::new(c_cfg, None);
         let mut s = TlsServer::new(s_cfg);
         c.start(SimTime::ZERO);

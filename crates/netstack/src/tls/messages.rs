@@ -58,18 +58,30 @@ const CT_APPLICATION_DATA: u8 = 23;
 pub enum TlsRecord {
     PlainHandshake(Vec<u8>),
     ChangeCipherSpec,
-    Alert { fatal: bool, code: u8 },
+    Alert {
+        fatal: bool,
+        code: u8,
+    },
     /// Encrypted content: (inner content type, plaintext bytes).
-    Encrypted { inner_type: u8, plaintext: Vec<u8> },
+    Encrypted {
+        inner_type: u8,
+        plaintext: Vec<u8>,
+    },
 }
 
 impl TlsRecord {
     pub fn encrypted_handshake(plaintext: Vec<u8>) -> TlsRecord {
-        TlsRecord::Encrypted { inner_type: CT_HANDSHAKE, plaintext }
+        TlsRecord::Encrypted {
+            inner_type: CT_HANDSHAKE,
+            plaintext,
+        }
     }
 
     pub fn app_data(plaintext: Vec<u8>) -> TlsRecord {
-        TlsRecord::Encrypted { inner_type: CT_APPLICATION_DATA, plaintext }
+        TlsRecord::Encrypted {
+            inner_type: CT_APPLICATION_DATA,
+            plaintext,
+        }
     }
 
     /// Serialize with the 5-byte record header.
@@ -77,10 +89,11 @@ impl TlsRecord {
         let (ctype, payload): (u8, Vec<u8>) = match self {
             TlsRecord::PlainHandshake(p) => (CT_HANDSHAKE, p.clone()),
             TlsRecord::ChangeCipherSpec => (CT_CHANGE_CIPHER_SPEC, vec![1]),
-            TlsRecord::Alert { fatal, code } => {
-                (CT_ALERT, vec![if *fatal { 2 } else { 1 }, *code])
-            }
-            TlsRecord::Encrypted { inner_type, plaintext } => {
+            TlsRecord::Alert { fatal, code } => (CT_ALERT, vec![if *fatal { 2 } else { 1 }, *code]),
+            TlsRecord::Encrypted {
+                inner_type,
+                plaintext,
+            } => {
                 let mut p = plaintext.clone();
                 p.push(*inner_type);
                 p.extend_from_slice(&[0u8; RECORD_OVERHEAD - 1]); // AEAD tag
@@ -237,7 +250,13 @@ impl HandshakeMessage {
             b.extend_from_slice(s);
         }
         match &self.payload {
-            HandshakePayload::ClientHello { versions, alpn, psk, early_data, pad } => {
+            HandshakePayload::ClientHello {
+                versions,
+                alpn,
+                psk,
+                early_data,
+                pad,
+            } => {
                 b.push(versions.len() as u8);
                 for v in versions {
                     b.extend_from_slice(&v.wire().to_be_bytes());
@@ -261,7 +280,10 @@ impl HandshakeMessage {
                 b.extend_from_slice(&version.wire().to_be_bytes());
                 b.push(*resumed as u8);
             }
-            HandshakePayload::EncryptedExtensions { alpn, early_data_accepted } => {
+            HandshakePayload::EncryptedExtensions {
+                alpn,
+                early_data_accepted,
+            } => {
                 match alpn {
                     None => b.push(0),
                     Some(a) => {
@@ -343,7 +365,13 @@ impl HandshakeMessage {
                 };
                 let early_data = r.u8()? == 1;
                 let pad = r.u16()?;
-                HandshakePayload::ClientHello { versions, alpn, psk, early_data, pad }
+                HandshakePayload::ClientHello {
+                    versions,
+                    alpn,
+                    psk,
+                    early_data,
+                    pad,
+                }
             }
             2 => HandshakePayload::ServerHello {
                 version: TlsVersion::from_wire(r.u16()?)?,
@@ -359,7 +387,9 @@ impl HandshakeMessage {
                     early_data_accepted: r.u8()? == 1,
                 }
             }
-            11 => HandshakePayload::Certificate { chain_len: r.u16()? },
+            11 => HandshakePayload::Certificate {
+                chain_len: r.u16()?,
+            },
             14 => HandshakePayload::ServerHelloDone,
             15 => HandshakePayload::CertificateVerify,
             16 => HandshakePayload::ClientKeyExchange,
@@ -455,7 +485,12 @@ mod tests {
             m.encode(&mut b);
             b.len()
         };
-        assert!(len(&psk) > len(&plain) + 150, "{} vs {}", len(&psk), len(&plain));
+        assert!(
+            len(&psk) > len(&plain) + 150,
+            "{} vs {}",
+            len(&psk),
+            len(&plain)
+        );
         assert_eq!(roundtrip(psk.clone()), psk);
     }
 
@@ -472,14 +507,19 @@ mod tests {
     #[test]
     fn all_message_types_roundtrip() {
         let msgs = vec![
-            HandshakePayload::ServerHello { version: TlsVersion::Tls13, resumed: true },
+            HandshakePayload::ServerHello {
+                version: TlsVersion::Tls13,
+                resumed: true,
+            },
             HandshakePayload::EncryptedExtensions {
                 alpn: Some(b"h2".to_vec()),
                 early_data_accepted: true,
             },
             HandshakePayload::CertificateVerify,
             HandshakePayload::Finished,
-            HandshakePayload::NewSessionTicket { ticket: test_ticket(SimTime::ZERO) },
+            HandshakePayload::NewSessionTicket {
+                ticket: test_ticket(SimTime::ZERO),
+            },
             HandshakePayload::ServerHelloDone,
             HandshakePayload::ClientKeyExchange,
         ];
@@ -494,7 +534,10 @@ mod tests {
         for rec in [
             TlsRecord::PlainHandshake(vec![1, 2, 3]),
             TlsRecord::ChangeCipherSpec,
-            TlsRecord::Alert { fatal: true, code: 40 },
+            TlsRecord::Alert {
+                fatal: true,
+                code: 40,
+            },
             TlsRecord::encrypted_handshake(vec![9; 50]),
             TlsRecord::app_data(b"dns".to_vec()),
         ] {

@@ -17,7 +17,5 @@ mod messages;
 mod session;
 
 pub use engine::{TlsClient, TlsConfig, TlsError, TlsServer};
-pub use messages::{
-    HandshakeMessage, HandshakePayload, TlsRecord, TlsVersion, RECORD_OVERHEAD,
-};
+pub use messages::{HandshakeMessage, HandshakePayload, TlsRecord, TlsVersion, RECORD_OVERHEAD};
 pub use session::SessionTicket;

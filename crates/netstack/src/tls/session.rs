@@ -68,8 +68,7 @@ impl SessionTicket {
         let alpn = take(&mut pos, alpn_len)?.to_vec();
         let issued_at =
             SimTime::from_nanos(u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?));
-        let lifetime =
-            Duration::from_secs(u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?));
+        let lifetime = Duration::from_secs(u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?));
         let allows_early_data = take(&mut pos, 1)?[0] == 1;
         let opaque_len = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
         take(&mut pos, opaque_len as usize)?;
@@ -112,7 +111,9 @@ mod tests {
         let t = ticket();
         assert!(!t.is_valid_at(SimTime::from_secs(100) + MAX_TICKET_LIFETIME));
         assert!(t.is_valid_at(SimTime::from_secs(100)));
-        assert!(t.is_valid_at(SimTime::from_secs(100) + MAX_TICKET_LIFETIME - Duration::from_secs(1)));
+        assert!(
+            t.is_valid_at(SimTime::from_secs(100) + MAX_TICKET_LIFETIME - Duration::from_secs(1))
+        );
     }
 
     #[test]

@@ -43,12 +43,16 @@ fn tcp_transfer(data: &[u8], loss_seed: u64, loss: f64) -> Vec<u8> {
         }
         if idle {
             // Jump to the next retransmission timer.
-            match [a.next_timeout(), b.next_timeout()].into_iter().flatten().min() {
+            match [a.next_timeout(), b.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min()
+            {
                 Some(t) => now = t.max(now + Duration::from_micros(1)),
                 None => break,
             }
         } else {
-            now = now + Duration::from_millis(1);
+            now += Duration::from_millis(1);
         }
     }
     received
@@ -128,7 +132,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut got = Vec::new();
         let mut fin = false;
-        for _ in 0..5_000 {
+        for _ in 0..50_000 {
             let mut idle = true;
             for d in client.poll_transmit(now) {
                 if !rng.chance(loss) {
@@ -161,7 +165,7 @@ proptest! {
                     None => break,
                 }
             } else {
-                now = now + Duration::from_millis(2);
+                now += Duration::from_millis(2);
             }
         }
         prop_assert!(fin, "stream must finish (loss {loss})");

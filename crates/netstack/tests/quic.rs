@@ -19,11 +19,18 @@ fn server_addr() -> SocketAddr {
 }
 
 fn tls(alpn: &str) -> TlsConfig {
-    TlsConfig { server_id: 7, alpn: vec![alpn.as_bytes().to_vec()], ..TlsConfig::default() }
+    TlsConfig {
+        server_id: 7,
+        alpn: vec![alpn.as_bytes().to_vec()],
+        ..TlsConfig::default()
+    }
 }
 
 fn server_cfg(alpn: &str) -> QuicConfig {
-    QuicConfig { tls: tls(alpn), ..QuicConfig::default() }
+    QuicConfig {
+        tls: tls(alpn),
+        ..QuicConfig::default()
+    }
 }
 
 /// Shuttles datagrams between one client connection and a server
@@ -106,7 +113,12 @@ impl Shuttle {
     }
 }
 
-fn dial(cfg: QuicConfig, version: u32, ticket: Option<SessionTicket>, token: Option<Vec<u8>>) -> QuicConnection {
+fn dial(
+    cfg: QuicConfig,
+    version: u32,
+    ticket: Option<SessionTicket>,
+    token: Option<Vec<u8>>,
+) -> QuicConnection {
     let mut rng = SimRng::new(1);
     QuicConnection::client(
         cfg,
@@ -147,7 +159,10 @@ fn get_ticket_and_token(alpn: &str) -> (SessionTicket, Vec<u8>) {
     assert!(c.is_established());
     let tickets = c.take_tickets();
     let token = c.take_new_token().expect("server issues NEW_TOKEN");
-    (tickets.into_iter().next().expect("server issues a ticket"), token)
+    (
+        tickets.into_iter().next().expect("server issues a ticket"),
+        token,
+    )
 }
 
 #[test]
@@ -188,8 +203,14 @@ fn amplification_limit_stalls_large_certificate_without_token() {
     // stall mid-flight until another client datagram arrives: the
     // handshake takes 2 RTT instead of 1. This is the preliminary-paper
     // effect the authors eliminated with Session Resumption.
-    let big_cert = TlsConfig { cert_chain_len: 4500, ..tls("doq") };
-    let cfg = QuicConfig { tls: big_cert, ..QuicConfig::default() };
+    let big_cert = TlsConfig {
+        cert_chain_len: 4500,
+        ..tls("doq")
+    };
+    let cfg = QuicConfig {
+        tls: big_cert,
+        ..QuicConfig::default()
+    };
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg.clone()));
     let mut c = dial(cfg.clone(), QUIC_V1, None, None);
     sh.run(&mut c, SimTime::from_secs(5));
@@ -203,7 +224,10 @@ fn amplification_limit_stalls_large_certificate_without_token() {
     );
 
     // Same certificate, but a small one fits: 1 RTT.
-    let small = QuicConfig { tls: tls("doq"), ..QuicConfig::default() };
+    let small = QuicConfig {
+        tls: tls("doq"),
+        ..QuicConfig::default()
+    };
     let mut sh2 = Shuttle::new(QuicServer::new(server_addr(), small.clone()));
     let mut c2 = dial(small, QUIC_V1, None, None);
     sh2.run(&mut c2, SimTime::from_secs(5));
@@ -214,8 +238,14 @@ fn amplification_limit_stalls_large_certificate_without_token() {
 fn token_lifts_amplification_limit() {
     // With a valid address-validation token, even the large certificate
     // flows in one RTT: the server is validated from the first Initial.
-    let big_cert = TlsConfig { cert_chain_len: 4500, ..tls("doq") };
-    let cfg = QuicConfig { tls: big_cert, ..QuicConfig::default() };
+    let big_cert = TlsConfig {
+        cert_chain_len: 4500,
+        ..tls("doq")
+    };
+    let cfg = QuicConfig {
+        tls: big_cert,
+        ..QuicConfig::default()
+    };
     let (_, token) = get_ticket_and_token("doq");
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg.clone()));
     let mut c = dial(cfg, QUIC_V1, None, Some(token));
@@ -227,7 +257,10 @@ fn token_lifts_amplification_limit() {
 #[test]
 fn version_negotiation_adds_one_round_trip() {
     // Server only supports v1; client dials draft-29.
-    let cfg = QuicConfig { versions: vec![QUIC_V1], ..server_cfg("doq") };
+    let cfg = QuicConfig {
+        versions: vec![QUIC_V1],
+        ..server_cfg("doq")
+    };
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg));
     let mut c = dial(server_cfg("doq"), draft_version(29), None, None);
     sh.run(&mut c, SimTime::from_secs(5));
@@ -240,7 +273,10 @@ fn version_negotiation_adds_one_round_trip() {
 
 #[test]
 fn remembered_version_avoids_negotiation() {
-    let cfg = QuicConfig { versions: vec![QUIC_V1], ..server_cfg("doq") };
+    let cfg = QuicConfig {
+        versions: vec![QUIC_V1],
+        ..server_cfg("doq")
+    };
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg));
     let mut c = dial(server_cfg("doq"), QUIC_V1, None, None);
     sh.run(&mut c, SimTime::from_secs(5));
@@ -277,7 +313,10 @@ fn version_zero_probe_gets_version_negotiation_statelessly() {
 
 #[test]
 fn retry_costs_one_extra_round_trip() {
-    let cfg = QuicConfig { retry_required: true, ..server_cfg("doq") };
+    let cfg = QuicConfig {
+        retry_required: true,
+        ..server_cfg("doq")
+    };
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg.clone()));
     let mut c = dial(cfg.clone(), QUIC_V1, None, None);
     sh.run(&mut c, SimTime::from_secs(5));
@@ -351,7 +390,10 @@ fn large_stream_data_spans_datagrams() {
 #[test]
 fn zero_rtt_query_arrives_with_the_first_flight() {
     let cfg = QuicConfig {
-        tls: TlsConfig { enable_0rtt: true, ..tls("doq") },
+        tls: TlsConfig {
+            enable_0rtt: true,
+            ..tls("doq")
+        },
         ..QuicConfig::default()
     };
     // First connection to obtain an early-data-capable ticket.
@@ -376,9 +418,16 @@ fn zero_rtt_query_arrives_with_the_first_flight() {
     let server_conn = sh.server.connection(client_addr()).unwrap();
     assert_eq!(server_conn.take_new_peer_streams(), vec![0]);
     let (data, fin) = server_conn.stream_recv(0);
-    assert_eq!(data, b"0rtt-query", "query readable before handshake completes");
+    assert_eq!(
+        data, b"0rtt-query",
+        "query readable before handshake completes"
+    );
     assert!(fin);
-    assert_eq!(c.early_data_accepted(), None, "client hasn't heard back yet");
+    assert_eq!(
+        c.early_data_accepted(),
+        None,
+        "client hasn't heard back yet"
+    );
     sh.run(&mut c, SimTime::from_secs(1));
     assert_eq!(c.early_data_accepted(), Some(true));
 }
@@ -388,7 +437,10 @@ fn zero_rtt_rejected_replays_in_one_rtt() {
     // Ticket allows early data but this server has 0-RTT disabled
     // (e.g. key rotation): data must still arrive, post-handshake.
     let enable = QuicConfig {
-        tls: TlsConfig { enable_0rtt: true, ..tls("doq") },
+        tls: TlsConfig {
+            enable_0rtt: true,
+            ..tls("doq")
+        },
         ..QuicConfig::default()
     };
     let mut sh0 = Shuttle::new(QuicServer::new(server_addr(), enable.clone()));
@@ -454,7 +506,10 @@ fn connection_close_reaches_peer() {
 
 #[test]
 fn idle_timeout_closes_the_connection() {
-    let cfg = QuicConfig { max_idle: Duration::from_secs(3), ..server_cfg("doq") };
+    let cfg = QuicConfig {
+        max_idle: Duration::from_secs(3),
+        ..server_cfg("doq")
+    };
     let mut sh = Shuttle::new(QuicServer::new(server_addr(), cfg.clone()));
     let mut c = dial(cfg, QUIC_V1, None, None);
     sh.run(&mut c, SimTime::from_secs(1));

@@ -18,7 +18,10 @@ impl Key {
             name_lower.push(label.len() as u8);
             name_lower.extend(label.iter().map(|b| b.to_ascii_lowercase()));
         }
-        Key { name_lower, rtype: rtype.to_u16() }
+        Key {
+            name_lower,
+            rtype: rtype.to_u16(),
+        }
     }
 }
 
@@ -42,7 +45,12 @@ impl DnsCache {
     }
 
     /// Look up records; expired entries count as misses and are evicted.
-    pub fn get(&mut self, now: SimTime, name: &Name, rtype: RecordType) -> Option<Vec<ResourceRecord>> {
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Option<Vec<ResourceRecord>> {
         let key = Key::new(name, rtype);
         match self.entries.get(&key) {
             Some(e) if e.expires_at > now => {
@@ -73,11 +81,20 @@ impl DnsCache {
     }
 
     /// Insert records under the minimum TTL among them.
-    pub fn put(&mut self, now: SimTime, name: &Name, rtype: RecordType, records: Vec<ResourceRecord>) {
+    pub fn put(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+        records: Vec<ResourceRecord>,
+    ) {
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
         self.entries.insert(
             Key::new(name, rtype),
-            Entry { records, expires_at: now + Duration::from_secs(ttl as u64) },
+            Entry {
+                records,
+                expires_at: now + Duration::from_secs(ttl as u64),
+            },
         );
     }
 
@@ -125,38 +142,73 @@ mod tests {
     #[test]
     fn lookup_is_case_insensitive() {
         let mut c = DnsCache::new();
-        c.put(SimTime::ZERO, &name("Google.COM"), RecordType::A, vec![a_record("google.com", 300)]);
-        assert!(c.get(SimTime::ZERO, &name("google.com"), RecordType::A).is_some());
+        c.put(
+            SimTime::ZERO,
+            &name("Google.COM"),
+            RecordType::A,
+            vec![a_record("google.com", 300)],
+        );
+        assert!(c
+            .get(SimTime::ZERO, &name("google.com"), RecordType::A)
+            .is_some());
     }
 
     #[test]
     fn expiry_evicts() {
         let mut c = DnsCache::new();
-        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 60)]);
-        assert!(c.get(SimTime::from_secs(59), &name("a.b"), RecordType::A).is_some());
-        assert!(c.get(SimTime::from_secs(60), &name("a.b"), RecordType::A).is_none());
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 60)],
+        );
+        assert!(c
+            .get(SimTime::from_secs(59), &name("a.b"), RecordType::A)
+            .is_some());
+        assert!(c
+            .get(SimTime::from_secs(60), &name("a.b"), RecordType::A)
+            .is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn ttl_decays_with_age() {
         let mut c = DnsCache::new();
-        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
-        let got = c.get(SimTime::from_secs(100), &name("a.b"), RecordType::A).unwrap();
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 300)],
+        );
+        let got = c
+            .get(SimTime::from_secs(100), &name("a.b"), RecordType::A)
+            .unwrap();
         assert_eq!(got[0].ttl, 200);
     }
 
     #[test]
     fn types_are_distinct() {
         let mut c = DnsCache::new();
-        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
-        assert!(c.get(SimTime::ZERO, &name("a.b"), RecordType::Aaaa).is_none());
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 300)],
+        );
+        assert!(c
+            .get(SimTime::ZERO, &name("a.b"), RecordType::Aaaa)
+            .is_none());
     }
 
     #[test]
     fn clear_empties() {
         let mut c = DnsCache::new();
-        c.put(SimTime::ZERO, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 300)],
+        );
         c.clear();
         assert!(c.is_empty());
     }

@@ -9,9 +9,7 @@
 //! cache-warming query to have something to do).
 
 use crate::cache::DnsCache;
-use doqlab_dnswire::{
-    Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SvcParam,
-};
+use doqlab_dnswire::{Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SvcParam};
 use doqlab_dox::server::{ConnKey, DnsServerSet, ServerConfig};
 use doqlab_simnet::{Ctx, Duration, Host, Packet, SimRng, SimTime};
 use std::any::Any;
@@ -175,7 +173,8 @@ impl ResolverHost {
             // resolver's encrypted transports — this is how Cloudflare
             // announced DoH3 support (§4 of the paper).
             if q.rtype == RecordType::Svcb
-                && q.name.eq_ignore_case(&Name::parse("_dns.resolver.arpa").expect("const"))
+                && q.name
+                    .eq_ignore_case(&Name::parse("_dns.resolver.arpa").expect("const"))
             {
                 let resp = Message::response_to(&ev.query, self.ddr_records(&q));
                 self.set.respond(ctx.now, ev.key, &resp);
@@ -272,57 +271,38 @@ mod tests {
     use doqlab_simnet::path::FixedPathModel;
     use doqlab_simnet::{Ipv4Addr, Simulator, SocketAddr};
 
-    fn run_one(
-        transport: DnsTransport,
-        warm_first: bool,
-    ) -> (f64, f64) {
-        // Returns (first resolve ms incl. recursion, second resolve ms
-        // from cache) measured as response_arrival - query_issue.
+    fn run_one(transport: DnsTransport) -> f64 {
+        // Returns the cold resolve time in ms (incl. recursion),
+        // measured as response_arrival - query_issue.
         let resolver_ip = Ipv4Addr::new(192, 0, 2, 1);
         let client_ip = Ipv4Addr::new(10, 0, 0, 1);
-        let mut sim = Simulator::new(
-            7,
-            Box::new(FixedPathModel::new(Duration::from_millis(10))),
-        );
+        let mut sim = Simulator::new(7, Box::new(FixedPathModel::new(Duration::from_millis(10))));
         let resolver = ResolverHost::new(
-            ServerConfig { ip: resolver_ip, ..ServerConfig::default() },
+            ServerConfig {
+                ip: resolver_ip,
+                ..ServerConfig::default()
+            },
             RecursionModel::default(),
         );
         sim.add_host(Box::new(resolver), &[resolver_ip]);
-        let mut times = Vec::new();
-        for round in 0..2 {
-            if round == 1 && !warm_first {
-                break;
-            }
-            let local = SocketAddr::new(client_ip, 40_000 + round as u16);
-            let remote = SocketAddr::new(resolver_ip, transport.port());
-            let client =
-                DnsClientHost::new(transport, local, remote, &ClientConfig::default());
-            let cid = sim.add_host(Box::new(client), &[client_ip]);
-            let started = sim.now();
-            sim.with_host::<DnsClientHost, _>(cid, |c, ctx| {
-                let q = Message::query(
-                    round as u16 + 1,
-                    Name::parse("google.com").unwrap(),
-                    RecordType::A,
-                );
-                c.start_with_query(ctx, &q);
-            });
-            sim.run_until(started + Duration::from_secs(15));
-            let client = sim.host_mut::<DnsClientHost>(cid);
-            assert_eq!(client.responses.len(), 1);
-            times.push((client.responses[0].0 - started).as_secs_f64() * 1000.0);
-            // New client uses a fresh IP binding: re-register under a
-            // different ip is overkill; reuse same ip is disallowed, so
-            // clean: remove? Simulator has no remove; use distinct IPs.
-            break;
-        }
-        (times[0], *times.last().unwrap())
+        let local = SocketAddr::new(client_ip, 40_000);
+        let remote = SocketAddr::new(resolver_ip, transport.port());
+        let client = DnsClientHost::new(transport, local, remote, &ClientConfig::default());
+        let cid = sim.add_host(Box::new(client), &[client_ip]);
+        let started = sim.now();
+        sim.with_host::<DnsClientHost, _>(cid, |c, ctx| {
+            let q = Message::query(1, Name::parse("google.com").unwrap(), RecordType::A);
+            c.start_with_query(ctx, &q);
+        });
+        sim.run_until(started + Duration::from_secs(15));
+        let client = sim.host_mut::<DnsClientHost>(cid);
+        assert_eq!(client.responses.len(), 1);
+        (client.responses[0].0 - started).as_secs_f64() * 1000.0
     }
 
     #[test]
     fn miss_includes_recursion_delay() {
-        let (first, _) = run_one(DnsTransport::DoUdp, false);
+        let first = run_one(DnsTransport::DoUdp);
         // 1 RTT (20 ms) + recursion (tens of ms) >> bare RTT.
         assert!(first > 25.0, "first = {first}");
     }
@@ -331,12 +311,12 @@ mod tests {
     fn warm_then_hit_is_fast() {
         // Warm and measure over one simulator with two distinct clients.
         let resolver_ip = Ipv4Addr::new(192, 0, 2, 1);
-        let mut sim = Simulator::new(
-            7,
-            Box::new(FixedPathModel::new(Duration::from_millis(10))),
-        );
+        let mut sim = Simulator::new(7, Box::new(FixedPathModel::new(Duration::from_millis(10))));
         let resolver = ResolverHost::new(
-            ServerConfig { ip: resolver_ip, ..ServerConfig::default() },
+            ServerConfig {
+                ip: resolver_ip,
+                ..ServerConfig::default()
+            },
             RecursionModel::default(),
         );
         let rid = sim.add_host(Box::new(resolver), &[resolver_ip]);
@@ -379,9 +359,15 @@ mod tests {
         assert_eq!(authoritative_answer(&q), authoritative_answer(&q));
         // Case-insensitive: same address, owner name keeps query case.
         let q2 = Question::new(Name::parse("EXAMPLE.ORG").unwrap(), RecordType::A);
-        assert_eq!(authoritative_answer(&q)[0].rdata, authoritative_answer(&q2)[0].rdata);
+        assert_eq!(
+            authoritative_answer(&q)[0].rdata,
+            authoritative_answer(&q2)[0].rdata
+        );
         let aaaa = Question::new(Name::parse("example.org").unwrap(), RecordType::Aaaa);
-        assert!(matches!(authoritative_answer(&aaaa)[0].rdata, RData::Aaaa(_)));
+        assert!(matches!(
+            authoritative_answer(&aaaa)[0].rdata,
+            RData::Aaaa(_)
+        ));
         let txt = Question::new(Name::parse("example.org").unwrap(), RecordType::Txt);
         assert!(authoritative_answer(&txt).is_empty());
     }

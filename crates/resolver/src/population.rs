@@ -88,9 +88,12 @@ impl ResolverProfile {
 /// that the total is 107 distinct ASes).
 fn assign_asns(rng: &mut SimRng, n: usize) -> Vec<String> {
     let mut pool: Vec<String> = Vec::new();
-    for (name, count) in
-        [("ORACLE", 47), ("DIGITALOCEAN", 20), ("MNGTNET", 18), ("OVHCLOUD", 16)]
-    {
+    for (name, count) in [
+        ("ORACLE", 47),
+        ("DIGITALOCEAN", 20),
+        ("MNGTNET", 18),
+        ("OVHCLOUD", 16),
+    ] {
         pool.extend(std::iter::repeat_n(name.to_string(), count));
     }
     // 103 more ASes for the remaining 212 resolvers, each <= 12.
@@ -139,7 +142,12 @@ pub fn synthesize_dox_population(seed: u64) -> Vec<ResolverProfile> {
             };
             // QUIC version support per the observed measurement shares.
             let quic_versions = match rng.pick_weighted(&[89.1, 8.5, 1.8, 0.6]) {
-                0 => vec![QUIC_V1, draft_version(34), draft_version(32), draft_version(29)],
+                0 => vec![
+                    QUIC_V1,
+                    draft_version(34),
+                    draft_version(32),
+                    draft_version(29),
+                ],
                 1 => vec![draft_version(34), draft_version(32), draft_version(29)],
                 2 => vec![draft_version(32), draft_version(29)],
                 _ => vec![draft_version(29)],
@@ -153,16 +161,10 @@ pub fn synthesize_dox_population(seed: u64) -> Vec<ResolverProfile> {
             // Chain sizes straddle the 3x1200-byte amplification budget
             // so that, without resumption, a sizeable fraction of full
             // handshakes stall (the preliminary study saw ~40%).
-            let cert_chain_len =
-                rng.normal_with(2650.0, 550.0).clamp(1500.0, 4600.0) as u16;
+            let cert_chain_len = rng.normal_with(2650.0, 550.0).clamp(1500.0, 4600.0) as u16;
             out.push(ResolverProfile {
                 index,
-                ip: Ipv4Addr::new(
-                    203,
-                    ((index + 256) >> 8) as u8,
-                    (index & 0xFF) as u8,
-                    53,
-                ),
+                ip: Ipv4Addr::new(203, ((index + 256) >> 8) as u8, (index & 0xFF) as u8, 53),
                 continent,
                 location: scatter(&mut rng, continent),
                 asn: asns.pop().expect("sized for DOX_TOTAL"),
@@ -268,8 +270,8 @@ pub fn synthesize_scan_population(seed: u64, extra_quic: usize) -> Vec<ScannedHo
         if cols[i].iter().all(|b| *b) {
             // Move this row's DoUDP bit to a row that lacks it and that
             // will not itself become all-true.
-            if let Some(j) = (0..cols.len())
-                .find(|&j| !cols[j][0] && !(cols[j][1] && cols[j][2] && cols[j][3]))
+            if let Some(j) =
+                (0..cols.len()).find(|&j| !(cols[j][0] || cols[j][1] && cols[j][2] && cols[j][3]))
             {
                 cols[i][0] = false;
                 cols[j][0] = true;
@@ -364,7 +366,10 @@ mod tests {
     #[test]
     fn version_shares_are_near_paper_values() {
         let pop = synthesize_dox_population(1);
-        let v1 = pop.iter().filter(|r| r.quic_versions.contains(&QUIC_V1)).count();
+        let v1 = pop
+            .iter()
+            .filter(|r| r.quic_versions.contains(&QUIC_V1))
+            .count();
         // 89.1% of a 313 draw: allow generous sampling slack.
         let frac = v1 as f64 / pop.len() as f64;
         assert!((0.82..=0.96).contains(&frac), "v1 share {frac}");
@@ -374,7 +379,10 @@ mod tests {
             .count() as f64
             / pop.len() as f64;
         assert!((0.80..=0.94).contains(&i02), "doq-i02 share {i02}");
-        let tls12 = pop.iter().filter(|r| r.tls_versions == vec![TlsVersion::Tls12]).count();
+        let tls12 = pop
+            .iter()
+            .filter(|r| r.tls_versions == vec![TlsVersion::Tls12])
+            .count();
         assert!(tls12 <= 12, "tls1.2-only resolvers: {tls12}");
     }
 
@@ -393,8 +401,14 @@ mod tests {
         let pop = synthesize_scan_population(1, 500);
         let doq: Vec<_> = pop.iter().filter(|h| h.speaks_doq).collect();
         assert_eq!(doq.len(), DOQ_TOTAL);
-        assert_eq!(doq.iter().filter(|h| h.supports_udp).count(), DOQ_WITH_DOUDP);
-        assert_eq!(doq.iter().filter(|h| h.supports_tcp).count(), DOQ_WITH_DOTCP);
+        assert_eq!(
+            doq.iter().filter(|h| h.supports_udp).count(),
+            DOQ_WITH_DOUDP
+        );
+        assert_eq!(
+            doq.iter().filter(|h| h.supports_tcp).count(),
+            DOQ_WITH_DOTCP
+        );
         assert_eq!(doq.iter().filter(|h| h.supports_dot).count(), DOQ_WITH_DOT);
         assert_eq!(doq.iter().filter(|h| h.supports_doh).count(), DOQ_WITH_DOH);
         assert_eq!(doq.iter().filter(|h| h.is_full_dox()).count(), DOX_TOTAL);
@@ -411,8 +425,10 @@ mod tests {
     #[test]
     fn cert_chain_spread_straddles_amplification_budget() {
         let pop = synthesize_dox_population(1);
-        let over = pop.iter().filter(|r| r.cert_chain_len > 2800).count() as f64
-            / pop.len() as f64;
-        assert!((0.25..=0.55).contains(&over), "fraction over budget: {over}");
+        let over = pop.iter().filter(|r| r.cert_chain_len > 2800).count() as f64 / pop.len() as f64;
+        assert!(
+            (0.25..=0.55).contains(&over),
+            "fraction over budget: {over}"
+        );
     }
 }

@@ -11,8 +11,7 @@ use doqlab_simnet::{Duration, Ipv4Addr, SimTime, Simulator, SocketAddr};
 fn ddr_alpns(server: ServerConfig) -> Vec<String> {
     let resolver_ip = server.ip;
     let client_ip = Ipv4Addr::new(10, 0, 0, 1);
-    let mut sim =
-        Simulator::new(5, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+    let mut sim = Simulator::new(5, Box::new(FixedPathModel::new(Duration::from_millis(10))));
     sim.add_host(
         Box::new(ResolverHost::new(server, RecursionModel::default())),
         &[resolver_ip],
@@ -54,12 +53,18 @@ fn study_era_resolver_advertises_doq_doh_dot_but_not_h3() {
     assert!(alpns.contains(&"doq".to_string()));
     assert!(alpns.contains(&"h2".to_string()));
     assert!(alpns.contains(&"dot".to_string()));
-    assert!(!alpns.contains(&"h3".to_string()), "DoH3 not deployed yet: {alpns:?}");
+    assert!(
+        !alpns.contains(&"h3".to_string()),
+        "DoH3 not deployed yet: {alpns:?}"
+    );
 }
 
 #[test]
 fn doh3_resolver_includes_h3_like_cloudflare() {
-    let alpns = ddr_alpns(ServerConfig { supports_doh3: true, ..ServerConfig::default() });
+    let alpns = ddr_alpns(ServerConfig {
+        supports_doh3: true,
+        ..ServerConfig::default()
+    });
     assert!(alpns.contains(&"h3".to_string()), "{alpns:?}");
     assert!(alpns.contains(&"doq".to_string()));
 }

@@ -37,8 +37,7 @@ impl Coord {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
     }
 }
@@ -83,11 +82,11 @@ impl Continent {
     /// scatter when synthesizing resolver locations.
     pub fn center(&self) -> Coord {
         match self {
-            Continent::Europe => Coord::new(50.1, 8.7),         // Frankfurt
-            Continent::Asia => Coord::new(1.35, 103.8),         // Singapore
+            Continent::Europe => Coord::new(50.1, 8.7), // Frankfurt
+            Continent::Asia => Coord::new(1.35, 103.8), // Singapore
             Continent::NorthAmerica => Coord::new(39.0, -77.5), // N. Virginia
-            Continent::Africa => Coord::new(-33.9, 18.4),       // Cape Town
-            Continent::Oceania => Coord::new(-33.9, 151.2),     // Sydney
+            Continent::Africa => Coord::new(-33.9, 18.4), // Cape Town
+            Continent::Oceania => Coord::new(-33.9, 151.2), // Sydney
             Continent::SouthAmerica => Coord::new(-23.5, -46.6), // Sao Paulo
         }
     }
@@ -135,8 +134,7 @@ mod tests {
 
     #[test]
     fn continent_codes_unique() {
-        let codes: std::collections::HashSet<_> =
-            Continent::ALL.iter().map(|c| c.code()).collect();
+        let codes: std::collections::HashSet<_> = Continent::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(codes.len(), 6);
     }
 
@@ -145,8 +143,13 @@ mod tests {
         // Sanity-check the latency model scale: Frankfurt<->Sydney is
         // ~16,500 km, so one-way fiber delay is ~82 ms and RTT ~165 ms
         // before path stretch.
-        let d = Continent::Europe.center().distance_km(&Continent::Oceania.center());
+        let d = Continent::Europe
+            .center()
+            .distance_km(&Continent::Oceania.center());
         let one_way_ms = d / FIBER_SPEED_KM_S * 1000.0;
-        assert!(one_way_ms > 60.0 && one_way_ms < 110.0, "one_way = {one_way_ms}");
+        assert!(
+            one_way_ms > 60.0 && one_way_ms < 110.0,
+            "one_way = {one_way_ms}"
+        );
     }
 }

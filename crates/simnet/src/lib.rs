@@ -20,7 +20,12 @@
 //! * [`sim::Simulator`] — the event loop: hosts implement [`sim::Host`]
 //!   and exchange packets through a [`path::PathModel`]; a
 //!   [`trace::PacketTrace`] records per-packet wire sizes for the size
-//!   accounting of Table 1.
+//!   accounting of Table 1, and a streaming [`trace::PacketTap`]
+//!   observer sees every routed packet at send time without retaining
+//!   the trace (what the campaigns use for byte accounting).
+//!   Simulators double as reusable arenas: [`sim::Simulator::reset`]
+//!   clears hosts, queue, and traces while keeping allocations warm, so
+//!   campaign workers run thousands of units in one arena each.
 
 pub mod event;
 pub mod geo;
@@ -37,4 +42,4 @@ pub use path::{GeoPathModel, PathCharacteristics, PathModel};
 pub use rng::SimRng;
 pub use sim::{Ctx, Host, HostId, Simulator};
 pub use time::{Duration, SimTime};
-pub use trace::{PacketRecord, PacketTrace};
+pub use trace::{PacketRecord, PacketTap, PacketTrace};

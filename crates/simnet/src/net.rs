@@ -85,11 +85,21 @@ pub struct Packet {
 
 impl Packet {
     pub fn udp(src: SocketAddr, dst: SocketAddr, payload: Vec<u8>) -> Self {
-        Packet { src, dst, transport: Transport::Udp, payload }
+        Packet {
+            src,
+            dst,
+            transport: Transport::Udp,
+            payload,
+        }
     }
 
     pub fn tcp(src: SocketAddr, dst: SocketAddr, segment: Vec<u8>) -> Self {
-        Packet { src, dst, transport: Transport::Tcp, payload: segment }
+        Packet {
+            src,
+            dst,
+            transport: Transport::Tcp,
+            payload: segment,
+        }
     }
 
     /// IP payload length in bytes: transport header + transport payload.

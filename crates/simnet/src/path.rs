@@ -83,7 +83,10 @@ pub struct GeoPathModel {
 
 impl GeoPathModel {
     pub fn new(params: GeoPathParams) -> Self {
-        GeoPathModel { params, locations: HashMap::new() }
+        GeoPathModel {
+            params,
+            locations: HashMap::new(),
+        }
     }
 
     pub fn with_defaults() -> Self {

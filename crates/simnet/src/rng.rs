@@ -37,7 +37,12 @@ impl SimRng {
         // xoshiro256** must not start from the all-zero state; SplitMix64
         // of any seed cannot produce four zero words, but guard anyway.
         if s == [0, 0, 0, 0] {
-            s = [0x1, 0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB];
+            s = [
+                0x1,
+                0x9E3779B97F4A7C15,
+                0xBF58476D1CE4E5B9,
+                0x94D049BB133111EB,
+            ];
         }
         SimRng { s }
     }
@@ -49,12 +54,9 @@ impl SimRng {
     pub fn fork(&self, label: u64) -> SimRng {
         // Mix the label into a fresh seed drawn from this generator's
         // state without advancing it, so forks are order-independent.
-        let mut sm = self
-            .s
-            .iter()
-            .fold(label ^ 0xD6E8_FEB8_6659_FD93, |acc, w| {
-                acc.rotate_left(23) ^ w.wrapping_mul(0xA24B_AED4_963E_E407)
-            });
+        let mut sm = self.s.iter().fold(label ^ 0xD6E8_FEB8_6659_FD93, |acc, w| {
+            acc.rotate_left(23) ^ w.wrapping_mul(0xA24B_AED4_963E_E407)
+        });
         let mut s = [0u64; 4];
         for w in &mut s {
             *w = splitmix64(&mut sm);
@@ -64,10 +66,7 @@ impl SimRng {
 
     /// Next raw 64-bit output (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -15,10 +15,10 @@
 
 use crate::event::EventQueue;
 use crate::net::{Ipv4Addr, Packet};
-use crate::path::PathModel;
+use crate::path::{FixedPathModel, PathModel};
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
-use crate::trace::{PacketRecord, PacketTrace};
+use crate::trace::{PacketRecord, PacketTap, PacketTrace};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -92,6 +92,7 @@ pub struct Simulator {
     /// (real single-path routes preserve ordering almost always).
     flow_last_arrival: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
     trace: Option<PacketTrace>,
+    tap: Option<Box<dyn PacketTap>>,
     stats: NetStats,
 }
 
@@ -107,8 +108,40 @@ impl Simulator {
             link_free: HashMap::new(),
             flow_last_arrival: HashMap::new(),
             trace: None,
+            tap: None,
             stats: NetStats::default(),
         }
+    }
+
+    /// A placeholder simulator intended to be [`Simulator::reset`]
+    /// before first use — the arena a campaign worker reuses across all
+    /// the units it executes.
+    pub fn arena() -> Self {
+        Simulator::new(0, Box::new(FixedPathModel::new(Duration::ZERO)))
+    }
+
+    /// Rewind this simulator to the state `Simulator::new(seed, path)`
+    /// would produce, but keep the allocations of the event queue, host
+    /// table, address maps and trace buffer. Reusing one simulator as an
+    /// arena across thousands of campaign units avoids reallocating all
+    /// of those per unit.
+    ///
+    /// Hosts and any installed tap are dropped; whether tracing is
+    /// enabled is preserved (with the records cleared).
+    pub fn reset(&mut self, seed: u64, path: Box<dyn PathModel>) {
+        self.clock = SimTime::ZERO;
+        self.queue.clear();
+        self.rng = SimRng::new(seed);
+        self.path = path;
+        self.hosts.clear();
+        self.addr_map.clear();
+        self.link_free.clear();
+        self.flow_last_arrival.clear();
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
+        self.tap = None;
+        self.stats = NetStats::default();
     }
 
     /// Current simulated time.
@@ -131,6 +164,24 @@ impl Simulator {
 
     pub fn trace(&self) -> Option<&PacketTrace> {
         self.trace.as_ref()
+    }
+
+    /// Install a streaming packet observer (replacing any previous one).
+    /// The tap sees every packet handed to the network from now on,
+    /// including lost and unroutable ones.
+    pub fn set_tap(&mut self, tap: Box<dyn PacketTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Remove and return the installed tap, typically to read out the
+    /// statistic it accumulated.
+    pub fn take_tap(&mut self) -> Option<Box<dyn PacketTap>> {
+        self.tap.take()
+    }
+
+    /// Mutable access to the installed tap by concrete type.
+    pub fn tap_mut<T: PacketTap>(&mut self) -> Option<&mut T> {
+        self.tap.as_mut()?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Register a host reachable at the given IPs.
@@ -180,9 +231,15 @@ impl Simulator {
         let mut host = self.hosts[id].take().expect("reentrant host dispatch");
         let mut out = Vec::new();
         let r = {
-            let mut ctx = Ctx { now: self.clock, rng: &mut self.rng, out: &mut out };
+            let mut ctx = Ctx {
+                now: self.clock,
+                rng: &mut self.rng,
+                out: &mut out,
+            };
             f(
-                host.as_any_mut().downcast_mut::<T>().expect("host type mismatch"),
+                host.as_any_mut()
+                    .downcast_mut::<T>()
+                    .expect("host type mismatch"),
                 &mut ctx,
             )
         };
@@ -202,21 +259,31 @@ impl Simulator {
         }
     }
 
+    /// Hand one packet record to the trace and/or tap, if installed.
+    fn observe(&mut self, now: SimTime, pkt: &Packet, dropped: bool) {
+        if self.trace.is_none() && self.tap.is_none() {
+            return;
+        }
+        let record = PacketRecord::new(now, pkt, dropped);
+        if let Some(trace) = &mut self.trace {
+            trace.record(record);
+        }
+        if let Some(tap) = &mut self.tap {
+            tap.on_packet(&record);
+        }
+    }
+
     /// Route one packet: apply loss, serialization and propagation, and
     /// schedule its arrival.
     fn route(&mut self, now: SimTime, pkt: Packet) {
         let chars = self.path.characteristics(pkt.src.ip, pkt.dst.ip);
         let Some(&dst_host) = self.addr_map.get(&pkt.dst.ip) else {
             self.stats.packets_unroutable += 1;
-            if let Some(t) = &mut self.trace {
-                t.record(PacketRecord::new(now, &pkt, true));
-            }
+            self.observe(now, &pkt, true);
             return;
         };
         let lost = chars.loss > 0.0 && self.rng.chance(chars.loss);
-        if let Some(t) = &mut self.trace {
-            t.record(PacketRecord::new(now, &pkt, lost));
-        }
+        self.observe(now, &pkt, lost);
         if lost {
             self.stats.packets_lost += 1;
             return;
@@ -227,8 +294,7 @@ impl Simulator {
             Some(bps) if bps > 0 => {
                 let free = self.link_free.entry(pkt.src.ip).or_insert(SimTime::ZERO);
                 let start = (*free).max(now);
-                let ser =
-                    Duration::from_secs_f64(pkt.wire_len() as f64 * 8.0 / bps as f64);
+                let ser = Duration::from_secs_f64(pkt.wire_len() as f64 * 8.0 / bps as f64);
                 *free = start + ser;
                 *free
             }
@@ -249,11 +315,16 @@ impl Simulator {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Arrival(id, pkt) => {
-                let Some(mut host) = self.hosts[id].take() else { return };
+                let Some(mut host) = self.hosts[id].take() else {
+                    return;
+                };
                 let mut out = Vec::new();
                 {
-                    let mut ctx =
-                        Ctx { now: self.clock, rng: &mut self.rng, out: &mut out };
+                    let mut ctx = Ctx {
+                        now: self.clock,
+                        rng: &mut self.rng,
+                        out: &mut out,
+                    };
                     host.on_packet(&mut ctx, pkt);
                 }
                 let next = host.next_wakeup();
@@ -261,7 +332,9 @@ impl Simulator {
                 self.after_dispatch(id, next, out);
             }
             Event::Wakeup(id) => {
-                let Some(host_ref) = self.hosts[id].as_ref() else { return };
+                let Some(host_ref) = self.hosts[id].as_ref() else {
+                    return;
+                };
                 match host_ref.next_wakeup() {
                     None => {}
                     Some(w) if w <= self.clock => {
@@ -310,13 +383,40 @@ impl Simulator {
         n
     }
 
+    /// Process at most one event at or before `deadline`. Returns true
+    /// if an event was dispatched; when no such event exists the clock
+    /// advances to `deadline` (like [`Simulator::run_until`] draining)
+    /// and false is returned. Stepping lets a caller observe host state
+    /// between events — e.g. to notice the instant a handshake
+    /// completes — while dispatching events in exactly the order
+    /// `run_until` would.
+    pub fn step_until(&mut self, deadline: SimTime) -> bool {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => {
+                let (t, ev) = self.queue.pop().expect("peeked");
+                debug_assert!(t >= self.clock, "time went backwards");
+                self.clock = t;
+                self.dispatch(ev);
+                true
+            }
+            _ => {
+                if deadline > self.clock {
+                    self.clock = deadline;
+                }
+                false
+            }
+        }
+    }
+
     /// Process events until the queue drains or `max_events` have been
     /// handled. Returns the number of events processed; hitting the
     /// event cap indicates a livelock in a protocol state machine.
     pub fn run(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events {
-            let Some((t, ev)) = self.queue.pop() else { break };
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.clock, "time went backwards");
             self.clock = t;
             self.dispatch(ev);
@@ -390,8 +490,14 @@ mod tests {
         let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(one_way)));
         let a = addr(1, 40000);
         let b = addr(2, 7);
-        let pinger =
-            sim.add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+        let pinger = sim.add_host(
+            Box::new(Pinger {
+                target: b,
+                local: a,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
         let echo = sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
         (sim, pinger, echo)
     }
@@ -409,11 +515,14 @@ mod tests {
 
     #[test]
     fn unroutable_packets_are_counted() {
-        let mut sim =
-            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
         let a = addr(1, 40000);
         let pinger = sim.add_host(
-            Box::new(Pinger { target: addr(99, 7), local: a, echo_at: None }),
+            Box::new(Pinger {
+                target: addr(99, 7),
+                local: a,
+                echo_at: None,
+            }),
             &[a.ip],
         );
         sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
@@ -430,8 +539,14 @@ mod tests {
         );
         let a = addr(1, 40000);
         let b = addr(2, 7);
-        let pinger =
-            sim.add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+        let pinger = sim.add_host(
+            Box::new(Pinger {
+                target: b,
+                local: a,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
         sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
         sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
         sim.run(1000);
@@ -469,8 +584,7 @@ mod tests {
 
     #[test]
     fn periodic_timers_fire_on_schedule() {
-        let mut sim =
-            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
         let id = sim.add_host(
             Box::new(Ticker {
                 period: Duration::from_millis(100),
@@ -483,15 +597,16 @@ mod tests {
         let fired = &sim.host::<Ticker>(id).fired;
         assert_eq!(
             fired,
-            &(1..=5).map(|i| SimTime::from_millis(100 * i)).collect::<Vec<_>>()
+            &(1..=5)
+                .map(|i| SimTime::from_millis(100 * i))
+                .collect::<Vec<_>>()
         );
         assert!(sim.is_idle());
     }
 
     #[test]
     fn run_until_respects_deadline() {
-        let mut sim =
-            Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(1))));
         let id = sim.add_host(
             Box::new(Ticker {
                 period: Duration::from_millis(100),
@@ -531,6 +646,162 @@ mod tests {
         assert!(result.is_err());
     }
 
+    /// Counts packets and bytes as a streaming tap.
+    #[derive(Default)]
+    struct CountingTap {
+        packets: usize,
+        bytes: usize,
+        dropped: usize,
+    }
+
+    impl crate::trace::PacketTap for CountingTap {
+        fn on_packet(&mut self, record: &PacketRecord) {
+            self.packets += 1;
+            self.bytes += record.ip_payload_len;
+            self.dropped += record.dropped as usize;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    use crate::trace::PacketRecord;
+
+    #[test]
+    fn tap_sees_what_the_trace_records() {
+        let (mut sim, pinger, _echo) = two_host_sim(Duration::from_millis(5));
+        sim.enable_trace();
+        sim.set_tap(Box::new(CountingTap::default()));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        let trace_bytes: usize = sim
+            .trace()
+            .unwrap()
+            .records()
+            .iter()
+            .map(|r| r.ip_payload_len)
+            .sum();
+        let trace_packets = sim.trace().unwrap().records().len();
+        let tap = sim.take_tap().expect("installed");
+        let tap = tap.as_any().downcast_ref::<CountingTap>().unwrap();
+        assert_eq!(tap.packets, trace_packets);
+        assert_eq!(tap.bytes, trace_bytes);
+        assert_eq!(tap.dropped, 0);
+    }
+
+    #[test]
+    fn tap_observes_lost_and_unroutable_packets() {
+        let mut sim = Simulator::new(
+            1,
+            Box::new(FixedPathModel::with_loss(Duration::from_millis(1), 1.0)),
+        );
+        let a = addr(1, 40000);
+        let pinger = sim.add_host(
+            Box::new(Pinger {
+                target: addr(99, 7),
+                local: a,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
+        sim.set_tap(Box::new(CountingTap::default()));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.tap_mut::<CountingTap>().unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn reset_arena_reproduces_a_fresh_simulator() {
+        let run_fresh = || {
+            let (mut sim, pinger, _) = two_host_sim(Duration::from_millis(10));
+            sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+            sim.run(1000);
+            (sim.host::<Pinger>(pinger).echo_at, sim.stats())
+        };
+        let mut arena = Simulator::arena();
+        let mut run_reused = |junk_rounds: usize| {
+            // Dirty the arena first so reuse actually exercises clearing.
+            for seed in 0..junk_rounds as u64 {
+                arena.reset(
+                    seed + 100,
+                    Box::new(FixedPathModel::new(Duration::from_millis(3))),
+                );
+                let a = addr(1, 40000);
+                let b = addr(2, 7);
+                let pinger = arena.add_host(
+                    Box::new(Pinger {
+                        target: b,
+                        local: a,
+                        echo_at: None,
+                    }),
+                    &[a.ip],
+                );
+                arena.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+                arena.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+                arena.run(50);
+            }
+            arena.reset(1, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+            let a = addr(1, 40000);
+            let b = addr(2, 7);
+            let pinger = arena.add_host(
+                Box::new(Pinger {
+                    target: b,
+                    local: a,
+                    echo_at: None,
+                }),
+                &[a.ip],
+            );
+            arena.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+            arena.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+            arena.run(1000);
+            (arena.host::<Pinger>(pinger).echo_at, arena.stats())
+        };
+        assert_eq!(run_reused(0), run_fresh());
+        assert_eq!(run_reused(3), run_fresh());
+    }
+
+    #[test]
+    fn step_until_matches_run_until() {
+        let make = || {
+            let mut sim = Simulator::new(
+                9,
+                Box::new(FixedPathModel::with_loss(Duration::from_millis(3), 0.2)),
+            );
+            let a = addr(1, 40000);
+            let b = addr(2, 7);
+            let pinger = sim.add_host(
+                Box::new(Pinger {
+                    target: b,
+                    local: a,
+                    echo_at: None,
+                }),
+                &[a.ip],
+            );
+            sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+            sim.with_host::<Pinger, _>(pinger, |p, ctx| {
+                for _ in 0..20 {
+                    p.start(ctx);
+                }
+            });
+            sim
+        };
+        let deadline = SimTime::from_millis(50);
+        let mut run = make();
+        run.run_until(deadline);
+        let mut stepped = make();
+        let mut steps = 0;
+        while stepped.step_until(deadline) {
+            steps += 1;
+        }
+        assert!(steps > 0);
+        assert_eq!(stepped.stats(), run.stats());
+        assert_eq!(stepped.now(), run.now());
+        assert_eq!(stepped.now(), deadline);
+    }
+
     #[test]
     fn determinism_same_seed_same_outcome() {
         let run = |seed| {
@@ -540,8 +811,14 @@ mod tests {
             );
             let a = addr(1, 40000);
             let b = addr(2, 7);
-            let pinger = sim
-                .add_host(Box::new(Pinger { target: b, local: a, echo_at: None }), &[a.ip]);
+            let pinger = sim.add_host(
+                Box::new(Pinger {
+                    target: b,
+                    local: a,
+                    echo_at: None,
+                }),
+                &[a.ip],
+            );
             sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
             sim.with_host::<Pinger, _>(pinger, |p, ctx| {
                 for _ in 0..50 {

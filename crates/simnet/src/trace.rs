@@ -40,6 +40,24 @@ impl PacketRecord {
     }
 }
 
+/// A streaming observer of routed packets.
+///
+/// Installed on a [`crate::Simulator`] via `set_tap`, a tap sees every
+/// packet the moment it is handed to the network (including packets
+/// that are then lost or unroutable — they were put on the wire) and
+/// can accumulate whatever statistic it needs online. This replaces
+/// retaining a full [`PacketTrace`] per run when only an aggregate is
+/// wanted: the single-query campaign's phase-byte accounting is a tap,
+/// so it no longer holds O(packets) memory per unit or needs a second
+/// pass over the trace.
+pub trait PacketTap: std::any::Any {
+    /// Called once per routed packet, at send time.
+    fn on_packet(&mut self, record: &PacketRecord);
+
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
 /// An append-only log of routed packets.
 #[derive(Debug, Default, Clone)]
 pub struct PacketTrace {
@@ -72,10 +90,7 @@ impl PacketTrace {
         self.records
             .iter()
             .filter(|r| {
-                r.src.ip == src.ip
-                    && r.dst.ip == dst.ip
-                    && r.sent_at >= from
-                    && r.sent_at < to
+                r.src.ip == src.ip && r.dst.ip == dst.ip && r.sent_at >= from && r.sent_at < to
             })
             .map(|r| r.ip_payload_len)
             .sum()
@@ -84,7 +99,12 @@ impl PacketTrace {
     /// Total IP payload bytes from `src_ip` to `dst_ip` over the whole
     /// trace, identified by IPs only.
     pub fn total_bytes(&self, src: SocketAddr, dst: SocketAddr) -> usize {
-        self.bytes_between(src, dst, SimTime::ZERO, SimTime::from_secs(u64::MAX / 2_000_000_000))
+        self.bytes_between(
+            src,
+            dst,
+            SimTime::ZERO,
+            SimTime::from_secs(u64::MAX / 2_000_000_000),
+        )
     }
 
     pub fn clear(&mut self) {

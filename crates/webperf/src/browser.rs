@@ -149,7 +149,8 @@ impl BrowserHost {
                 &domain,
             );
             conn.start(now, out);
-            self.origins.insert(domain.clone(), OriginConn { conn, port });
+            self.origins
+                .insert(domain.clone(), OriginConn { conn, port });
         }
         let origin = self.origins.get_mut(&domain).expect("just ensured");
         origin.conn.request(id, &path);
@@ -173,8 +174,7 @@ impl BrowserHost {
                         .resources
                         .iter()
                         .filter(|r| {
-                            r.domain == domain
-                                && self.states[r.id] == ResourceState::WaitingDns
+                            r.domain == domain && self.states[r.id] == ResourceState::WaitingDns
                         })
                         .map(|r| r.id)
                         .collect();
@@ -220,9 +220,7 @@ impl BrowserHost {
         }
         // PLT: everything done. The load event cannot fire before first
         // paint, so PLT is floored at FCP.
-        if self.plt.is_none()
-            && self.states.iter().all(|s| *s == ResourceState::Done)
-        {
+        if self.plt.is_none() && self.states.iter().all(|s| *s == ResourceState::Done) {
             let plt = now + Duration::from_millis(self.page.onload_ms);
             self.plt = Some(match self.fcp {
                 Some(fcp) => plt.max(fcp),
@@ -287,9 +285,7 @@ impl Host for BrowserHost {
         let mut out = Vec::new();
         if self.proxy.owns_port(pkt.dst.port) {
             self.proxy.on_packet(ctx.now, &pkt, &mut out);
-        } else if let Some(origin) =
-            self.origins.values_mut().find(|o| o.port == pkt.dst.port)
-        {
+        } else if let Some(origin) = self.origins.values_mut().find(|o| o.port == pkt.dst.port) {
             origin.conn.on_packet(ctx.now, &pkt, &mut out);
         }
         self.progress(ctx.now, ctx.rng, &mut out);

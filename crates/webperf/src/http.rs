@@ -31,7 +31,10 @@ pub struct HttpsClientConn {
 
 impl HttpsClientConn {
     pub fn new(local: SocketAddr, remote: SocketAddr, authority: &str) -> Self {
-        let tls_cfg = TlsConfig { alpn: vec![b"h2".to_vec()], ..TlsConfig::default() };
+        let tls_cfg = TlsConfig {
+            alpn: vec![b"h2".to_vec()],
+            ..TlsConfig::default()
+        };
         HttpsClientConn {
             tcp: TcpSocket::client(local, remote, 0, TcpConfig::default()),
             tls: TlsClient::new(tls_cfg, None),

@@ -28,6 +28,6 @@ pub mod page;
 pub mod proxy;
 
 pub use browser::{BrowserHost, PageLoadResult};
-pub use loadsim::{run_page_load, PageLoadConfig};
+pub use loadsim::{run_page_load, run_page_load_in, PageLoadConfig};
 pub use page::{tranco_top10, PageProfile, Resource};
 pub use proxy::DnsProxy;

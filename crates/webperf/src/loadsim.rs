@@ -19,7 +19,7 @@ use doqlab_dox::{ClientConfig, DnsTransport};
 use doqlab_resolver::{RecursionModel, ResolverHost};
 use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
 use doqlab_simnet::{Coord, Duration, Ipv4Addr, Simulator, SocketAddr};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of one [vantage point : resolver : protocol : page]
 /// measurement unit.
@@ -65,9 +65,17 @@ impl PageLoadConfig {
     }
 }
 
-/// Run the warming navigation plus `measured_loads` measured ones.
-/// Returns one result per measured navigation.
+/// Run the warming navigation plus `measured_loads` measured ones in a
+/// simulator of their own. Returns one result per measured navigation.
 pub fn run_page_load(cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
+    let mut sim = Simulator::arena();
+    run_page_load_in(&mut sim, cfg)
+}
+
+/// Run the warming navigation plus `measured_loads` measured ones in a
+/// reusable simulator arena: the arena is reset (reusing its
+/// allocations across page loads) and left holding the final state.
+pub fn run_page_load_in(sim: &mut Simulator, cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
     // --- topology -------------------------------------------------------
     let mut path = GeoPathModel::new(cfg.path_params.clone());
     let resolver_ip = cfg.resolver.ip;
@@ -76,21 +84,24 @@ pub fn run_page_load(cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
     // Browser machines: one IP per navigation (the simulator binds an
     // address once), all at the vantage point.
     let nav_count = 1 + cfg.measured_loads;
-    let client_ips: Vec<Ipv4Addr> =
-        (0..nav_count).map(|i| Ipv4Addr::new(10, 99, 0, i as u8 + 1)).collect();
+    let client_ips: Vec<Ipv4Addr> = (0..nav_count)
+        .map(|i| Ipv4Addr::new(10, 99, 0, i as u8 + 1))
+        .collect();
     for ip in &client_ips {
         path.place(*ip, cfg.vp_location);
     }
 
-    // Origins: CDN-like, near the vantage point.
-    let mut origin_sizes: HashMap<Ipv4Addr, HashMap<String, usize>> = HashMap::new();
+    // Origins: CDN-like, near the vantage point. BTreeMap so host
+    // creation order (and thus server ids and event interleaving) is a
+    // pure function of the page, not of hash-seed iteration order.
+    let mut origin_sizes: BTreeMap<Ipv4Addr, HashMap<String, usize>> = BTreeMap::new();
     for r in &cfg.page.resources {
         origin_sizes
             .entry(origin_ip(&r.domain))
             .or_default()
             .insert(r.path.clone(), r.size);
     }
-    let mut sim = Simulator::new(cfg.seed, Box::new(path.clone()));
+    sim.reset(cfg.seed, Box::new(path.clone()));
     for (i, (ip, sizes)) in origin_sizes.into_iter().enumerate() {
         // Scatter edge nodes a few hundred km around the vantage point.
         let jitter = (i as f64 * 0.7).sin() * 3.0;
@@ -98,7 +109,10 @@ pub fn run_page_load(cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
         // The simulator owns a clone of the model; placements must go in
         // before construction — rebuild below instead.
         let _ = loc;
-        sim.add_host(Box::new(OriginHost::new(ip, 0x0419 + i as u64, sizes)), &[ip]);
+        sim.add_host(
+            Box::new(OriginHost::new(ip, 0x0419 + i as u64, sizes)),
+            &[ip],
+        );
     }
     // (Origins share the vantage point placement default: co-located
     // with the client up to the base delay — a CDN edge.)
@@ -110,8 +124,7 @@ pub fn run_page_load(cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
     let upstream = SocketAddr::new(resolver_ip, cfg.transport.port());
     let mut session = doqlab_dox::SessionState::default();
     let mut results = Vec::new();
-    for nav in 0..nav_count {
-        let client_ip = client_ips[nav];
+    for (nav, &client_ip) in client_ips.iter().enumerate() {
         let client_cfg = ClientConfig {
             session: session.clone(),
             enable_0rtt: cfg.enable_0rtt,
@@ -119,8 +132,7 @@ pub fn run_page_load(cfg: &PageLoadConfig) -> Vec<PageLoadResult> {
             enable_tfo: cfg.tcp_keepalive_client,
             ..ClientConfig::default()
         };
-        let proxy =
-            DnsProxy::new(client_ip, upstream, cfg.transport, client_cfg, cfg.dot_bug);
+        let proxy = DnsProxy::new(client_ip, upstream, cfg.transport, client_cfg, cfg.dot_bug);
         let browser = BrowserHost::new(client_ip, cfg.page.clone(), proxy);
         let bid = sim.add_host(Box::new(browser), &[client_ip]);
         let start = sim.now();
@@ -170,7 +182,10 @@ mod tests {
 
     fn base(transport: DnsTransport) -> PageLoadConfig {
         let page = tranco_top10().remove(0); // wikipedia.org
-        PageLoadConfig { seed: 7, ..PageLoadConfig::new(page, transport) }
+        PageLoadConfig {
+            seed: 7,
+            ..PageLoadConfig::new(page, transport)
+        }
     }
 
     #[test]
@@ -188,7 +203,10 @@ mod tests {
     #[test]
     fn complex_page_issues_many_dns_queries() {
         let page = tranco_top10().pop().unwrap(); // youtube.com
-        let cfg = PageLoadConfig { seed: 9, ..PageLoadConfig::new(page, DnsTransport::DoQ) };
+        let cfg = PageLoadConfig {
+            seed: 9,
+            ..PageLoadConfig::new(page, DnsTransport::DoQ)
+        };
         let r = run_page_load(&cfg)[0];
         assert!(!r.failed);
         assert_eq!(r.dns_queries, 11);
@@ -213,13 +231,21 @@ mod tests {
         let doh = run_page_load(&base(DnsTransport::DoH))[0];
         let doq = run_page_load(&base(DnsTransport::DoQ))[0];
         assert!(!doh.failed && !doq.failed);
-        assert!(doq.plt_ms < doh.plt_ms, "DoQ {} vs DoH {}", doq.plt_ms, doh.plt_ms);
+        assert!(
+            doq.plt_ms < doh.plt_ms,
+            "DoQ {} vs DoH {}",
+            doq.plt_ms,
+            doh.plt_ms
+        );
     }
 
     #[test]
     fn dot_bug_opens_extra_connections_on_multi_domain_pages() {
         let page = tranco_top10().pop().unwrap(); // youtube: many queries
-        let mut cfg = PageLoadConfig { seed: 3, ..PageLoadConfig::new(page, DnsTransport::DoT) };
+        let mut cfg = PageLoadConfig {
+            seed: 3,
+            ..PageLoadConfig::new(page, DnsTransport::DoT)
+        };
         cfg.dot_bug = true;
         let buggy = run_page_load(&cfg)[0];
         cfg.dot_bug = false;
@@ -236,7 +262,10 @@ mod tests {
     #[test]
     fn dotcp_opens_one_connection_per_query() {
         let page = tranco_top10().remove(8); // microsoft.com, 9 queries
-        let cfg = PageLoadConfig { seed: 3, ..PageLoadConfig::new(page, DnsTransport::DoTcp) };
+        let cfg = PageLoadConfig {
+            seed: 3,
+            ..PageLoadConfig::new(page, DnsTransport::DoTcp)
+        };
         let r = run_page_load(&cfg)[0];
         assert!(!r.failed);
         assert_eq!(r.proxy_connections, r.dns_queries);

@@ -103,7 +103,8 @@ impl OriginHost {
                 self.requests_served += 1;
                 let path = req.header(":path").unwrap_or("/").to_string();
                 let size = self.sizes.get(&path).copied().unwrap_or(1024);
-                self.pending.push((now + SERVER_THINK_TIME, peer, req.stream_id, size));
+                self.pending
+                    .push((now + SERVER_THINK_TIME, peer, req.stream_id, size));
             }
             let h2_out = conn.h2.take_output();
             if !h2_out.is_empty() {
@@ -115,7 +116,11 @@ impl OriginHost {
             }
         }
         for (peer, seg) in self.listener.poll(now) {
-            out.push(Packet::tcp(SocketAddr::new(self.ip, 443), peer, seg.encode()));
+            out.push(Packet::tcp(
+                SocketAddr::new(self.ip, 443),
+                peer,
+                seg.encode(),
+            ));
         }
     }
 }
@@ -219,8 +224,7 @@ mod tests {
     fn fetch_two_resources_over_one_connection() {
         let origin_ip = Ipv4Addr::new(198, 51, 100, 1);
         let client_ip = Ipv4Addr::new(10, 0, 0, 1);
-        let mut sim =
-            Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+        let mut sim = Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(10))));
         let mut sizes = HashMap::new();
         sizes.insert("/".to_string(), 10_000);
         sizes.insert("/app.js".to_string(), 50_000);
@@ -256,9 +260,11 @@ mod tests {
     fn unknown_path_gets_default_size() {
         let origin_ip = Ipv4Addr::new(198, 51, 100, 1);
         let client_ip = Ipv4Addr::new(10, 0, 0, 1);
-        let mut sim =
-            Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(5))));
-        sim.add_host(Box::new(OriginHost::new(origin_ip, 9, HashMap::new())), &[origin_ip]);
+        let mut sim = Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(5))));
+        sim.add_host(
+            Box::new(OriginHost::new(origin_ip, 9, HashMap::new())),
+            &[origin_ip],
+        );
         let mut conn = HttpsClientConn::new(
             SocketAddr::new(client_ip, 40_000),
             SocketAddr::new(origin_ip, 443),

@@ -76,7 +76,12 @@ struct PageBuilder {
 
 impl PageBuilder {
     fn new(name: &str, render_ms: u64, onload_ms: u64) -> Self {
-        PageBuilder { name: name.to_string(), resources: Vec::new(), render_ms, onload_ms }
+        PageBuilder {
+            name: name.to_string(),
+            resources: Vec::new(),
+            render_ms,
+            onload_ms,
+        }
     }
 
     fn add(
@@ -211,8 +216,20 @@ pub fn tranco_top10() -> Vec<PageProfile> {
     let mut p = PageBuilder::new("microsoft.com", 1300, 3200);
     let root = p.root("www.microsoft.com", 65_000);
     p.bundle("www.microsoft.com", root, 2, 22_000, true);
-    p.bundle("statics-marketingsites-wcus-ms-com.akamaized.net", root, 4, 25_000, true);
-    p.bundle("img-prod-cms-rt-microsoft-com.akamaized.net", root, 6, 20_000, false);
+    p.bundle(
+        "statics-marketingsites-wcus-ms-com.akamaized.net",
+        root,
+        4,
+        25_000,
+        true,
+    );
+    p.bundle(
+        "img-prod-cms-rt-microsoft-com.akamaized.net",
+        root,
+        6,
+        20_000,
+        false,
+    );
     let js = p.resources[1].id;
     for (d, n) in [
         ("c.s-microsoft.com", 2usize),

@@ -108,15 +108,22 @@ impl DnsProxy {
                 let port = self.next_port;
                 self.next_port += 1;
                 self.connections_opened += 1;
-                let cfg =
-                    ClientConfig { session: self.session.clone(), ..self.base_cfg.clone() };
+                let cfg = ClientConfig {
+                    session: self.session.clone(),
+                    ..self.base_cfg.clone()
+                };
                 let conn = make_client(
                     self.transport,
                     SocketAddr::new(self.client_ip, port),
                     self.upstream,
                     &cfg,
                 );
-                self.conns.push(ProxyConn { conn, port, started: false, inflight: 0 });
+                self.conns.push(ProxyConn {
+                    conn,
+                    port,
+                    started: false,
+                    inflight: 0,
+                });
                 self.conns.len() - 1
             }
         }
@@ -124,13 +131,7 @@ impl DnsProxy {
 
     /// Forward a stub query for `domain` upstream. The result arrives
     /// via [`DnsProxy::take_resolved`].
-    pub fn resolve(
-        &mut self,
-        now: SimTime,
-        rng: &mut SimRng,
-        domain: &str,
-        out: &mut Vec<Packet>,
-    ) {
+    pub fn resolve(&mut self, now: SimTime, rng: &mut SimRng, domain: &str, out: &mut Vec<Packet>) {
         let qid = self.next_qid;
         self.next_qid = self.next_qid.wrapping_add(1).max(1);
         let name = Name::parse(domain).expect("valid domain");
@@ -180,13 +181,15 @@ impl DnsProxy {
         for c in &mut self.conns {
             for (_, msg) in c.conn.take_responses() {
                 c.inflight = c.inflight.saturating_sub(1);
-                let Some(domain) = self.pending.remove(&msg.header.id) else { continue };
+                let Some(domain) = self.pending.remove(&msg.header.id) else {
+                    continue;
+                };
                 let ip = (msg.header.rcode == Rcode::NoError)
                     .then(|| {
                         msg.answers.iter().find_map(|rr| match rr.rdata {
-                            RData::A(octets) => Some(Ipv4Addr::new(
-                                octets[0], octets[1], octets[2], octets[3],
-                            )),
+                            RData::A(octets) => {
+                                Some(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
+                            }
                             _ => None,
                         })
                     })
@@ -213,7 +216,10 @@ impl DnsProxy {
     }
 
     pub fn next_timeout(&self) -> Option<SimTime> {
-        self.conns.iter().filter_map(|c| c.conn.next_timeout()).min()
+        self.conns
+            .iter()
+            .filter_map(|c| c.conn.next_timeout())
+            .min()
     }
 
     /// A lookup failed permanently (all retries exhausted).

@@ -35,7 +35,10 @@ fn tiny_page(domains: &[&str], blocking: usize) -> PageProfile {
 }
 
 fn load(page: PageProfile, transport: DnsTransport) -> doqlab_webperf::PageLoadResult {
-    let cfg = PageLoadConfig { seed: 5, ..PageLoadConfig::new(page, transport) };
+    let cfg = PageLoadConfig {
+        seed: 5,
+        ..PageLoadConfig::new(page, transport)
+    };
     run_page_load(&cfg)[0]
 }
 
@@ -88,9 +91,17 @@ fn deeper_dependency_chains_load_later() {
         discovered_by: Some(1),
     });
     let chained = load(page, DnsTransport::DoQ);
-    let flat = load(tiny_page(&["www.a.test", "b.test", "late.c.test"], 0), DnsTransport::DoQ);
+    let flat = load(
+        tiny_page(&["www.a.test", "b.test", "late.c.test"], 0),
+        DnsTransport::DoQ,
+    );
     assert!(!chained.failed && !flat.failed);
-    assert!(chained.plt_ms > flat.plt_ms, "chained {} vs flat {}", chained.plt_ms, flat.plt_ms);
+    assert!(
+        chained.plt_ms > flat.plt_ms,
+        "chained {} vs flat {}",
+        chained.plt_ms,
+        flat.plt_ms
+    );
 }
 
 #[test]

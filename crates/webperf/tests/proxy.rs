@@ -3,7 +3,7 @@
 //! connection-per-query, session persistence across resets).
 
 use doqlab_dnswire::{Message, RData};
-use doqlab_dox::{ClientConfig, DnsTransport, ServerConfig, SessionState};
+use doqlab_dox::{ClientConfig, DnsTransport, ServerConfig};
 use doqlab_resolver::{ip_for_domain, RecursionModel, ResolverHost};
 use doqlab_simnet::path::FixedPathModel;
 use doqlab_simnet::{Ctx, Duration, Host, Ipv4Addr, Packet, SimTime, Simulator, SocketAddr};
@@ -53,11 +53,13 @@ fn setup(
     dot_bug: bool,
     server: ServerConfig,
 ) -> (Simulator, usize) {
-    let mut sim =
-        Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(20))));
+    let mut sim = Simulator::new(3, Box::new(FixedPathModel::new(Duration::from_millis(20))));
     sim.add_host(
         Box::new(ResolverHost::new(
-            ServerConfig { ip: RESOLVER_IP, ..server },
+            ServerConfig {
+                ip: RESOLVER_IP,
+                ..server
+            },
             RecursionModel::default(),
         )),
         &[RESOLVER_IP],
@@ -69,7 +71,13 @@ fn setup(
         cfg,
         dot_bug,
     );
-    let id = sim.add_host(Box::new(ProxyHost { proxy, resolved: Vec::new() }), &[CLIENT_IP]);
+    let id = sim.add_host(
+        Box::new(ProxyHost {
+            proxy,
+            resolved: Vec::new(),
+        }),
+        &[CLIENT_IP],
+    );
     (sim, id)
 }
 
@@ -151,7 +159,10 @@ fn dotcp_opens_one_connection_per_query() {
 
 #[test]
 fn rfc9210_dotcp_reuses_the_connection() {
-    let cfg = ClientConfig { request_tcp_keepalive: true, ..ClientConfig::default() };
+    let cfg = ClientConfig {
+        request_tcp_keepalive: true,
+        ..ClientConfig::default()
+    };
     let server = ServerConfig {
         tcp_keepalive: true,
         close_tcp_after_response: false,
@@ -172,7 +183,11 @@ fn doq_multiplexes_on_one_connection() {
         true,
         ServerConfig::default(),
     );
-    resolve_batch(&mut sim, id, &["a.example", "b.example", "c.example", "d.example"]);
+    resolve_batch(
+        &mut sim,
+        id,
+        &["a.example", "b.example", "c.example", "d.example"],
+    );
     let host = sim.host::<ProxyHost>(id);
     assert_eq!(host.resolved.len(), 4);
     assert_eq!(host.proxy.connections_opened, 1);
@@ -206,7 +221,10 @@ fn nxdomain_like_failures_surface_as_none() {
     // no synthesized records -- our synthetic authority answers every
     // A query, so emulate failure via an unsupported-transport timeout
     // instead: resolver without UDP support.
-    let server = ServerConfig { supports_udp: false, ..ServerConfig::default() };
+    let server = ServerConfig {
+        supports_udp: false,
+        ..ServerConfig::default()
+    };
     let cfg = ClientConfig {
         udp_retry_timeout: std::time::Duration::from_millis(300),
         udp_max_retries: 1,

@@ -34,9 +34,17 @@ fn main() {
             cfg.vp_location = Coord::new(50.11, 8.68); // Frankfurt
             cfg.measured_loads = 4; // median of four, like the paper
             let results = run_page_load(&cfg);
-            assert!(results.iter().any(|r| !r.failed), "{transport} failed on {}", page.name);
+            assert!(
+                results.iter().any(|r| !r.failed),
+                "{transport} failed on {}",
+                page.name
+            );
             let med = median(
-                &results.iter().filter(|r| !r.failed).map(|r| r.plt_ms).collect::<Vec<_>>(),
+                &results
+                    .iter()
+                    .filter(|r| !r.failed)
+                    .map(|r| r.plt_ms)
+                    .collect::<Vec<_>>(),
             )
             .unwrap();
             plt.insert(transport, med);

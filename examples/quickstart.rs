@@ -16,14 +16,20 @@ fn main() {
     let one_way = Duration::from_millis(25);
 
     println!("One cached A query for google.com, 25 ms one-way to the resolver:\n");
-    println!("{:<8}{:>16}{:>16}{:>14}", "proto", "handshake (ms)", "resolve (ms)", "total (ms)");
+    println!(
+        "{:<8}{:>16}{:>16}{:>14}",
+        "proto", "handshake (ms)", "resolve (ms)", "total (ms)"
+    );
 
     for transport in DnsTransport::ALL {
         // Fresh micro-simulation per transport: a resolver host that
         // terminates all five protocols, and one client.
         let mut sim = Simulator::new(7, Box::new(FixedPathModel::new(one_way)));
         let resolver = ResolverHost::new(
-            ServerConfig { ip: resolver_ip, ..ServerConfig::default() },
+            ServerConfig {
+                ip: resolver_ip,
+                ..ServerConfig::default()
+            },
             RecursionModel::default(),
         );
         sim.add_host(Box::new(resolver), &[resolver_ip]);

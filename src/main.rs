@@ -80,8 +80,7 @@ fn run_single_query(study: &Study) {
 fn run_webperf(study: &Study) {
     println!("== web performance (§3.2) ==");
     let samples = study.run_webperf();
-    let diffs =
-        report::relative_to_baseline(&samples, doqlab_core::dox::DnsTransport::DoUdp);
+    let diffs = report::relative_to_baseline(&samples, doqlab_core::dox::DnsTransport::DoUdp);
     println!("{}", report::render_fig3(&diffs, "FCP"));
     println!("{}", report::render_fig3(&diffs, "PLT"));
     println!("{}", report::render_fig4(&report::fig4(&samples)));

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_0rtt-577f7503e325adad.d: crates/bench/src/bin/ablation_0rtt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_0rtt-577f7503e325adad.rmeta: crates/bench/src/bin/ablation_0rtt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_0rtt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_0rtt-60483d9716170317.d: crates/bench/src/bin/ablation_0rtt.rs
+
+/root/repo/target/debug/deps/ablation_0rtt-60483d9716170317: crates/bench/src/bin/ablation_0rtt.rs
+
+crates/bench/src/bin/ablation_0rtt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_0rtt-8241278f037795cf.d: crates/bench/src/bin/ablation_0rtt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_0rtt-8241278f037795cf.rmeta: crates/bench/src/bin/ablation_0rtt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_0rtt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

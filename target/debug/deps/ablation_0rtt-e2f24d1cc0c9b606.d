@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_0rtt-e2f24d1cc0c9b606.d: crates/bench/src/bin/ablation_0rtt.rs
+
+/root/repo/target/debug/deps/ablation_0rtt-e2f24d1cc0c9b606: crates/bench/src/bin/ablation_0rtt.rs
+
+crates/bench/src/bin/ablation_0rtt.rs:

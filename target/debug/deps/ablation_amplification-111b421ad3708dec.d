@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_amplification-111b421ad3708dec.d: crates/bench/src/bin/ablation_amplification.rs
+
+/root/repo/target/debug/deps/ablation_amplification-111b421ad3708dec: crates/bench/src/bin/ablation_amplification.rs
+
+crates/bench/src/bin/ablation_amplification.rs:

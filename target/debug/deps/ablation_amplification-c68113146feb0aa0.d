@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_amplification-c68113146feb0aa0.d: crates/bench/src/bin/ablation_amplification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_amplification-c68113146feb0aa0.rmeta: crates/bench/src/bin/ablation_amplification.rs Cargo.toml
+
+crates/bench/src/bin/ablation_amplification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

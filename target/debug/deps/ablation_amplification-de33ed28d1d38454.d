@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_amplification-de33ed28d1d38454.d: crates/bench/src/bin/ablation_amplification.rs
+
+/root/repo/target/debug/deps/ablation_amplification-de33ed28d1d38454: crates/bench/src/bin/ablation_amplification.rs
+
+crates/bench/src/bin/ablation_amplification.rs:

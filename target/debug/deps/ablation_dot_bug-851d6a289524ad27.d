@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dot_bug-851d6a289524ad27.d: crates/bench/src/bin/ablation_dot_bug.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dot_bug-851d6a289524ad27.rmeta: crates/bench/src/bin/ablation_dot_bug.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dot_bug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dot_bug-91c0b9aac5e928a9.d: crates/bench/src/bin/ablation_dot_bug.rs
+
+/root/repo/target/debug/deps/ablation_dot_bug-91c0b9aac5e928a9: crates/bench/src/bin/ablation_dot_bug.rs
+
+crates/bench/src/bin/ablation_dot_bug.rs:

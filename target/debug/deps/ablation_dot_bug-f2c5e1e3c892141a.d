@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dot_bug-f2c5e1e3c892141a.d: crates/bench/src/bin/ablation_dot_bug.rs
+
+/root/repo/target/debug/deps/ablation_dot_bug-f2c5e1e3c892141a: crates/bench/src/bin/ablation_dot_bug.rs
+
+crates/bench/src/bin/ablation_dot_bug.rs:

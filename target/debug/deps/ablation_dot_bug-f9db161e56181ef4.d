@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dot_bug-f9db161e56181ef4.d: crates/bench/src/bin/ablation_dot_bug.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dot_bug-f9db161e56181ef4.rmeta: crates/bench/src/bin/ablation_dot_bug.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dot_bug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tcp_keepalive-02a31bb45336b899.d: crates/bench/src/bin/ablation_tcp_keepalive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tcp_keepalive-02a31bb45336b899.rmeta: crates/bench/src/bin/ablation_tcp_keepalive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tcp_keepalive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

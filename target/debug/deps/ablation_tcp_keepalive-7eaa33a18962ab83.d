@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tcp_keepalive-7eaa33a18962ab83.d: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+/root/repo/target/debug/deps/ablation_tcp_keepalive-7eaa33a18962ab83: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+crates/bench/src/bin/ablation_tcp_keepalive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tcp_keepalive-ffb1d9ec24b066dc.d: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+/root/repo/target/debug/deps/ablation_tcp_keepalive-ffb1d9ec24b066dc: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+crates/bench/src/bin/ablation_tcp_keepalive.rs:

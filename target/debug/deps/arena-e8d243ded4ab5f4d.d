@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arena-e8d243ded4ab5f4d.d: crates/bench/benches/arena.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarena-e8d243ded4ab5f4d.rmeta: crates/bench/benches/arena.rs Cargo.toml
+
+crates/bench/benches/arena.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/browser-4eb5bc6cff3c2783.d: crates/webperf/tests/browser.rs
+
+/root/repo/target/debug/deps/browser-4eb5bc6cff3c2783: crates/webperf/tests/browser.rs
+
+crates/webperf/tests/browser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/browser-51b4cf9ed9d92821.d: crates/webperf/tests/browser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbrowser-51b4cf9ed9d92821.rmeta: crates/webperf/tests/browser.rs Cargo.toml
+
+crates/webperf/tests/browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/browser-5d8ca14874ffb3fb.d: crates/webperf/tests/browser.rs
+
+/root/repo/target/debug/deps/browser-5d8ca14874ffb3fb: crates/webperf/tests/browser.rs
+
+crates/webperf/tests/browser.rs:

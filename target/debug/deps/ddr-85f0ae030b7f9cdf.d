@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddr-85f0ae030b7f9cdf.d: crates/resolver/tests/ddr.rs
+
+/root/repo/target/debug/deps/ddr-85f0ae030b7f9cdf: crates/resolver/tests/ddr.rs
+
+crates/resolver/tests/ddr.rs:

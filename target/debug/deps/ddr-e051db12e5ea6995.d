@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddr-e051db12e5ea6995.d: crates/resolver/tests/ddr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddr-e051db12e5ea6995.rmeta: crates/resolver/tests/ddr.rs Cargo.toml
+
+crates/resolver/tests/ddr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

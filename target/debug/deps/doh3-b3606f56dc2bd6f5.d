@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doh3-b3606f56dc2bd6f5.d: crates/dox/tests/doh3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoh3-b3606f56dc2bd6f5.rmeta: crates/dox/tests/doh3.rs Cargo.toml
+
+crates/dox/tests/doh3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doh3-fbdc3412c729da31.d: crates/dox/tests/doh3.rs
+
+/root/repo/target/debug/deps/doh3-fbdc3412c729da31: crates/dox/tests/doh3.rs
+
+crates/dox/tests/doh3.rs:

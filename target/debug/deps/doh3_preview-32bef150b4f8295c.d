@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doh3_preview-32bef150b4f8295c.d: crates/bench/src/bin/doh3_preview.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoh3_preview-32bef150b4f8295c.rmeta: crates/bench/src/bin/doh3_preview.rs Cargo.toml
+
+crates/bench/src/bin/doh3_preview.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

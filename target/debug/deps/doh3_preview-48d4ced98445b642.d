@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doh3_preview-48d4ced98445b642.d: crates/bench/src/bin/doh3_preview.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoh3_preview-48d4ced98445b642.rmeta: crates/bench/src/bin/doh3_preview.rs Cargo.toml
+
+crates/bench/src/bin/doh3_preview.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

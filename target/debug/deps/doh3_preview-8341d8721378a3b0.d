@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doh3_preview-8341d8721378a3b0.d: crates/bench/src/bin/doh3_preview.rs
+
+/root/repo/target/debug/deps/doh3_preview-8341d8721378a3b0: crates/bench/src/bin/doh3_preview.rs
+
+crates/bench/src/bin/doh3_preview.rs:

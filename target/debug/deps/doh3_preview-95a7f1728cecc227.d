@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doh3_preview-95a7f1728cecc227.d: crates/bench/src/bin/doh3_preview.rs
+
+/root/repo/target/debug/deps/doh3_preview-95a7f1728cecc227: crates/bench/src/bin/doh3_preview.rs
+
+crates/bench/src/bin/doh3_preview.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-1d75dc6be3a58989.d: src/main.rs
+
+/root/repo/target/debug/deps/doqlab-1d75dc6be3a58989: src/main.rs
+
+src/main.rs:

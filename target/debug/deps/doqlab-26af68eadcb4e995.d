@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab-26af68eadcb4e995.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab-26af68eadcb4e995.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab-26af68eadcb4e995.rmeta: src/lib.rs
+
+src/lib.rs:

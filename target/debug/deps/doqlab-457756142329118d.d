@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-457756142329118d.d: src/lib.rs
+
+/root/repo/target/debug/deps/doqlab-457756142329118d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab-46539fd8d1f4ccc9.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab-46539fd8d1f4ccc9.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab-47fae4563bf38606.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab-47fae4563bf38606.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-57a985f20c8c1e03.d: src/lib.rs
+
+/root/repo/target/debug/deps/doqlab-57a985f20c8c1e03: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-98ea8caf8c341055.d: src/main.rs
+
+/root/repo/target/debug/deps/doqlab-98ea8caf8c341055: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab-a8e8b17c2766e922.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab-a8e8b17c2766e922.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

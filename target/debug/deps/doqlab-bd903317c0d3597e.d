@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab-bd903317c0d3597e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab-bd903317c0d3597e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab-bd903317c0d3597e.rmeta: src/lib.rs
+
+src/lib.rs:

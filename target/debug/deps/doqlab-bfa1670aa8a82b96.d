@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-bfa1670aa8a82b96.d: src/main.rs
+
+/root/repo/target/debug/deps/doqlab-bfa1670aa8a82b96: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab-c4706efd90a0350a.d: src/main.rs
+
+/root/repo/target/debug/deps/doqlab-c4706efd90a0350a: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab-e6f7bac66374cab5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab-e6f7bac66374cab5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab_bench-7274f51b1ab24650.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_bench-7274f51b1ab24650.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_bench-7274f51b1ab24650.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab_bench-7e56d710fa99145c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_bench-7e56d710fa99145c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_bench-7e56d710fa99145c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

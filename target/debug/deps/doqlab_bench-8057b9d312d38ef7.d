@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab_bench-8057b9d312d38ef7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_bench-8057b9d312d38ef7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

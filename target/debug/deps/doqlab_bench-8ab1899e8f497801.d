@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab_bench-8ab1899e8f497801.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/doqlab_bench-8ab1899e8f497801: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

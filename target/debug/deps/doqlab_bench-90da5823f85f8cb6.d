@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab_bench-90da5823f85f8cb6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_bench-90da5823f85f8cb6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

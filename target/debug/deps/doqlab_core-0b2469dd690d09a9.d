@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doqlab_core-0b2469dd690d09a9.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/doqlab_core-0b2469dd690d09a9: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab_core-8d3dc71570fb088b.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_core-8d3dc71570fb088b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_core-8d3dc71570fb088b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doqlab_core-c63e0049c04b18b8.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_core-c63e0049c04b18b8.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdoqlab_core-c63e0049c04b18b8.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doqlab_core-deeede7ade6745be.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_core-deeede7ade6745be.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/doqlab_dnswire-18581661416e5fe2.d: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+/root/repo/target/debug/deps/libdoqlab_dnswire-18581661416e5fe2.rlib: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+/root/repo/target/debug/deps/libdoqlab_dnswire-18581661416e5fe2.rmeta: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+crates/dnswire/src/lib.rs:
+crates/dnswire/src/edns.rs:
+crates/dnswire/src/framing.rs:
+crates/dnswire/src/message.rs:
+crates/dnswire/src/name.rs:
+crates/dnswire/src/record.rs:
+crates/dnswire/src/types.rs:
+crates/dnswire/src/wire.rs:

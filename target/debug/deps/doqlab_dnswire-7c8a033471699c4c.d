@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/doqlab_dnswire-7c8a033471699c4c.d: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_dnswire-7c8a033471699c4c.rmeta: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs Cargo.toml
+
+crates/dnswire/src/lib.rs:
+crates/dnswire/src/edns.rs:
+crates/dnswire/src/framing.rs:
+crates/dnswire/src/message.rs:
+crates/dnswire/src/name.rs:
+crates/dnswire/src/record.rs:
+crates/dnswire/src/types.rs:
+crates/dnswire/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/doqlab_dnswire-e2d4ee62cb675440.d: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+/root/repo/target/debug/deps/doqlab_dnswire-e2d4ee62cb675440: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+crates/dnswire/src/lib.rs:
+crates/dnswire/src/edns.rs:
+crates/dnswire/src/framing.rs:
+crates/dnswire/src/message.rs:
+crates/dnswire/src/name.rs:
+crates/dnswire/src/record.rs:
+crates/dnswire/src/types.rs:
+crates/dnswire/src/wire.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/doqlab_dox-327053d04f3bf01f.d: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_dox-327053d04f3bf01f.rmeta: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs Cargo.toml
+
+crates/dox/src/lib.rs:
+crates/dox/src/alpn.rs:
+crates/dox/src/client.rs:
+crates/dox/src/doh.rs:
+crates/dox/src/doh3.rs:
+crates/dox/src/doq.rs:
+crates/dox/src/dot.rs:
+crates/dox/src/host.rs:
+crates/dox/src/server.rs:
+crates/dox/src/tcp.rs:
+crates/dox/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/doqlab_dox-6e79f20a827f7928.d: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+
+/root/repo/target/debug/deps/doqlab_dox-6e79f20a827f7928: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+
+crates/dox/src/lib.rs:
+crates/dox/src/alpn.rs:
+crates/dox/src/client.rs:
+crates/dox/src/doh.rs:
+crates/dox/src/doh3.rs:
+crates/dox/src/doq.rs:
+crates/dox/src/dot.rs:
+crates/dox/src/host.rs:
+crates/dox/src/server.rs:
+crates/dox/src/tcp.rs:
+crates/dox/src/udp.rs:

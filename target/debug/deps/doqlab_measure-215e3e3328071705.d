@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/doqlab_measure-215e3e3328071705.d: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_measure-215e3e3328071705.rmeta: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs Cargo.toml
+
+crates/measure/src/lib.rs:
+crates/measure/src/discovery.rs:
+crates/measure/src/engine.rs:
+crates/measure/src/report.rs:
+crates/measure/src/single_query.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/vantage.rs:
+crates/measure/src/webperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/doqlab_measure-5f9ec80f17d6d8c8.d: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/debug/deps/libdoqlab_measure-5f9ec80f17d6d8c8.rlib: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/debug/deps/libdoqlab_measure-5f9ec80f17d6d8c8.rmeta: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/discovery.rs:
+crates/measure/src/engine.rs:
+crates/measure/src/report.rs:
+crates/measure/src/single_query.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/vantage.rs:
+crates/measure/src/webperf.rs:

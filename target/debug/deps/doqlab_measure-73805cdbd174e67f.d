@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/doqlab_measure-73805cdbd174e67f.d: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/debug/deps/doqlab_measure-73805cdbd174e67f: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/discovery.rs:
+crates/measure/src/engine.rs:
+crates/measure/src/report.rs:
+crates/measure/src/single_query.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/vantage.rs:
+crates/measure/src/webperf.rs:

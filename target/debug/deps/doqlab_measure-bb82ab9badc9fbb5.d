@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/doqlab_measure-bb82ab9badc9fbb5.d: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/debug/deps/doqlab_measure-bb82ab9badc9fbb5: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/discovery.rs:
+crates/measure/src/engine.rs:
+crates/measure/src/report.rs:
+crates/measure/src/single_query.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/vantage.rs:
+crates/measure/src/webperf.rs:

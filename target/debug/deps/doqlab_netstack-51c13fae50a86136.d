@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/doqlab_netstack-51c13fae50a86136.d: crates/netstack/src/lib.rs crates/netstack/src/congestion.rs crates/netstack/src/http2/mod.rs crates/netstack/src/http2/frame.rs crates/netstack/src/http2/hpack.rs crates/netstack/src/http3.rs crates/netstack/src/quic/mod.rs crates/netstack/src/quic/connection.rs crates/netstack/src/quic/frame.rs crates/netstack/src/quic/packet.rs crates/netstack/src/quic/varint.rs crates/netstack/src/tcp/mod.rs crates/netstack/src/tcp/segment.rs crates/netstack/src/tcp/socket.rs crates/netstack/src/tls/mod.rs crates/netstack/src/tls/engine.rs crates/netstack/src/tls/messages.rs crates/netstack/src/tls/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_netstack-51c13fae50a86136.rmeta: crates/netstack/src/lib.rs crates/netstack/src/congestion.rs crates/netstack/src/http2/mod.rs crates/netstack/src/http2/frame.rs crates/netstack/src/http2/hpack.rs crates/netstack/src/http3.rs crates/netstack/src/quic/mod.rs crates/netstack/src/quic/connection.rs crates/netstack/src/quic/frame.rs crates/netstack/src/quic/packet.rs crates/netstack/src/quic/varint.rs crates/netstack/src/tcp/mod.rs crates/netstack/src/tcp/segment.rs crates/netstack/src/tcp/socket.rs crates/netstack/src/tls/mod.rs crates/netstack/src/tls/engine.rs crates/netstack/src/tls/messages.rs crates/netstack/src/tls/session.rs Cargo.toml
+
+crates/netstack/src/lib.rs:
+crates/netstack/src/congestion.rs:
+crates/netstack/src/http2/mod.rs:
+crates/netstack/src/http2/frame.rs:
+crates/netstack/src/http2/hpack.rs:
+crates/netstack/src/http3.rs:
+crates/netstack/src/quic/mod.rs:
+crates/netstack/src/quic/connection.rs:
+crates/netstack/src/quic/frame.rs:
+crates/netstack/src/quic/packet.rs:
+crates/netstack/src/quic/varint.rs:
+crates/netstack/src/tcp/mod.rs:
+crates/netstack/src/tcp/segment.rs:
+crates/netstack/src/tcp/socket.rs:
+crates/netstack/src/tls/mod.rs:
+crates/netstack/src/tls/engine.rs:
+crates/netstack/src/tls/messages.rs:
+crates/netstack/src/tls/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/doqlab_netstack-f687d3a5186e756a.d: crates/netstack/src/lib.rs crates/netstack/src/congestion.rs crates/netstack/src/http2/mod.rs crates/netstack/src/http2/frame.rs crates/netstack/src/http2/hpack.rs crates/netstack/src/http3.rs crates/netstack/src/quic/mod.rs crates/netstack/src/quic/connection.rs crates/netstack/src/quic/frame.rs crates/netstack/src/quic/packet.rs crates/netstack/src/quic/varint.rs crates/netstack/src/tcp/mod.rs crates/netstack/src/tcp/segment.rs crates/netstack/src/tcp/socket.rs crates/netstack/src/tls/mod.rs crates/netstack/src/tls/engine.rs crates/netstack/src/tls/messages.rs crates/netstack/src/tls/session.rs
+
+/root/repo/target/debug/deps/libdoqlab_netstack-f687d3a5186e756a.rlib: crates/netstack/src/lib.rs crates/netstack/src/congestion.rs crates/netstack/src/http2/mod.rs crates/netstack/src/http2/frame.rs crates/netstack/src/http2/hpack.rs crates/netstack/src/http3.rs crates/netstack/src/quic/mod.rs crates/netstack/src/quic/connection.rs crates/netstack/src/quic/frame.rs crates/netstack/src/quic/packet.rs crates/netstack/src/quic/varint.rs crates/netstack/src/tcp/mod.rs crates/netstack/src/tcp/segment.rs crates/netstack/src/tcp/socket.rs crates/netstack/src/tls/mod.rs crates/netstack/src/tls/engine.rs crates/netstack/src/tls/messages.rs crates/netstack/src/tls/session.rs
+
+/root/repo/target/debug/deps/libdoqlab_netstack-f687d3a5186e756a.rmeta: crates/netstack/src/lib.rs crates/netstack/src/congestion.rs crates/netstack/src/http2/mod.rs crates/netstack/src/http2/frame.rs crates/netstack/src/http2/hpack.rs crates/netstack/src/http3.rs crates/netstack/src/quic/mod.rs crates/netstack/src/quic/connection.rs crates/netstack/src/quic/frame.rs crates/netstack/src/quic/packet.rs crates/netstack/src/quic/varint.rs crates/netstack/src/tcp/mod.rs crates/netstack/src/tcp/segment.rs crates/netstack/src/tcp/socket.rs crates/netstack/src/tls/mod.rs crates/netstack/src/tls/engine.rs crates/netstack/src/tls/messages.rs crates/netstack/src/tls/session.rs
+
+crates/netstack/src/lib.rs:
+crates/netstack/src/congestion.rs:
+crates/netstack/src/http2/mod.rs:
+crates/netstack/src/http2/frame.rs:
+crates/netstack/src/http2/hpack.rs:
+crates/netstack/src/http3.rs:
+crates/netstack/src/quic/mod.rs:
+crates/netstack/src/quic/connection.rs:
+crates/netstack/src/quic/frame.rs:
+crates/netstack/src/quic/packet.rs:
+crates/netstack/src/quic/varint.rs:
+crates/netstack/src/tcp/mod.rs:
+crates/netstack/src/tcp/segment.rs:
+crates/netstack/src/tcp/socket.rs:
+crates/netstack/src/tls/mod.rs:
+crates/netstack/src/tls/engine.rs:
+crates/netstack/src/tls/messages.rs:
+crates/netstack/src/tls/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/doqlab_resolver-52dc5d3a37f26e8c.d: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/debug/deps/libdoqlab_resolver-52dc5d3a37f26e8c.rlib: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/debug/deps/libdoqlab_resolver-52dc5d3a37f26e8c.rmeta: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+crates/resolver/src/lib.rs:
+crates/resolver/src/cache.rs:
+crates/resolver/src/host.rs:
+crates/resolver/src/population.rs:

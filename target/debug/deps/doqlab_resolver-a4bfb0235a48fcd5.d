@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/doqlab_resolver-a4bfb0235a48fcd5.d: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/debug/deps/libdoqlab_resolver-a4bfb0235a48fcd5.rlib: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/debug/deps/libdoqlab_resolver-a4bfb0235a48fcd5.rmeta: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+crates/resolver/src/lib.rs:
+crates/resolver/src/cache.rs:
+crates/resolver/src/host.rs:
+crates/resolver/src/population.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/doqlab_resolver-c91caff9c6150d33.d: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/debug/deps/doqlab_resolver-c91caff9c6150d33: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+crates/resolver/src/lib.rs:
+crates/resolver/src/cache.rs:
+crates/resolver/src/host.rs:
+crates/resolver/src/population.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/doqlab_resolver-d7f71f10687e2410.d: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_resolver-d7f71f10687e2410.rmeta: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs Cargo.toml
+
+crates/resolver/src/lib.rs:
+crates/resolver/src/cache.rs:
+crates/resolver/src/host.rs:
+crates/resolver/src/population.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/doqlab_simnet-205b4c16272a05cf.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/doqlab_simnet-205b4c16272a05cf: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/geo.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/path.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/doqlab_simnet-59e38fb27acde4d3.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_simnet-59e38fb27acde4d3.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/geo.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/path.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/doqlab_simnet-bb5b7ecc2389032e.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_simnet-bb5b7ecc2389032e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/geo.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/path.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/doqlab_webperf-0642ce0b60fdd7a9.d: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/debug/deps/libdoqlab_webperf-0642ce0b60fdd7a9.rlib: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/debug/deps/libdoqlab_webperf-0642ce0b60fdd7a9.rmeta: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+crates/webperf/src/lib.rs:
+crates/webperf/src/browser.rs:
+crates/webperf/src/http.rs:
+crates/webperf/src/loadsim.rs:
+crates/webperf/src/origin.rs:
+crates/webperf/src/page.rs:
+crates/webperf/src/proxy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/doqlab_webperf-07d80dfc92bd3325.d: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/debug/deps/doqlab_webperf-07d80dfc92bd3325: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+crates/webperf/src/lib.rs:
+crates/webperf/src/browser.rs:
+crates/webperf/src/http.rs:
+crates/webperf/src/loadsim.rs:
+crates/webperf/src/origin.rs:
+crates/webperf/src/page.rs:
+crates/webperf/src/proxy.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/doqlab_webperf-a0a178aad322442d.d: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/debug/deps/libdoqlab_webperf-a0a178aad322442d.rlib: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/debug/deps/libdoqlab_webperf-a0a178aad322442d.rmeta: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+crates/webperf/src/lib.rs:
+crates/webperf/src/browser.rs:
+crates/webperf/src/http.rs:
+crates/webperf/src/loadsim.rs:
+crates/webperf/src/origin.rs:
+crates/webperf/src/page.rs:
+crates/webperf/src/proxy.rs:

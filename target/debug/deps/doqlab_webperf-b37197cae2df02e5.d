@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/doqlab_webperf-b37197cae2df02e5.d: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoqlab_webperf-b37197cae2df02e5.rmeta: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs Cargo.toml
+
+crates/webperf/src/lib.rs:
+crates/webperf/src/browser.rs:
+crates/webperf/src/http.rs:
+crates/webperf/src/loadsim.rs:
+crates/webperf/src/origin.rs:
+crates/webperf/src/page.rs:
+crates/webperf/src/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

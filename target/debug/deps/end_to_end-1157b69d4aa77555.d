@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1157b69d4aa77555.d: crates/dox/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1157b69d4aa77555: crates/dox/tests/end_to_end.rs
+
+crates/dox/tests/end_to_end.rs:

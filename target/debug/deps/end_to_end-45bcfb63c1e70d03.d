@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-45bcfb63c1e70d03.d: crates/dox/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-45bcfb63c1e70d03.rmeta: crates/dox/tests/end_to_end.rs Cargo.toml
+
+crates/dox/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-7a179f785139c195.d: crates/measure/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-7a179f785139c195: crates/measure/tests/engine.rs
+
+crates/measure/tests/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-cad2aece745e48c5.d: crates/measure/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-cad2aece745e48c5.rmeta: crates/measure/tests/engine.rs Cargo.toml
+
+crates/measure/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-e1d7b70dcd95501b.d: crates/measure/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-e1d7b70dcd95501b: crates/measure/tests/engine.rs
+
+crates/measure/tests/engine.rs:

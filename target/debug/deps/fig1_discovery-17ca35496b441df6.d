@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_discovery-17ca35496b441df6.d: crates/bench/src/bin/fig1_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_discovery-17ca35496b441df6.rmeta: crates/bench/src/bin/fig1_discovery.rs Cargo.toml
+
+crates/bench/src/bin/fig1_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_discovery-7d5187745c0e67d6.d: crates/bench/src/bin/fig1_discovery.rs
+
+/root/repo/target/debug/deps/fig1_discovery-7d5187745c0e67d6: crates/bench/src/bin/fig1_discovery.rs
+
+crates/bench/src/bin/fig1_discovery.rs:

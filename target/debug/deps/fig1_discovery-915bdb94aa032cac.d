@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_discovery-915bdb94aa032cac.d: crates/bench/src/bin/fig1_discovery.rs
+
+/root/repo/target/debug/deps/fig1_discovery-915bdb94aa032cac: crates/bench/src/bin/fig1_discovery.rs
+
+crates/bench/src/bin/fig1_discovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_discovery-d666063836520864.d: crates/bench/src/bin/fig1_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_discovery-d666063836520864.rmeta: crates/bench/src/bin/fig1_discovery.rs Cargo.toml
+
+crates/bench/src/bin/fig1_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

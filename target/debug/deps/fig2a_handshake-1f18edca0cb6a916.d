@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2a_handshake-1f18edca0cb6a916.d: crates/bench/src/bin/fig2a_handshake.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2a_handshake-1f18edca0cb6a916.rmeta: crates/bench/src/bin/fig2a_handshake.rs Cargo.toml
+
+crates/bench/src/bin/fig2a_handshake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

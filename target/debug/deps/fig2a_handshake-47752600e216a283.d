@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a_handshake-47752600e216a283.d: crates/bench/src/bin/fig2a_handshake.rs
+
+/root/repo/target/debug/deps/fig2a_handshake-47752600e216a283: crates/bench/src/bin/fig2a_handshake.rs
+
+crates/bench/src/bin/fig2a_handshake.rs:

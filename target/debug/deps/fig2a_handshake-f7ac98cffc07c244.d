@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a_handshake-f7ac98cffc07c244.d: crates/bench/src/bin/fig2a_handshake.rs
+
+/root/repo/target/debug/deps/fig2a_handshake-f7ac98cffc07c244: crates/bench/src/bin/fig2a_handshake.rs
+
+crates/bench/src/bin/fig2a_handshake.rs:

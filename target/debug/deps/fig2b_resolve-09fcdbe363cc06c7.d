@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b_resolve-09fcdbe363cc06c7.d: crates/bench/src/bin/fig2b_resolve.rs
+
+/root/repo/target/debug/deps/fig2b_resolve-09fcdbe363cc06c7: crates/bench/src/bin/fig2b_resolve.rs
+
+crates/bench/src/bin/fig2b_resolve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2b_resolve-1866392c81b04932.d: crates/bench/src/bin/fig2b_resolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2b_resolve-1866392c81b04932.rmeta: crates/bench/src/bin/fig2b_resolve.rs Cargo.toml
+
+crates/bench/src/bin/fig2b_resolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b_resolve-37b1ea1685c2ee2d.d: crates/bench/src/bin/fig2b_resolve.rs
+
+/root/repo/target/debug/deps/fig2b_resolve-37b1ea1685c2ee2d: crates/bench/src/bin/fig2b_resolve.rs
+
+crates/bench/src/bin/fig2b_resolve.rs:

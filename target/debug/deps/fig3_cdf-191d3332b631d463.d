@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cdf-191d3332b631d463.d: crates/bench/src/bin/fig3_cdf.rs
+
+/root/repo/target/debug/deps/fig3_cdf-191d3332b631d463: crates/bench/src/bin/fig3_cdf.rs
+
+crates/bench/src/bin/fig3_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cdf-aa14dfbdb1c22a54.d: crates/bench/src/bin/fig3_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cdf-aa14dfbdb1c22a54.rmeta: crates/bench/src/bin/fig3_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig3_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cdf-c28ed7066fec5735.d: crates/bench/src/bin/fig3_cdf.rs
+
+/root/repo/target/debug/deps/fig3_cdf-c28ed7066fec5735: crates/bench/src/bin/fig3_cdf.rs
+
+crates/bench/src/bin/fig3_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cdf-c417046897c52554.d: crates/bench/src/bin/fig3_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cdf-c417046897c52554.rmeta: crates/bench/src/bin/fig3_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig3_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

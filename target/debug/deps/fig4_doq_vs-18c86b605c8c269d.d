@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_doq_vs-18c86b605c8c269d.d: crates/bench/src/bin/fig4_doq_vs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_doq_vs-18c86b605c8c269d.rmeta: crates/bench/src/bin/fig4_doq_vs.rs Cargo.toml
+
+crates/bench/src/bin/fig4_doq_vs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

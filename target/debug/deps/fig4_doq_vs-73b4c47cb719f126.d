@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_doq_vs-73b4c47cb719f126.d: crates/bench/src/bin/fig4_doq_vs.rs
+
+/root/repo/target/debug/deps/fig4_doq_vs-73b4c47cb719f126: crates/bench/src/bin/fig4_doq_vs.rs
+
+crates/bench/src/bin/fig4_doq_vs.rs:

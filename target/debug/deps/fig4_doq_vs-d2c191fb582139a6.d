@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_doq_vs-d2c191fb582139a6.d: crates/bench/src/bin/fig4_doq_vs.rs
+
+/root/repo/target/debug/deps/fig4_doq_vs-d2c191fb582139a6: crates/bench/src/bin/fig4_doq_vs.rs
+
+crates/bench/src/bin/fig4_doq_vs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_doq_vs-ee6f51bfff437a0a.d: crates/bench/src/bin/fig4_doq_vs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_doq_vs-ee6f51bfff437a0a.rmeta: crates/bench/src/bin/fig4_doq_vs.rs Cargo.toml
+
+crates/bench/src/bin/fig4_doq_vs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

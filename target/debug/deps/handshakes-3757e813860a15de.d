@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handshakes-3757e813860a15de.d: crates/bench/benches/handshakes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandshakes-3757e813860a15de.rmeta: crates/bench/benches/handshakes.rs Cargo.toml
+
+crates/bench/benches/handshakes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline_claims-86eb35aac7fafd1a.d: crates/bench/src/bin/headline_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline_claims-86eb35aac7fafd1a.rmeta: crates/bench/src/bin/headline_claims.rs Cargo.toml
+
+crates/bench/src/bin/headline_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_claims-a3f3b980f91f04ba.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/debug/deps/headline_claims-a3f3b980f91f04ba: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

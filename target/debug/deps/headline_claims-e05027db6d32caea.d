@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_claims-e05027db6d32caea.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/debug/deps/headline_claims-e05027db6d32caea: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overview_versions-7ed1dc1774e1b158.d: crates/bench/src/bin/overview_versions.rs
+
+/root/repo/target/debug/deps/overview_versions-7ed1dc1774e1b158: crates/bench/src/bin/overview_versions.rs
+
+crates/bench/src/bin/overview_versions.rs:

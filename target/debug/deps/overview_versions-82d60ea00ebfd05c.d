@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overview_versions-82d60ea00ebfd05c.d: crates/bench/src/bin/overview_versions.rs
+
+/root/repo/target/debug/deps/overview_versions-82d60ea00ebfd05c: crates/bench/src/bin/overview_versions.rs
+
+crates/bench/src/bin/overview_versions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overview_versions-9a15367633a67237.d: crates/bench/src/bin/overview_versions.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverview_versions-9a15367633a67237.rmeta: crates/bench/src/bin/overview_versions.rs Cargo.toml
+
+crates/bench/src/bin/overview_versions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-552f43a1c06799bc.d: crates/dnswire/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-552f43a1c06799bc: crates/dnswire/tests/prop_roundtrip.rs
+
+crates/dnswire/tests/prop_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-d0248cb54948d10a.d: crates/dnswire/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-d0248cb54948d10a.rmeta: crates/dnswire/tests/prop_roundtrip.rs Cargo.toml
+
+crates/dnswire/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_transport-07fd9a30a587b25b.d: crates/netstack/tests/prop_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_transport-07fd9a30a587b25b.rmeta: crates/netstack/tests/prop_transport.rs Cargo.toml
+
+crates/netstack/tests/prop_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_transport-1a426aa1850ce5ac.d: crates/netstack/tests/prop_transport.rs
+
+/root/repo/target/debug/deps/prop_transport-1a426aa1850ce5ac: crates/netstack/tests/prop_transport.rs
+
+crates/netstack/tests/prop_transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_transport-61bb991352016fd5.d: crates/netstack/tests/prop_transport.rs
+
+/root/repo/target/debug/deps/prop_transport-61bb991352016fd5: crates/netstack/tests/prop_transport.rs
+
+crates/netstack/tests/prop_transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_stacks-872cb3ccfe87e873.d: crates/bench/benches/protocol_stacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_stacks-872cb3ccfe87e873.rmeta: crates/bench/benches/protocol_stacks.rs Cargo.toml
+
+crates/bench/benches/protocol_stacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

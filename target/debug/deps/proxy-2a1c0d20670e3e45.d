@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy-2a1c0d20670e3e45.d: crates/webperf/tests/proxy.rs
+
+/root/repo/target/debug/deps/proxy-2a1c0d20670e3e45: crates/webperf/tests/proxy.rs
+
+crates/webperf/tests/proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proxy-31d41edd5574f912.d: crates/webperf/tests/proxy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproxy-31d41edd5574f912.rmeta: crates/webperf/tests/proxy.rs Cargo.toml
+
+crates/webperf/tests/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy-41780294276aa479.d: crates/webperf/tests/proxy.rs
+
+/root/repo/target/debug/deps/proxy-41780294276aa479: crates/webperf/tests/proxy.rs
+
+crates/webperf/tests/proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quic-c1589fbd80ca4195.d: crates/netstack/tests/quic.rs
+
+/root/repo/target/debug/deps/quic-c1589fbd80ca4195: crates/netstack/tests/quic.rs
+
+crates/netstack/tests/quic.rs:

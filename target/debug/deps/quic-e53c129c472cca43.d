@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quic-e53c129c472cca43.d: crates/netstack/tests/quic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquic-e53c129c472cca43.rmeta: crates/netstack/tests/quic.rs Cargo.toml
+
+crates/netstack/tests/quic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quic-ee82030e8416fe2c.d: crates/netstack/tests/quic.rs
+
+/root/repo/target/debug/deps/quic-ee82030e8416fe2c: crates/netstack/tests/quic.rs
+
+crates/netstack/tests/quic.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-29e908355190985d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-29e908355190985d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-29e908355190985d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-06fcf177d0498deb.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-06fcf177d0498deb: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-c8f4efdca654dfb0.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-c8f4efdca654dfb0: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

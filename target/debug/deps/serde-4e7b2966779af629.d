@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4e7b2966779af629.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4e7b2966779af629: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

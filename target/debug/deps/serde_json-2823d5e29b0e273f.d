@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-2823d5e29b0e273f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-2823d5e29b0e273f: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-857ad6ea2a3ec888.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-857ad6ea2a3ec888.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-857ad6ea2a3ec888.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

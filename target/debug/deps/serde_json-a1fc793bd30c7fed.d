@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-a1fc793bd30c7fed.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-a1fc793bd30c7fed.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_loss-2ffbf938b3723609.d: crates/bench/src/bin/sweep_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_loss-2ffbf938b3723609.rmeta: crates/bench/src/bin/sweep_loss.rs Cargo.toml
+
+crates/bench/src/bin/sweep_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_loss-37a755230f6a57c7.d: crates/bench/src/bin/sweep_loss.rs
+
+/root/repo/target/debug/deps/sweep_loss-37a755230f6a57c7: crates/bench/src/bin/sweep_loss.rs
+
+crates/bench/src/bin/sweep_loss.rs:

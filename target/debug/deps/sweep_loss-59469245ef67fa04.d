@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_loss-59469245ef67fa04.d: crates/bench/src/bin/sweep_loss.rs
+
+/root/repo/target/debug/deps/sweep_loss-59469245ef67fa04: crates/bench/src/bin/sweep_loss.rs
+
+crates/bench/src/bin/sweep_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_loss-7601a6d76b1d17e7.d: crates/bench/src/bin/sweep_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_loss-7601a6d76b1d17e7.rmeta: crates/bench/src/bin/sweep_loss.rs Cargo.toml
+
+crates/bench/src/bin/sweep_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-37008b00860c8837.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-37008b00860c8837: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

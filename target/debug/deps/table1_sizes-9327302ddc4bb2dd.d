@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_sizes-9327302ddc4bb2dd.d: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_sizes-9327302ddc4bb2dd.rmeta: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+crates/bench/src/bin/table1_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

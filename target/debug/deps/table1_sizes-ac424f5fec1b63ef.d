@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sizes-ac424f5fec1b63ef.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/debug/deps/table1_sizes-ac424f5fec1b63ef: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

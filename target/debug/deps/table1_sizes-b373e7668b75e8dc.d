@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_sizes-b373e7668b75e8dc.d: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_sizes-b373e7668b75e8dc.rmeta: crates/bench/src/bin/table1_sizes.rs Cargo.toml
+
+crates/bench/src/bin/table1_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

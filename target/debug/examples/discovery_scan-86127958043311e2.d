@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/discovery_scan-86127958043311e2.d: examples/discovery_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiscovery_scan-86127958043311e2.rmeta: examples/discovery_scan.rs Cargo.toml
+
+examples/discovery_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/discovery_scan-e9e5233ebaf22e23.d: examples/discovery_scan.rs
+
+/root/repo/target/debug/examples/discovery_scan-e9e5233ebaf22e23: examples/discovery_scan.rs
+
+examples/discovery_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/discovery_scan-fe0afef51c25ca35.d: examples/discovery_scan.rs
+
+/root/repo/target/debug/examples/discovery_scan-fe0afef51c25ca35: examples/discovery_scan.rs
+
+examples/discovery_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/page_load_race-850061c2d0328941.d: examples/page_load_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpage_load_race-850061c2d0328941.rmeta: examples/page_load_race.rs Cargo.toml
+
+examples/page_load_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

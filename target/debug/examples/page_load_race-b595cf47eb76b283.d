@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_load_race-b595cf47eb76b283.d: examples/page_load_race.rs
+
+/root/repo/target/debug/examples/page_load_race-b595cf47eb76b283: examples/page_load_race.rs
+
+examples/page_load_race.rs:

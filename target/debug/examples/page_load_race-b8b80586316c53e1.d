@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_load_race-b8b80586316c53e1.d: examples/page_load_race.rs
+
+/root/repo/target/debug/examples/page_load_race-b8b80586316c53e1: examples/page_load_race.rs
+
+examples/page_load_race.rs:

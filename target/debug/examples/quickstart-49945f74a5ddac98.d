@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-49945f74a5ddac98.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-49945f74a5ddac98: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f8a09191bc7a101d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f8a09191bc7a101d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/single_query_shootout-280979349a7a1e9a.d: examples/single_query_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsingle_query_shootout-280979349a7a1e9a.rmeta: examples/single_query_shootout.rs Cargo.toml
+
+examples/single_query_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

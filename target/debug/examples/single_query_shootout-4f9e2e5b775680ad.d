@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_query_shootout-4f9e2e5b775680ad.d: examples/single_query_shootout.rs
+
+/root/repo/target/debug/examples/single_query_shootout-4f9e2e5b775680ad: examples/single_query_shootout.rs
+
+examples/single_query_shootout.rs:

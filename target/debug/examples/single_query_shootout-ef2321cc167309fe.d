@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_query_shootout-ef2321cc167309fe.d: examples/single_query_shootout.rs
+
+/root/repo/target/debug/examples/single_query_shootout-ef2321cc167309fe: examples/single_query_shootout.rs
+
+examples/single_query_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_0rtt-cfaaae4678c43d5d.d: crates/bench/src/bin/ablation_0rtt.rs
+
+/root/repo/target/release/deps/ablation_0rtt-cfaaae4678c43d5d: crates/bench/src/bin/ablation_0rtt.rs
+
+crates/bench/src/bin/ablation_0rtt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_amplification-a458edacc5a337b3.d: crates/bench/src/bin/ablation_amplification.rs
+
+/root/repo/target/release/deps/ablation_amplification-a458edacc5a337b3: crates/bench/src/bin/ablation_amplification.rs
+
+crates/bench/src/bin/ablation_amplification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dot_bug-f1eac66afd8941e7.d: crates/bench/src/bin/ablation_dot_bug.rs
+
+/root/repo/target/release/deps/ablation_dot_bug-f1eac66afd8941e7: crates/bench/src/bin/ablation_dot_bug.rs
+
+crates/bench/src/bin/ablation_dot_bug.rs:

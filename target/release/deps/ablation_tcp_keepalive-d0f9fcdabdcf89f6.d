@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tcp_keepalive-d0f9fcdabdcf89f6.d: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+/root/repo/target/release/deps/ablation_tcp_keepalive-d0f9fcdabdcf89f6: crates/bench/src/bin/ablation_tcp_keepalive.rs
+
+crates/bench/src/bin/ablation_tcp_keepalive.rs:

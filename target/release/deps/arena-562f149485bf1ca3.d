@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arena-562f149485bf1ca3.d: crates/bench/benches/arena.rs
+
+/root/repo/target/release/deps/arena-562f149485bf1ca3: crates/bench/benches/arena.rs
+
+crates/bench/benches/arena.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/doh3_preview-5df6c964e0008a06.d: crates/bench/src/bin/doh3_preview.rs
+
+/root/repo/target/release/deps/doh3_preview-5df6c964e0008a06: crates/bench/src/bin/doh3_preview.rs
+
+crates/bench/src/bin/doh3_preview.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/doqlab-c9af839b6fdddd47.d: src/main.rs
+
+/root/repo/target/release/deps/doqlab-c9af839b6fdddd47: src/main.rs
+
+src/main.rs:

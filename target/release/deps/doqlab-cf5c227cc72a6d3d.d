@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/doqlab-cf5c227cc72a6d3d.d: src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab-cf5c227cc72a6d3d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab-cf5c227cc72a6d3d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/doqlab_bench-426a20fdd53662e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab_bench-426a20fdd53662e3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab_bench-426a20fdd53662e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

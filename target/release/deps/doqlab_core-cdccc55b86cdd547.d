@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/doqlab_core-cdccc55b86cdd547.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab_core-cdccc55b86cdd547.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdoqlab_core-cdccc55b86cdd547.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

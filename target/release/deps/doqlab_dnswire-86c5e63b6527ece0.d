@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/doqlab_dnswire-86c5e63b6527ece0.d: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+/root/repo/target/release/deps/libdoqlab_dnswire-86c5e63b6527ece0.rlib: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+/root/repo/target/release/deps/libdoqlab_dnswire-86c5e63b6527ece0.rmeta: crates/dnswire/src/lib.rs crates/dnswire/src/edns.rs crates/dnswire/src/framing.rs crates/dnswire/src/message.rs crates/dnswire/src/name.rs crates/dnswire/src/record.rs crates/dnswire/src/types.rs crates/dnswire/src/wire.rs
+
+crates/dnswire/src/lib.rs:
+crates/dnswire/src/edns.rs:
+crates/dnswire/src/framing.rs:
+crates/dnswire/src/message.rs:
+crates/dnswire/src/name.rs:
+crates/dnswire/src/record.rs:
+crates/dnswire/src/types.rs:
+crates/dnswire/src/wire.rs:

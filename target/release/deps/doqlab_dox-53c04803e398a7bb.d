@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/doqlab_dox-53c04803e398a7bb.d: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+
+/root/repo/target/release/deps/libdoqlab_dox-53c04803e398a7bb.rlib: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+
+/root/repo/target/release/deps/libdoqlab_dox-53c04803e398a7bb.rmeta: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+
+crates/dox/src/lib.rs:
+crates/dox/src/alpn.rs:
+crates/dox/src/client.rs:
+crates/dox/src/doh.rs:
+crates/dox/src/doh3.rs:
+crates/dox/src/doq.rs:
+crates/dox/src/dot.rs:
+crates/dox/src/host.rs:
+crates/dox/src/server.rs:
+crates/dox/src/tcp.rs:
+crates/dox/src/udp.rs:

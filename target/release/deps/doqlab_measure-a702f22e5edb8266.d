@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/doqlab_measure-a702f22e5edb8266.d: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/release/deps/libdoqlab_measure-a702f22e5edb8266.rlib: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+/root/repo/target/release/deps/libdoqlab_measure-a702f22e5edb8266.rmeta: crates/measure/src/lib.rs crates/measure/src/discovery.rs crates/measure/src/engine.rs crates/measure/src/report.rs crates/measure/src/single_query.rs crates/measure/src/stats.rs crates/measure/src/vantage.rs crates/measure/src/webperf.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/discovery.rs:
+crates/measure/src/engine.rs:
+crates/measure/src/report.rs:
+crates/measure/src/single_query.rs:
+crates/measure/src/stats.rs:
+crates/measure/src/vantage.rs:
+crates/measure/src/webperf.rs:

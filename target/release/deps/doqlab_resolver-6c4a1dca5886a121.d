@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/doqlab_resolver-6c4a1dca5886a121.d: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/release/deps/libdoqlab_resolver-6c4a1dca5886a121.rlib: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+/root/repo/target/release/deps/libdoqlab_resolver-6c4a1dca5886a121.rmeta: crates/resolver/src/lib.rs crates/resolver/src/cache.rs crates/resolver/src/host.rs crates/resolver/src/population.rs
+
+crates/resolver/src/lib.rs:
+crates/resolver/src/cache.rs:
+crates/resolver/src/host.rs:
+crates/resolver/src/population.rs:

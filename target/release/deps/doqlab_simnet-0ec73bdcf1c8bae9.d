@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/doqlab_simnet-0ec73bdcf1c8bae9.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libdoqlab_simnet-0ec73bdcf1c8bae9.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libdoqlab_simnet-0ec73bdcf1c8bae9.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/geo.rs crates/simnet/src/net.rs crates/simnet/src/path.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/geo.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/path.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

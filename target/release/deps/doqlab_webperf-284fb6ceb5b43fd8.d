@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/doqlab_webperf-284fb6ceb5b43fd8.d: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/release/deps/libdoqlab_webperf-284fb6ceb5b43fd8.rlib: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+/root/repo/target/release/deps/libdoqlab_webperf-284fb6ceb5b43fd8.rmeta: crates/webperf/src/lib.rs crates/webperf/src/browser.rs crates/webperf/src/http.rs crates/webperf/src/loadsim.rs crates/webperf/src/origin.rs crates/webperf/src/page.rs crates/webperf/src/proxy.rs
+
+crates/webperf/src/lib.rs:
+crates/webperf/src/browser.rs:
+crates/webperf/src/http.rs:
+crates/webperf/src/loadsim.rs:
+crates/webperf/src/origin.rs:
+crates/webperf/src/page.rs:
+crates/webperf/src/proxy.rs:

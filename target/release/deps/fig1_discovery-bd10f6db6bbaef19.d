@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_discovery-bd10f6db6bbaef19.d: crates/bench/src/bin/fig1_discovery.rs
+
+/root/repo/target/release/deps/fig1_discovery-bd10f6db6bbaef19: crates/bench/src/bin/fig1_discovery.rs
+
+crates/bench/src/bin/fig1_discovery.rs:

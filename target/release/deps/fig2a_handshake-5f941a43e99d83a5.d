@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2a_handshake-5f941a43e99d83a5.d: crates/bench/src/bin/fig2a_handshake.rs
+
+/root/repo/target/release/deps/fig2a_handshake-5f941a43e99d83a5: crates/bench/src/bin/fig2a_handshake.rs
+
+crates/bench/src/bin/fig2a_handshake.rs:

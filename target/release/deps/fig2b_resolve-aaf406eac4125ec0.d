@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2b_resolve-aaf406eac4125ec0.d: crates/bench/src/bin/fig2b_resolve.rs
+
+/root/repo/target/release/deps/fig2b_resolve-aaf406eac4125ec0: crates/bench/src/bin/fig2b_resolve.rs
+
+crates/bench/src/bin/fig2b_resolve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_cdf-8b250f8f76080a9f.d: crates/bench/src/bin/fig3_cdf.rs
+
+/root/repo/target/release/deps/fig3_cdf-8b250f8f76080a9f: crates/bench/src/bin/fig3_cdf.rs
+
+crates/bench/src/bin/fig3_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_doq_vs-129c9c7e9104ecf9.d: crates/bench/src/bin/fig4_doq_vs.rs
+
+/root/repo/target/release/deps/fig4_doq_vs-129c9c7e9104ecf9: crates/bench/src/bin/fig4_doq_vs.rs
+
+crates/bench/src/bin/fig4_doq_vs.rs:

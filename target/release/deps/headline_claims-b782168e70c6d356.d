@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline_claims-b782168e70c6d356.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/release/deps/headline_claims-b782168e70c6d356: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

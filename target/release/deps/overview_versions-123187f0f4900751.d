@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overview_versions-123187f0f4900751.d: crates/bench/src/bin/overview_versions.rs
+
+/root/repo/target/release/deps/overview_versions-123187f0f4900751: crates/bench/src/bin/overview_versions.rs
+
+crates/bench/src/bin/overview_versions.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-69f7a40c7849c4d8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-69f7a40c7849c4d8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-69f7a40c7849c4d8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3b4a97076be1459f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b4a97076be1459f.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b4a97076be1459f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_loss-efbd8a8ea8f51e4e.d: crates/bench/src/bin/sweep_loss.rs
+
+/root/repo/target/release/deps/sweep_loss-efbd8a8ea8f51e4e: crates/bench/src/bin/sweep_loss.rs
+
+crates/bench/src/bin/sweep_loss.rs:

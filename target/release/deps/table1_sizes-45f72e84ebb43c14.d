@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_sizes-45f72e84ebb43c14.d: crates/bench/src/bin/table1_sizes.rs
+
+/root/repo/target/release/deps/table1_sizes-45f72e84ebb43c14: crates/bench/src/bin/table1_sizes.rs
+
+crates/bench/src/bin/table1_sizes.rs:

@@ -24,13 +24,21 @@ fn small_study(seed: u64) -> Study {
 #[test]
 fn single_query_shapes_hold() {
     let study = Study {
-        scale: Scale { resolvers: Some(8), pages: Some(1), ..small_study(5).scale },
+        scale: Scale {
+            resolvers: Some(8),
+            pages: Some(1),
+            ..small_study(5).scale
+        },
         ..small_study(5)
     };
     let samples = study.run_single_query();
     assert_eq!(samples.len(), 6 * 8 * 5);
     let ok = samples.iter().filter(|s| !s.failed).count();
-    assert!(ok * 100 >= samples.len() * 95, "too many failures: {ok}/{}", samples.len());
+    assert!(
+        ok * 100 >= samples.len() * 95,
+        "too many failures: {ok}/{}",
+        samples.len()
+    );
 
     // Fig. 2a: DoT ~= DoH ~= 2x DoQ ~= 2x DoTCP handshakes.
     let hs = |t: DnsTransport| {
@@ -70,16 +78,34 @@ fn web_performance_shapes_hold() {
     let study = small_study(7);
     let samples = study.run_webperf();
     let ok = samples.iter().filter(|s| !s.failed).count();
-    assert!(ok * 100 >= samples.len() * 90, "too many failures: {ok}/{}", samples.len());
+    assert!(
+        ok * 100 >= samples.len() * 90,
+        "too many failures: {ok}/{}",
+        samples.len()
+    );
 
     // Fig. 3: relative PLT vs DoUDP — DoQ best among encrypted, DoT
     // worst (the dnsproxy bug).
     let diffs = relative_to_baseline(&samples, DnsTransport::DoUdp);
     let med = |p: &str| median(&diffs.plt[p]).unwrap();
-    assert!(med("DoQ") < med("DoH"), "DoQ {} vs DoH {}", med("DoQ"), med("DoH"));
-    assert!(med("DoH") <= med("DoT") + 1.0, "DoH {} vs DoT {}", med("DoH"), med("DoT"));
+    assert!(
+        med("DoQ") < med("DoH"),
+        "DoQ {} vs DoH {}",
+        med("DoQ"),
+        med("DoH")
+    );
+    assert!(
+        med("DoH") <= med("DoT") + 1.0,
+        "DoH {} vs DoT {}",
+        med("DoH"),
+        med("DoT")
+    );
     assert!(med("DoQ") > 0.0, "encryption costs something");
-    assert!(med("DoQ") < 20.0, "DoQ within ~20% of DoUDP, was {}", med("DoQ"));
+    assert!(
+        med("DoQ") < 20.0,
+        "DoQ within ~20% of DoUDP, was {}",
+        med("DoQ")
+    );
 
     // Fig. 4: amortization — the DoUDP advantage shrinks from the
     // simplest to the most complex page.
@@ -101,8 +127,13 @@ fn web_performance_shapes_hold() {
         "encryption cost must amortize: wikipedia {simple:.1}% vs youtube {complex:.1}%"
     );
     // DoQ mostly improves on DoH.
-    let wins = median(&cells.iter().map(|c| c.doq_faster_than_doh).collect::<Vec<_>>())
-        .unwrap();
+    let wins = median(
+        &cells
+            .iter()
+            .map(|c| c.doq_faster_than_doh)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
     assert!(wins > 0.6, "DoQ should beat DoH in most pairs, won {wins}");
 }
 
@@ -128,7 +159,11 @@ fn campaigns_are_deterministic() {
 #[test]
 fn zero_rtt_study_closes_the_gap_to_doudp() {
     let base = Study {
-        scale: Scale { resolvers: Some(6), pages: Some(1), ..small_study(3).scale },
+        scale: Scale {
+            resolvers: Some(6),
+            pages: Some(1),
+            ..small_study(3).scale
+        },
         ..small_study(3)
     };
     let mut upgraded = base.clone();

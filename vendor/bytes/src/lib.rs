@@ -1,0 +1,5 @@
+//! Offline placeholder for `bytes`.
+//!
+//! The doqlab wire-format and transport crates declare a `bytes`
+//! dependency but build every buffer out of plain `Vec<u8>`. This
+//! empty crate satisfies the manifest without registry access.

@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface the doqlab benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size` / `throughput`, `black_box`)
+//! and measures with plain `std::time::Instant`: calibrate an
+//! iteration count to a target sample duration, take N samples, and
+//! print the median ns/iter. No plotting, no statistics files.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibrate: grow the iteration count until one sample takes ≥2 ms
+    // (or the count gets large enough that timing noise is amortized).
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(2) || bencher.iters >= 1 << 20 {
+            break;
+        }
+        bencher.iters *= 4;
+    }
+    let mut samples_ns: Vec<f64> = (0..sample_size.max(1))
+        .map(|_| {
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mb_per_s = bytes as f64 / (median / 1e9) / 1e6;
+            println!("{name}: {median:.1} ns/iter, {mb_per_s:.1} MB/s");
+        }
+        Some(Throughput::Elements(elements)) => {
+            let elem_per_s = elements as f64 / (median / 1e9);
+            println!("{name}: {median:.1} ns/iter, {elem_per_s:.0} elem/s");
+        }
+        None => println!("{name}: {median:.1} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

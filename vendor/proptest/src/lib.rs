@@ -1,0 +1,249 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API that the doqlab property
+//! tests use: `proptest!` with an optional `proptest_config` inner
+//! attribute, `any::<T>()` for scalars and byte arrays, range
+//! strategies, `prop_map`, tuple strategies, `prop_oneof!`,
+//! `collection::vec`, a small `string_regex`, and the `prop_assert*`
+//! macros. Cases are generated from a deterministic per-test seed
+//! (override with `DOQLAB_PROPTEST_SEED`); failures report the case
+//! number and seed. There is no shrinking.
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::{Strategy, TestRng};
+
+    #[derive(Debug)]
+    pub struct RegexError(pub String);
+
+    pub struct RegexStrategy {
+        /// (candidate characters, min repeats, max repeats) per atom.
+        atoms: Vec<(Vec<char>, usize, usize)>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (chars, lo, hi) in &self.atoms {
+                let n = lo + rng.below(hi - lo + 1);
+                for _ in 0..n {
+                    out.push(chars[rng.below(chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Tiny regex subset: literal characters and `[...]` classes (with
+    /// `a-z` ranges), each optionally followed by `{n}` or `{m,n}`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, RegexError> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let candidates = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => return Err(RegexError("unterminated class".into())),
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-')
+                                    && chars.clone().nth(1).is_some_and(|c| c != ']')
+                                {
+                                    chars.next();
+                                    let hi = chars.next().unwrap();
+                                    set.extend(lo..=hi);
+                                } else {
+                                    set.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    set
+                }
+                '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' => {
+                    return Err(RegexError(format!("unsupported regex syntax at {c:?}")))
+                }
+                literal => vec![literal],
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let parse = |s: &str| {
+                    s.parse::<usize>()
+                        .map_err(|_| RegexError(format!("bad repeat {spec:?}")))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&spec)?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if candidates.is_empty() || hi < lo {
+                return Err(RegexError("empty class or inverted repeat".into()));
+            }
+            atoms.push((candidates, lo, hi));
+        }
+        Ok(RegexStrategy { atoms })
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("DOQLAB_PROPTEST_SEED") {
+        if let Ok(seed) = s.parse() {
+            return seed;
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Define property tests. Subset of proptest's grammar: an optional
+/// `#![proptest_config(...)]`, then `#[test] fn name(arg in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run $config; $($rest)* }
+    };
+    (@run $config:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                let seed = $crate::seed_for(stringify!($name));
+                let mut rng = $crate::strategy::TestRng::new(seed);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest case {case} (seed {seed:#x}) failed: {message}"
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right`\n  both: {left:?}"
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($arm) ),+ ])
+    };
+}

@@ -1,0 +1,6 @@
+//! Offline placeholder for `rand`.
+//!
+//! The doqlab workspace declares a `rand` dependency but draws all of
+//! its randomness from `doqlab_simnet::SimRng` (a seeded xoshiro256**)
+//! so that simulations stay deterministic. This empty crate satisfies
+//! the manifest without any network access to a registry.

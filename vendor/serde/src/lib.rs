@@ -1,0 +1,194 @@
+//! Offline JSON-only stand-in for `serde`.
+//!
+//! The container has no registry access, so the workspace vendors a
+//! minimal implementation that keeps the names doqlab uses —
+//! `serde::Serialize`, `serde::Deserialize`, and the derive macros —
+//! while reducing the data model to exactly what the report types
+//! need: a `Serialize` that appends compact JSON to a `String`.
+//! `serde_json` (also vendored) renders and pretty-prints on top of
+//! this. `Deserialize` is a marker trait: nothing in the workspace
+//! parses JSON back in.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization to compact JSON. Derivable via `#[derive(Serialize)]`
+/// for named structs, newtype/tuple structs, and unit-variant enums;
+/// `#[serde(skip)]` omits a field.
+pub trait Serialize {
+    fn to_json(&self, out: &mut String);
+}
+
+/// Marker for types that declare `#[derive(Deserialize)]`. No decoding
+/// is implemented — nothing in the workspace reads JSON back.
+pub trait Deserialize: Sized {}
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! serialize_integers {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        })*
+    };
+}
+
+serialize_integers!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! serialize_floats {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Infinity; match serde_json's null.
+                    out.push_str("null");
+                }
+            }
+        })*
+    };
+}
+
+serialize_floats!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.to_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k.as_ref(), out);
+            out.push(':');
+            v.to_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: AsRef<str> + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self, out: &mut String) {
+        // Sort keys so output is deterministic regardless of hasher state.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| *k);
+        out.push('{');
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k.as_ref(), out);
+            out.push(':');
+            v.to_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        "a\"b\\c\nd".to_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn maps_sequences_scalars() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1.5f64, 2.0]);
+        let mut out = String::new();
+        m.to_json(&mut out);
+        assert_eq!(out, r#"{"k":[1.5,2]}"#);
+        let mut out = String::new();
+        (None::<f64>, f64::NAN).0.to_json(&mut out);
+        f64::NAN.to_json(&mut out);
+        assert_eq!(out, "nullnull");
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input with the bare `proc_macro` API (no syn or
+//! quote, which would need registry access) and supports exactly the
+//! shapes the workspace uses:
+//!
+//! - named-field structs (doc comments and `#[serde(skip)]` honored),
+//! - tuple structs (newtypes serialize as the inner value, wider
+//!   tuples as arrays),
+//! - enums whose variants are all unit variants (serialize as the
+//!   variant name).
+//!
+//! Anything else (generics, data-carrying enums) produces a
+//! `compile_error!` so unsupported use fails loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Field names paired with whether `#[serde(skip)]` was present.
+    Named(Vec<(String, bool)>),
+    /// Number of tuple fields.
+    Tuple(usize),
+    /// Unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |input| {
+        format!("impl ::serde::Deserialize for {} {{}}", input.name)
+    })
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({:?});", msg),
+    };
+    code.parse().expect("derive output must be valid Rust")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            let mut emitted = 0usize;
+            for (field, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                if emitted > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "::serde::write_json_str({field:?}, out);\n\
+                     out.push(':');\n\
+                     ::serde::Serialize::to_json(&self.{field}, out);\n"
+                ));
+                emitted += 1;
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!("::serde::Serialize::to_json(&self.{i}, out);\n"));
+            }
+            code.push_str("out.push(']');");
+            code
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "let variant = match self {{ {} }};\n\
+                 ::serde::write_json_str(variant, out);",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (doc comments included) and visibility.
+    let is_enum = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            other => return Err(format!("unsupported derive input near {other:?}")),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type {name} is not supported by the vendored serde derive"
+        ));
+    }
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::UnitEnum(parse_unit_variants(g.stream())?)
+            } else {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => return Err(format!("unsupported {name} body near {other:?}")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// `#[serde(skip)]`-aware named-field parser. Type tokens may contain
+/// commas inside angle brackets (`BTreeMap<String, usize>`), so commas
+/// only separate fields at angle depth zero.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        // Field attributes: doc comments and #[serde(...)].
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+                other => return Err(format!("malformed attribute near {other:?}")),
+            }
+        }
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after {name}, found {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push((name, skip));
+    }
+    Ok(fields)
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => {
+                return Err(format!(
+                    "variant {name} is not a unit variant (near {other:?}); \
+                     the vendored serde derive only supports unit-variant enums"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

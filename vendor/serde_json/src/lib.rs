@@ -1,0 +1,219 @@
+//! Offline stand-in for `serde_json` over the vendored `serde`.
+//!
+//! `Serialize` in the vendored model already writes compact JSON, so
+//! this crate only adds the entry points the experiment binaries use:
+//! `to_string`, `to_string_pretty` (a re-indenting pass over compact
+//! output), a `Value` holding pre-rendered JSON, and a `json!` macro
+//! covering object literals (nested allowed) with expression values.
+
+// The `json!` expansion builds its entry list with pushes by design.
+#![allow(clippy::vec_init_then_push)]
+
+use serde::Serialize;
+
+/// Serialization in this model is infallible; the error type exists
+/// for API compatibility with call sites that `.expect(...)`.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON document held as its compact rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value(String);
+
+impl Value {
+    pub fn null() -> Value {
+        Value("null".to_string())
+    }
+
+    pub fn object(entries: Vec<(String, Value)>) -> Value {
+        let mut out = String::from("{");
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_str(key, &mut out);
+            out.push(':');
+            out.push_str(&value.0);
+        }
+        out.push('}');
+        Value(out)
+    }
+
+    pub fn array(elements: Vec<Value>) -> Value {
+        let mut out = String::from("[");
+        for (i, element) in elements.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&element.0);
+        }
+        out.push(']');
+        Value(out)
+    }
+
+    /// Render any `Serialize` value into a `Value` (used by `json!`).
+    pub fn from_serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+        let mut out = String::new();
+        value.to_json(&mut out);
+        Value(out)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(&self.0);
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&to_string(value)?))
+}
+
+/// Re-indent compact JSON (produced by our own serializer, so it is
+/// known to be valid) with two-space indentation.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if matches!(chars.peek(), Some('}') | Some(']')) {
+                    // Keep empty containers on one line.
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Build a [`Value`]. Supports `null`, object literals with string-
+/// literal keys (nested object and array literals allowed), array
+/// literals, and arbitrary expressions whose type is `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::null() };
+    ([ $($element:tt),* $(,)? ]) => {
+        $crate::Value::array(vec![ $( $crate::json!($element) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut entries: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_entries!(entries; $($body)*);
+        $crate::Value::object(entries)
+    }};
+    ($value:expr) => { $crate::Value::from_serialize(&$value) };
+}
+
+/// Internal helper for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : { $($nested:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($nested)* })));
+        $( $crate::json_object_entries!($entries; $($rest)*); )?
+    };
+    ($entries:ident; $key:literal : [ $($nested:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!([ $($nested)* ])));
+        $( $crate::json_object_entries!($entries; $($rest)*); )?
+    };
+    ($entries:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::Value::from_serialize(&$value)));
+        $( $crate::json_object_entries!($entries; $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_shapes() {
+        let nested = json!({
+            "a": 1usize,
+            "b": { "c": Some(2.5f64), "d": None::<f64> },
+            "e": [1u8, 2u8],
+        });
+        assert_eq!(
+            crate::to_string(&nested).unwrap(),
+            r#"{"a":1,"b":{"c":2.5,"d":null},"e":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({ "k": [1u8], "m": {} });
+        assert_eq!(
+            crate::to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ],\n  \"m\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn pretty_preserves_escaped_strings() {
+        let v = json!({ "k": "a\"b{}," });
+        assert_eq!(
+            crate::to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": \"a\\\"b{},\"\n}"
+        );
+    }
+}
