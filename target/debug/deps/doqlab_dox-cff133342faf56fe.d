@@ -1,17 +1,17 @@
-/root/repo/target/debug/deps/doqlab_dox-cff133342faf56fe.d: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/host.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+/root/repo/target/debug/deps/doqlab_dox-cff133342faf56fe.d: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
 
-/root/repo/target/debug/deps/libdoqlab_dox-cff133342faf56fe.rlib: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/host.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+/root/repo/target/debug/deps/libdoqlab_dox-cff133342faf56fe.rlib: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
 
-/root/repo/target/debug/deps/libdoqlab_dox-cff133342faf56fe.rmeta: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/host.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
+/root/repo/target/debug/deps/libdoqlab_dox-cff133342faf56fe.rmeta: crates/dox/src/lib.rs crates/dox/src/alpn.rs crates/dox/src/client.rs crates/dox/src/doh.rs crates/dox/src/doh3.rs crates/dox/src/doq.rs crates/dox/src/dot.rs crates/dox/src/host.rs crates/dox/src/server.rs crates/dox/src/tcp.rs crates/dox/src/udp.rs
 
 crates/dox/src/lib.rs:
 crates/dox/src/alpn.rs:
 crates/dox/src/client.rs:
 crates/dox/src/doh.rs:
 crates/dox/src/doh3.rs:
-crates/dox/src/host.rs:
 crates/dox/src/doq.rs:
 crates/dox/src/dot.rs:
+crates/dox/src/host.rs:
 crates/dox/src/server.rs:
 crates/dox/src/tcp.rs:
 crates/dox/src/udp.rs:
