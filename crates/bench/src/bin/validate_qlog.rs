@@ -1,0 +1,77 @@
+//! CI helper: validate a qlog JSON-SEQ trace file.
+//!
+//! Parses every RFC 7464 record with the telemetry crate's own JSON
+//! parser (a full round trip of what `doqlab trace` emitted), checks
+//! the qlog header, the per-event schema (`time`/`name`/`layer`/
+//! `data`/`group_id`) and that the trace carries at least one event
+//! each from the QUIC, TLS and congestion-control layers. Exits
+//! non-zero with a diagnostic on any violation.
+//!
+//! ```sh
+//! doqlab trace single-query --scale quick --trace-out trace.qlog
+//! cargo run -p doqlab-bench --bin validate_qlog -- trace.qlog
+//! ```
+
+use doqlab_core::telemetry::qlog::{parse_seq, Json};
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_qlog: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        fail("usage: validate_qlog <trace.qlog>");
+    };
+    let input =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let records =
+        parse_seq(&input).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON-SEQ: {e}")));
+
+    let header = &records[0];
+    if header.get("qlog_version").and_then(Json::as_str) != Some("0.3") {
+        fail("header record missing qlog_version 0.3");
+    }
+    if header.get("qlog_format").and_then(Json::as_str) != Some("JSON-SEQ") {
+        fail("header record missing qlog_format JSON-SEQ");
+    }
+
+    let mut by_layer: BTreeMap<String, usize> = BTreeMap::new();
+    let mut groups: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, event) in records[1..].iter().enumerate() {
+        let record = i + 1;
+        if event.get("time").and_then(Json::as_f64).is_none() {
+            fail(&format!("record {record}: missing numeric time"));
+        }
+        if event.get("name").and_then(Json::as_str).is_none() {
+            fail(&format!("record {record}: missing event name"));
+        }
+        if event.get("data").is_none() {
+            fail(&format!("record {record}: missing data member"));
+        }
+        let Some(layer) = event.get("layer").and_then(Json::as_str) else {
+            fail(&format!("record {record}: missing layer member"));
+        };
+        let Some(group) = event.get("group_id").and_then(Json::as_str) else {
+            fail(&format!("record {record}: missing group_id"));
+        };
+        *by_layer.entry(layer.to_string()).or_default() += 1;
+        *groups.entry(group.to_string()).or_default() += 1;
+    }
+
+    for required in ["quic", "tls", "cc"] {
+        if !by_layer.contains_key(required) {
+            fail(&format!("no events from the {required} layer"));
+        }
+    }
+
+    let events: usize = by_layer.values().sum();
+    println!(
+        "{path}: {events} events across {} connections OK",
+        groups.len()
+    );
+    for (layer, n) in &by_layer {
+        println!("  {layer:<6} {n:>6}");
+    }
+}

@@ -17,7 +17,8 @@
 //! The subsystem crates are re-exported for direct access:
 //! [`simnet`] (the discrete-event simulator), [`dnswire`] (the DNS
 //! codec), [`netstack`] (TCP/TLS/QUIC/HTTP2), [`dox`] (the five DNS
-//! transports), [`resolver`], [`webperf`] and [`measure`].
+//! transports), [`resolver`], [`webperf`], [`measure`] and
+//! [`telemetry`] (qlog event tracing and lock-free metrics).
 
 pub use doqlab_dnswire as dnswire;
 pub use doqlab_dox as dox;
@@ -25,6 +26,7 @@ pub use doqlab_measure as measure;
 pub use doqlab_netstack as netstack;
 pub use doqlab_resolver as resolver;
 pub use doqlab_simnet as simnet;
+pub use doqlab_telemetry as telemetry;
 pub use doqlab_webperf as webperf;
 
 use doqlab_dox::DnsTransport;
@@ -111,6 +113,13 @@ impl Study {
     pub fn run_single_query(&self) -> Vec<SingleQuerySample> {
         let population = self.population();
         doqlab_measure::run_single_query_campaign(&self.single_query_campaign(), &population)
+    }
+
+    /// qlog-trace one single-query unit per transport (`doqlab trace
+    /// single-query`).
+    pub fn trace_single_query(&self) -> doqlab_measure::TraceRun {
+        let population = self.population();
+        doqlab_measure::trace_single_query(&self.single_query_campaign(), &population)
     }
 
     /// §3.2 Web-performance campaign.

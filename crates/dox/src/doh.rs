@@ -8,6 +8,8 @@ use doqlab_netstack::http2::{doh_request_headers, doh_response_headers, H2Connec
 use doqlab_netstack::tcp::{TcpConfig, TcpSegment, TcpSocket};
 use doqlab_netstack::tls::{TlsClient, TlsConfig};
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 
 /// A DoH client connection.
 #[derive(Debug)]
@@ -44,14 +46,19 @@ impl DoHClient {
         }
     }
 
-    fn send_request(&mut self, msg: &Message) {
+    fn send_request(&mut self, now: SimTime, msg: &Message) {
         let body = msg.encode();
         let headers = doh_request_headers(&self.authority, body.len());
         let header_refs: Vec<(&str, &str)> = headers
             .iter()
             .map(|(n, v)| (n.as_str(), v.as_str()))
             .collect();
-        self.h2.send_request(&header_refs, &body);
+        let stream_id = self.h2.send_request(&header_refs, &body);
+        sink::emit(now.as_nanos(), || Event::HttpRequestSent {
+            protocol: "h2",
+            stream_id: stream_id as u64,
+        });
+        metrics::count(Counter::HttpRequestsSent, 1);
         self.outstanding += 1;
     }
 
@@ -60,7 +67,7 @@ impl DoHClient {
         // ride as TLS application data, including 0-RTT).
         if self.tls.is_connected() && !self.queued.is_empty() {
             for msg in std::mem::take(&mut self.queued) {
-                self.send_request(&msg);
+                self.send_request(now, &msg);
             }
         }
         // TCP -> TLS -> HTTP/2.
@@ -73,7 +80,18 @@ impl DoHClient {
             self.h2.read_wire(&plain);
         }
         for m in self.h2.take_messages() {
-            if m.header(":status") == Some("200") {
+            let status = m
+                .header(":status")
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(0);
+            let stream_id = m.stream_id as u64;
+            sink::emit(now.as_nanos(), || Event::HttpResponseReceived {
+                protocol: "h2",
+                stream_id,
+                status,
+            });
+            metrics::count(Counter::HttpResponsesReceived, 1);
+            if status == 200 {
                 if let Ok(msg) = Message::decode(&m.body) {
                     self.outstanding = self.outstanding.saturating_sub(1);
                     self.responses.push((now, msg));
@@ -103,9 +121,9 @@ impl DnsClientConn for DoHClient {
         self.pump(now, out);
     }
 
-    fn query(&mut self, _now: SimTime, msg: &Message) {
+    fn query(&mut self, now: SimTime, msg: &Message) {
         if self.tls.is_connected() {
-            self.send_request(msg);
+            self.send_request(now, msg);
         } else {
             self.queued.push(msg.clone());
         }

@@ -11,6 +11,8 @@ use doqlab_netstack::http3::{control_stream_preamble, doh3_request, doh3_respons
 use doqlab_netstack::quic::{QuicConfig, QuicConnection, QUIC_V1};
 use doqlab_netstack::tls::TlsConfig;
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 use std::collections::HashMap;
 
 /// A DoH3 client connection.
@@ -65,7 +67,7 @@ impl DoH3Client {
         }
     }
 
-    fn flush_queries(&mut self) {
+    fn flush_queries(&mut self, now: SimTime) {
         let Some(conn) = &mut self.conn else { return };
         if !(conn.is_established() || self.early_permitted) {
             return;
@@ -81,12 +83,17 @@ impl DoH3Client {
             let request = doh3_request(&self.authority, msg.encode());
             let stream = conn.open_bi();
             conn.stream_send(stream, &request.encode(), true);
+            sink::emit(now.as_nanos(), || Event::HttpRequestSent {
+                protocol: "h3",
+                stream_id: stream,
+            });
+            metrics::count(Counter::HttpRequestsSent, 1);
             self.inflight.insert(stream, (orig_id, Vec::new()));
         }
     }
 
     fn pump(&mut self, now: SimTime, out: &mut Vec<Packet>) {
-        self.flush_queries();
+        self.flush_queries(now);
         let Some(conn) = &mut self.conn else { return };
         let mut done = Vec::new();
         for (&stream, (orig_id, buf)) in self.inflight.iter_mut() {
@@ -94,7 +101,17 @@ impl DoH3Client {
             buf.extend_from_slice(&data);
             if fin {
                 if let Some(h3) = H3Message::decode(buf) {
-                    if h3.header(":status") == Some("200") {
+                    let status = h3
+                        .header(":status")
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .unwrap_or(0);
+                    sink::emit(now.as_nanos(), || Event::HttpResponseReceived {
+                        protocol: "h3",
+                        stream_id: stream,
+                        status,
+                    });
+                    metrics::count(Counter::HttpResponsesReceived, 1);
+                    if status == 200 {
                         if let Ok(mut msg) = Message::decode(&h3.body) {
                             msg.header.id = *orig_id;
                             self.responses.push((now, msg));

@@ -161,6 +161,10 @@ where
                 let init = &init;
                 let run = &run;
                 scope.spawn(move || {
+                    // Register this worker's metrics shard so per-unit
+                    // counters merge at campaign end (no-op when
+                    // telemetry is disabled).
+                    let _telemetry = doqlab_telemetry::metrics::worker_guard();
                     let mut worker = init();
                     let mut done: Vec<(usize, S)> = Vec::new();
                     loop {

@@ -24,12 +24,14 @@ pub mod engine;
 pub mod report;
 pub mod single_query;
 pub mod stats;
+pub mod trace;
 pub mod vantage;
 pub mod webperf;
 
 pub use discovery::{run_discovery, DiscoveryReport};
 pub use single_query::{run_single_query_campaign, SingleQueryCampaign, SingleQuerySample};
 pub use stats::{cdf_points, median, percentile, Cdf};
+pub use trace::{trace_single_query, TraceRun};
 pub use vantage::{vantage_points, VantagePoint};
 pub use webperf::{run_webperf_campaign, WebperfCampaign, WebperfSample};
 

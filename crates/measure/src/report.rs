@@ -7,8 +7,91 @@ use crate::stats::{cdf_points, median, relative_difference_pct, Cdf};
 use crate::webperf::WebperfSample;
 use doqlab_dox::DnsTransport;
 use doqlab_simnet::geo::Continent;
+use doqlab_telemetry::metrics::{self, Counter, Series};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
+
+/// Summary of one latency histogram in the telemetry section.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct SeriesSummary {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// The "telemetry" report section: the merged per-worker counters and
+/// latency histograms of a campaign run. Empty when telemetry was
+/// disabled — campaign outputs themselves never depend on it.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct TelemetrySection {
+    /// Dotted counter name -> value (zero counters elided).
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram series name -> summary (quantiles are log-linear
+    /// bucket floors, <=12.5% relative error).
+    pub series: BTreeMap<String, SeriesSummary>,
+}
+
+impl TelemetrySection {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.series.is_empty()
+    }
+}
+
+/// Snapshot the metrics registry into a report section.
+pub fn telemetry_section() -> TelemetrySection {
+    let snap = metrics::snapshot();
+    let mut counters = BTreeMap::new();
+    for c in Counter::ALL {
+        let v = snap.counter(c);
+        if v != 0 {
+            counters.insert(c.name().to_string(), v);
+        }
+    }
+    let mut series = BTreeMap::new();
+    for s in Series::ALL {
+        let h = snap.hist(s);
+        if h.count() == 0 {
+            continue;
+        }
+        let ms = |v: Option<u64>| v.map_or(f64::NAN, |n| n as f64 / 1e6);
+        series.insert(
+            s.name().to_string(),
+            SeriesSummary {
+                count: h.count(),
+                mean_ms: h.mean().map_or(f64::NAN, |n| n / 1e6),
+                p50_ms: ms(h.quantile(0.5)),
+                p90_ms: ms(h.quantile(0.9)),
+                p99_ms: ms(h.quantile(0.99)),
+            },
+        );
+    }
+    TelemetrySection { counters, series }
+}
+
+pub fn render_telemetry(t: &TelemetrySection) -> String {
+    if t.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nTelemetry\n");
+    for (name, value) in &t.counters {
+        out.push_str(&format!("{name:<28}{value:>12}\n"));
+    }
+    if !t.series.is_empty() {
+        out.push_str(&format!(
+            "{:<28}{:>8}{:>10}{:>10}{:>10}{:>10}\n",
+            "series (ms)", "count", "mean", "p50", "p90", "p99"
+        ));
+        for (name, s) in &t.series {
+            out.push_str(&format!(
+                "{:<28}{:>8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}\n",
+                name, s.count, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms
+            ));
+        }
+    }
+    out
+}
 
 /// Table-1 equivalent: median per-phase sizes and sample counts.
 #[derive(Debug, Clone, Serialize)]

@@ -29,6 +29,7 @@ use doqlab_resolver::{RecursionModel, ResolverHost, ResolverProfile};
 use doqlab_simnet::geo::Continent;
 use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
 use doqlab_simnet::{Duration, Ipv4Addr, PacketRecord, PacketTap, SimTime, Simulator, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter, Series};
 
 /// Byte totals per phase and direction (IP payload, like Table 1).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -150,8 +151,7 @@ impl PacketTap for PhaseByteTap {
         }
         match self.mode {
             TapMode::QuicHeader => {
-                let long = rec.first_byte.is_some_and(|fb| fb & 0x80 != 0);
-                self.account(!long, c2r, rec.ip_payload_len);
+                self.account(!rec.is_quic_long_header(), c2r, rec.ip_payload_len);
             }
             TapMode::TimeSplit(Some(split)) => {
                 self.account(rec.sent_at >= split, c2r, rec.ip_payload_len);
@@ -361,6 +361,20 @@ fn run_unit_inner(
         .expect("phase-byte tap")
         .finish();
 
+    metrics::count(Counter::UnitsRun, 1);
+    if failed {
+        metrics::count(Counter::UnitsFailed, 1);
+    }
+    if transport != DnsTransport::DoUdp {
+        if let Some(t) = hs_done {
+            metrics::record(Series::HandshakeNs, (t - started).as_nanos() as u64);
+        }
+    }
+    if let Some(t) = response_at {
+        metrics::record(Series::ResolveNs, (t - resolve_from).as_nanos() as u64);
+    }
+    metrics::count(transport_byte_counter(transport), bytes.total() as u64);
+
     let sample = SingleQuerySample {
         vp: vp.index,
         vp_continent: vp.continent,
@@ -374,6 +388,17 @@ fn run_unit_inner(
         failed,
     };
     (sample, started, hs_done)
+}
+
+/// The per-transport byte-total counter a unit's traffic folds into.
+fn transport_byte_counter(transport: DnsTransport) -> Counter {
+    match transport {
+        DnsTransport::DoUdp => Counter::BytesDoUdp,
+        DnsTransport::DoTcp => Counter::BytesDoTcp,
+        DnsTransport::DoT => Counter::BytesDoT,
+        DnsTransport::DoH | DnsTransport::DoH3 => Counter::BytesDoH,
+        DnsTransport::DoQ => Counter::BytesDoQ,
+    }
 }
 
 /// The pre-tap byte accounting: scan a retained trace after the run.
@@ -393,7 +418,7 @@ fn trace_phase_bytes(
             if rec.sent_at < started {
                 continue;
             }
-            let long = rec.first_byte.is_some_and(|fb| fb & 0x80 != 0);
+            let long = rec.is_quic_long_header();
             let c2r = rec.src.ip == meas_ip && rec.dst.ip == resolver_ip;
             let r2c = rec.src.ip == resolver_ip && rec.dst.ip == meas_ip;
             match (c2r, r2c, long) {

@@ -1,0 +1,112 @@
+//! qlog event tracing for one measurement unit per transport.
+//!
+//! `doqlab trace single-query` routes here: for each of the paper's
+//! five transports one single-query unit (first vantage point, first
+//! sampled resolver, repetition 0) runs with the telemetry
+//! [`doqlab_telemetry::EventSink`] installed, and every layer's events
+//! — QUIC packets, TLS flights, TCP retransmits/Fast Open, congestion
+//! window updates, HTTP/2 / HTTP/3 streams — are serialized as one
+//! qlog JSON-SEQ stream (RFC 7464 framing, one `group_id` per
+//! transport's connection pair).
+//!
+//! Tracing is purely observational: the traced unit produces exactly
+//! the sample a campaign run would (the engine invariance tests pin
+//! this), so a trace is a faithful view of the measurement, not a
+//! different execution.
+
+use crate::single_query::{run_unit_in, SingleQueryCampaign, SingleQuerySample};
+use crate::vantage::vantage_points;
+use doqlab_dox::DnsTransport;
+use doqlab_resolver::ResolverProfile;
+use doqlab_simnet::Simulator;
+use doqlab_telemetry::qlog::{self, ConnTrace};
+use doqlab_telemetry::sink;
+
+/// The trace of one campaign's worth of per-transport units.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// One trace per transport, in [`DnsTransport::ALL`] order.
+    pub traces: Vec<ConnTrace>,
+    /// The samples the traced units produced (same order).
+    pub samples: Vec<(DnsTransport, SingleQuerySample)>,
+}
+
+impl TraceRun {
+    /// Serialize as a qlog JSON-SEQ stream.
+    pub fn to_json_seq(&self) -> String {
+        qlog::to_json_seq("doqlab single-query trace", &self.traces)
+    }
+}
+
+/// Trace one single-query unit per transport.
+///
+/// Uses the campaign's first vantage point and first sampled resolver;
+/// the unit RNG seeds are identical to the ones a full campaign run
+/// would use for those coordinates.
+pub fn trace_single_query(
+    campaign: &SingleQueryCampaign,
+    population: &[ResolverProfile],
+) -> TraceRun {
+    let vps = vantage_points();
+    let resolvers = campaign.scale.sample_resolvers(population);
+    let profile = *resolvers.first().expect("non-empty resolver population");
+    let vp = &vps[0];
+    let mut sim = Simulator::arena();
+    let mut traces = Vec::new();
+    let mut samples = Vec::new();
+    for &t in &DnsTransport::ALL {
+        let (sample, events) = sink::capture(|| run_unit_in(&mut sim, campaign, vp, profile, t, 0));
+        traces.push(ConnTrace {
+            group_id: format!("{}:vp{}:r{}", t.name(), vp.index, profile.index),
+            events,
+        });
+        samples.push((t, sample));
+    }
+    TraceRun { traces, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use doqlab_resolver::synthesize_dox_population;
+    use doqlab_telemetry::qlog::Json;
+
+    #[test]
+    fn traced_units_produce_the_campaign_sample() {
+        // Tracing must not perturb the measurement: the sample from a
+        // traced unit is identical to an untraced run at the same seed.
+        let campaign = SingleQueryCampaign::new(Scale::quick());
+        let population = synthesize_dox_population(campaign.seed);
+        let run = trace_single_query(&campaign, &population);
+        let vps = vantage_points();
+        let resolvers = campaign.scale.sample_resolvers(&population);
+        let mut sim = Simulator::arena();
+        for (t, traced) in &run.samples {
+            let plain = run_unit_in(&mut sim, &campaign, &vps[0], resolvers[0], *t, 0);
+            assert_eq!(
+                format!("{traced:?}"),
+                format!("{plain:?}"),
+                "traced {t:?} sample differs from untraced"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_emits_quic_tls_and_cc_events() {
+        let campaign = SingleQueryCampaign::new(Scale::quick());
+        let population = synthesize_dox_population(campaign.seed);
+        let run = trace_single_query(&campaign, &population);
+        let seq = run.to_json_seq();
+        let records = qlog::parse_seq(&seq).expect("valid JSON-SEQ");
+        let layer_count = |layer: &str| {
+            records
+                .iter()
+                .filter(|r| r.get("layer").and_then(Json::as_str) == Some(layer))
+                .count()
+        };
+        assert!(layer_count("quic") >= 1, "no QUIC events");
+        assert!(layer_count("tls") >= 1, "no TLS events");
+        assert!(layer_count("cc") >= 1, "no congestion-control events");
+    }
+}

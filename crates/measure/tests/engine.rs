@@ -6,8 +6,9 @@
 
 use doqlab_measure::single_query::run_single_query_campaign;
 use doqlab_measure::webperf::run_webperf_campaign;
-use doqlab_measure::{Scale, SingleQueryCampaign, WebperfCampaign};
+use doqlab_measure::{trace_single_query, Scale, SingleQueryCampaign, WebperfCampaign};
 use doqlab_resolver::synthesize_dox_population;
+use doqlab_telemetry::metrics::{self, Counter};
 use doqlab_webperf::tranco_top10;
 
 fn single_query_scale(threads: usize) -> Scale {
@@ -57,6 +58,54 @@ fn webperf_campaign_is_thread_count_invariant() {
     }
     assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
     assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+}
+
+#[test]
+fn telemetry_does_not_change_campaign_output() {
+    // The "provably inert" contract: with metrics collection on, a
+    // campaign's samples are byte-identical to a run with telemetry
+    // fully disabled, and the registry actually observed the units.
+    let pop = synthesize_dox_population(1);
+    let campaign = SingleQueryCampaign::new(single_query_scale(4));
+    metrics::set_enabled(false);
+    let baseline = format!("{:?}", run_single_query_campaign(&campaign, &pop));
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let with_metrics = format!("{:?}", run_single_query_campaign(&campaign, &pop));
+    let snapshot = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(
+        baseline, with_metrics,
+        "metrics collection perturbed samples"
+    );
+    let units = (campaign.scale.resolvers.unwrap() * campaign.scale.repetitions * 5 * 6) as u64;
+    assert_eq!(snapshot.counter(Counter::UnitsRun), units);
+}
+
+#[test]
+fn event_tracing_does_not_change_campaign_output() {
+    // Event tracing captures one unit per transport; those traced
+    // units must reproduce exactly the samples the untraced campaign
+    // produced at the same coordinates (vp 0, resolver slot 0, rep 0).
+    let pop = synthesize_dox_population(1);
+    let campaign = SingleQueryCampaign::new(single_query_scale(1));
+    let samples = run_single_query_campaign(&campaign, &pop);
+    let run = trace_single_query(&campaign, &pop);
+    for (transport, traced) in &run.samples {
+        let plain = samples
+            .iter()
+            .find(|s| {
+                s.vp == traced.vp && s.resolver == traced.resolver && s.transport == *transport
+            })
+            .expect("traced unit exists in the campaign grid");
+        assert_eq!(
+            format!("{traced:?}"),
+            format!("{plain:?}"),
+            "tracing perturbed the {transport:?} unit"
+        );
+    }
 }
 
 #[test]

@@ -30,6 +30,12 @@ impl CongestionController {
         self.cwnd
     }
 
+    /// Current slow-start threshold in bytes (`usize::MAX` until the
+    /// first loss).
+    pub fn ssthresh(&self) -> usize {
+        self.ssthresh
+    }
+
     pub fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
     }

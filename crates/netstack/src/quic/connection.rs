@@ -12,7 +12,29 @@ use super::packet::{Packet, PacketType, VersionNegotiation, CID_LEN};
 use super::{draft_version, AMPLIFICATION_FACTOR, MIN_INITIAL_SIZE, PACKET_TAG_LEN, QUIC_V1};
 use crate::tls::{HandshakeMessage, HandshakePayload, SessionTicket, TlsConfig, TlsVersion};
 use doqlab_simnet::{Duration, SimRng, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// qlog packet-type label.
+fn ptype_str(ptype: PacketType) -> &'static str {
+    match ptype {
+        PacketType::Initial => "initial",
+        PacketType::Handshake => "handshake",
+        PacketType::ZeroRtt => "0RTT",
+        PacketType::OneRtt => "1RTT",
+        PacketType::Retry => "retry",
+    }
+}
+
+/// qlog packet-number-space label for an epoch index.
+fn epoch_str(epoch: usize) -> &'static str {
+    match epoch {
+        EPOCH_INITIAL => "initial",
+        EPOCH_HANDSHAKE => "handshake",
+        _ => "application_data",
+    }
+}
 
 /// Connection parameters.
 #[derive(Debug, Clone)]
@@ -399,6 +421,11 @@ impl QuicConnection {
         let mut bytes = Vec::new();
         HandshakeMessage::new(ch).encode(&mut bytes);
         self.spaces[EPOCH_INITIAL].crypto_tx.queue(&bytes);
+        let flight_len = bytes.len();
+        sink::emit(now.as_nanos(), || Event::TlsFlightSent {
+            flight: "client_hello",
+            bytes: flight_len,
+        });
     }
 
     // ---- public state ----------------------------------------------------
@@ -523,6 +550,9 @@ impl QuicConnection {
             if let Some(vn) = VersionNegotiation::decode(data) {
                 self.vn_done = true;
                 self.vn_round_trips += 1;
+                sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+                    state: "version_negotiation_received",
+                });
                 match self.cfg.versions.iter().find(|v| vn.supported.contains(v)) {
                     Some(&v) => self.restart_with_version(now, v),
                     None => {
@@ -555,10 +585,16 @@ impl QuicConnection {
     }
 
     fn on_packet(&mut self, now: SimTime, pkt: Packet) {
+        let (ptype, size) = (ptype_str(pkt.ptype), pkt.payload.len());
+        sink::emit(now.as_nanos(), || Event::QuicPacketReceived { ptype, size });
+        metrics::count(Counter::QuicPacketsReceived, 1);
         // Retry (client): restart with the server's token.
         if pkt.ptype == PacketType::Retry {
             if self.role == Role::Client && !self.retried && self.hs == HsState::Initial {
                 self.retried = true;
+                sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+                    state: "retry_received",
+                });
                 self.token = Some(pkt.token);
                 let v = self.version;
                 self.restart_with_version(now, v);
@@ -641,6 +677,9 @@ impl QuicConnection {
             Frame::HandshakeDone => {
                 if self.role == Role::Client {
                     self.handshake_confirmed = true;
+                    sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+                        state: "handshake_confirmed",
+                    });
                 }
             }
         }
@@ -663,9 +702,15 @@ impl QuicConnection {
             }
         }
         if let Some(rtt) = rtt_sample {
-            self.srtt = Some(match self.srtt {
+            let srtt = match self.srtt {
                 None => rtt,
                 Some(s) => (s * 7 + rtt) / 8,
+            };
+            self.srtt = Some(srtt);
+            sink::emit(now.as_nanos(), || Event::CcMetricsUpdated {
+                cwnd: None,
+                ssthresh: None,
+                srtt_ns: Some(srtt.as_nanos() as u64),
             });
         }
         if newly_acked {
@@ -681,6 +726,11 @@ impl QuicConnection {
                 .collect();
             for pn in lost {
                 let sp = self.spaces[epoch].sent.remove(&pn).expect("ranged");
+                sink::emit(now.as_nanos(), || Event::QuicPacketLost {
+                    ptype: epoch_str(epoch),
+                    pn,
+                });
+                metrics::count(Counter::QuicPacketsLost, 1);
                 self.requeue_lost_frames(epoch, sp.frames);
             }
         }
@@ -807,6 +857,17 @@ impl QuicConnection {
                 self.alpn = alpn;
                 if self.early_permitted {
                     self.early_accepted = Some(early_data_accepted);
+                    sink::emit(now.as_nanos(), || Event::TlsEarlyData {
+                        accepted: early_data_accepted,
+                    });
+                    metrics::count(
+                        if early_data_accepted {
+                            Counter::TlsEarlyDataAccepted
+                        } else {
+                            Counter::TlsEarlyDataRejected
+                        },
+                        1,
+                    );
                     if !early_data_accepted {
                         // Replay 0-RTT stream data in 1-RTT.
                         let frames = std::mem::take(&mut self.early_stream_frames);
@@ -830,6 +891,16 @@ impl QuicConnection {
                 self.queue_hs(EPOCH_HANDSHAKE, HandshakePayload::Finished);
                 self.hs = HsState::Done;
                 self.established_at = Some(now);
+                sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+                    state: "handshake_complete",
+                });
+                let resumed = self.resumed;
+                sink::emit(now.as_nanos(), || Event::TlsHandshakeCompleted { resumed });
+                metrics::count(Counter::QuicHandshakesCompleted, 1);
+                metrics::count(Counter::TlsHandshakesCompleted, 1);
+                if resumed {
+                    metrics::count(Counter::TlsResumedHandshakes, 1);
+                }
             }
             (Role::Server, HandshakePayload::Finished) => {
                 if self.hs != HsState::WaitFinished {
@@ -838,6 +909,11 @@ impl QuicConnection {
                 self.hs = HsState::Done;
                 self.established_at = Some(now);
                 self.validated = true;
+                sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+                    state: "handshake_complete",
+                });
+                let resumed = self.resumed;
+                sink::emit(now.as_nanos(), || Event::TlsHandshakeCompleted { resumed });
                 self.handshake_done_queued = true;
                 if self.cfg.issue_new_token {
                     self.new_token_queued = true;
@@ -928,6 +1004,12 @@ impl QuicConnection {
         if let Some(pto) = self.pto_deadline {
             if now >= pto {
                 self.pto_backoff += 1;
+                let backoff = self.pto_backoff;
+                sink::emit(now.as_nanos(), || Event::QuicPtoFired {
+                    epoch: "all",
+                    count: backoff,
+                });
+                metrics::count(Counter::QuicPtoFired, 1);
                 if self.pto_backoff > 7 {
                     self.error.get_or_insert(QuicError::TooManyRetries);
                     self.draining = true;
@@ -1023,6 +1105,18 @@ impl QuicConnection {
                 }];
                 let mut out = Vec::new();
                 self.encode_packet(epoch_type, frames, &mut out);
+                let epoch = if epoch_type == PacketType::OneRtt {
+                    EPOCH_APP
+                } else {
+                    EPOCH_INITIAL
+                };
+                let (pn, size) = (self.spaces[epoch].next_pn - 1, out.len());
+                sink::emit(now.as_nanos(), || Event::QuicPacketSent {
+                    ptype: ptype_str(epoch_type),
+                    pn,
+                    size,
+                });
+                metrics::count(Counter::QuicPacketsSent, 1);
                 self.draining = true;
                 return out;
             }
@@ -1299,7 +1393,15 @@ impl QuicConnection {
         };
         let pn = self.spaces[epoch].next_pn;
         let ack_eliciting = frames.iter().any(|f| f.is_ack_eliciting());
+        let before = out.len();
         self.encode_packet(ptype, frames.clone(), out);
+        let size = out.len() - before;
+        sink::emit(now.as_nanos(), || Event::QuicPacketSent {
+            ptype: ptype_str(ptype),
+            pn,
+            size,
+        });
+        metrics::count(Counter::QuicPacketsSent, 1);
         if ack_eliciting {
             self.spaces[epoch].sent.insert(
                 pn,

@@ -17,6 +17,8 @@
 use super::segment::{TcpFlags, TcpOption, TcpSegment};
 use crate::congestion::CongestionController;
 use doqlab_simnet::{Duration, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Connection parameters.
@@ -397,9 +399,14 @@ impl TcpSocket {
             if has_cookie {
                 self.rx_buf.extend_from_slice(&seg.payload);
                 self.rcv_nxt += seg.payload.len() as u64;
+                let data_len = seg.payload.len();
+                sink::emit(now.as_nanos(), || Event::TcpFastOpen {
+                    side: "server",
+                    data_len,
+                });
+                metrics::count(Counter::TcpFastOpenServer, 1);
             }
         }
-        let _ = now;
     }
 
     fn on_syn_sent(&mut self, now: SimTime, seg: &TcpSegment) {
@@ -485,7 +492,14 @@ impl TcpSocket {
             // Duplicate ACK while data is outstanding.
             self.dup_acks += 1;
             if self.dup_acks == 3 {
+                let inflight = (self.snd_nxt - self.snd_una) as usize;
                 self.fast_retransmit();
+                sink::emit(now.as_nanos(), || Event::TcpRetransmit {
+                    kind: "fast",
+                    bytes: inflight,
+                });
+                metrics::count(Counter::TcpFastRetransmits, 1);
+                self.emit_cc_metrics(now);
             }
         }
         // Our FIN acked?
@@ -515,6 +529,7 @@ impl TcpSocket {
         }
         self.snd_una = ack_abs;
         self.cc.on_ack(newly as usize);
+        self.emit_cc_metrics(now);
         // RTT sample (Karn: samples are only armed on first transmission).
         if let Some((end, sent)) = self.rtt_sample {
             if ack_abs >= end {
@@ -528,6 +543,24 @@ impl TcpSocket {
         } else {
             self.retransmit_at = Some(now + self.rto.current());
         }
+    }
+
+    /// Trace the congestion state after a window change (observational
+    /// only; `ssthresh` is elided until the first loss sets it).
+    fn emit_cc_metrics(&self, now: SimTime) {
+        if !sink::enabled() {
+            return;
+        }
+        let cwnd = self.cc.window() as u64;
+        let ssthresh = match self.cc.ssthresh() {
+            usize::MAX => None,
+            s => Some(s as u64),
+        };
+        sink::emit(now.as_nanos(), || Event::CcMetricsUpdated {
+            cwnd: Some(cwnd),
+            ssthresh,
+            srtt_ns: None,
+        });
     }
 
     fn fast_retransmit(&mut self) {
@@ -702,6 +735,12 @@ impl TcpSocket {
                 self.rto.backoff();
                 self.rewind_to_una();
                 self.retransmit_at = None; // re-armed below when we send
+                sink::emit(now.as_nanos(), || Event::TcpRetransmit {
+                    kind: "rto",
+                    bytes: inflight,
+                });
+                metrics::count(Counter::TcpRtoRetransmits, 1);
+                self.emit_cc_metrics(now);
             }
         }
         // SYN / SYN-ACK.
@@ -727,6 +766,11 @@ impl TcpSocket {
                             let n = self.tx_buf.len().min(self.cfg.mss);
                             payload = self.tx_buf.iter().take(n).copied().collect();
                             seg_flags.psh = true;
+                            sink::emit(now.as_nanos(), || Event::TcpFastOpen {
+                                side: "client",
+                                data_len: n,
+                            });
+                            metrics::count(Counter::TcpFastOpenClient, 1);
                         }
                     }
                 }

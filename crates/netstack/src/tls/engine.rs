@@ -25,6 +25,8 @@ use crate::tls::messages::{
 };
 use crate::tls::session::SessionTicket;
 use doqlab_simnet::{Duration, SimTime};
+use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 
 /// Shared client/server configuration.
 #[derive(Debug, Clone)]
@@ -115,6 +117,7 @@ pub struct TlsClient {
     connected_at: Option<SimTime>,
     error: Option<TlsError>,
     resumed_12: bool,
+    resumed_13: bool,
     seen_ee: bool,
 }
 
@@ -138,6 +141,7 @@ impl TlsClient {
             connected_at: None,
             error: None,
             resumed_12: false,
+            resumed_13: false,
             seen_ee: false,
         }
     }
@@ -182,6 +186,11 @@ impl TlsClient {
             }
             self.early_sent = data;
         }
+        let flight_len = self.out.len();
+        sink::emit(now.as_nanos(), || Event::TlsFlightSent {
+            flight: "client_hello",
+            bytes: flight_len,
+        });
         self.state = ClientState::WaitServerHello;
     }
 
@@ -237,7 +246,10 @@ impl TlsClient {
             (ClientState::WaitServerHello, HandshakePayload::ServerHello { version, resumed }) => {
                 self.version = Some(version);
                 match version {
-                    TlsVersion::Tls13 => self.state = ClientState::WaitServerFlight13,
+                    TlsVersion::Tls13 => {
+                        self.resumed_13 = resumed;
+                        self.state = ClientState::WaitServerFlight13;
+                    }
                     TlsVersion::Tls12 => {
                         self.resumed_12 = resumed;
                         // 1.2 has no EE; a plain-1.2 server ignores the
@@ -263,6 +275,17 @@ impl TlsClient {
                 self.seen_ee = true;
                 if self.attempted_early {
                     self.early_accepted = Some(early_data_accepted);
+                    sink::emit(now.as_nanos(), || Event::TlsEarlyData {
+                        accepted: early_data_accepted,
+                    });
+                    metrics::count(
+                        if early_data_accepted {
+                            Counter::TlsEarlyDataAccepted
+                        } else {
+                            Counter::TlsEarlyDataRejected
+                        },
+                        1,
+                    );
                     if !early_data_accepted {
                         // Rejected: re-queue for after the handshake.
                         let replay = std::mem::take(&mut self.early_sent);
@@ -276,7 +299,13 @@ impl TlsClient {
                 if !self.seen_ee {
                     return self.fail(TlsError::UnexpectedMessage("Finished before EE"));
                 }
+                let before = self.out.len();
                 self.send_handshake(false, HandshakePayload::Finished);
+                let flight_len = self.out.len() - before;
+                sink::emit(now.as_nanos(), || Event::TlsFlightSent {
+                    flight: "finished",
+                    bytes: flight_len,
+                });
                 self.complete(now);
             }
             (ClientState::WaitServerFlight12, HandshakePayload::Certificate { .. }) => {}
@@ -304,6 +333,12 @@ impl TlsClient {
     fn complete(&mut self, now: SimTime) {
         self.state = ClientState::Connected;
         self.connected_at = Some(now);
+        let resumed = self.resumed_12 || self.resumed_13;
+        sink::emit(now.as_nanos(), || Event::TlsHandshakeCompleted { resumed });
+        metrics::count(Counter::TlsHandshakesCompleted, 1);
+        if resumed {
+            metrics::count(Counter::TlsResumedHandshakes, 1);
+        }
         if !self.app_tx_pending.is_empty() {
             let data = std::mem::take(&mut self.app_tx_pending);
             for chunk in data.chunks(crate::tls::messages::MAX_RECORD_PLAINTEXT) {
@@ -405,6 +440,9 @@ pub struct TlsServer {
     connected_at: Option<SimTime>,
     error: Option<TlsError>,
     resumed: bool,
+    /// PSK accepted on either version — observational only (the 1.3
+    /// path does not feed [`Self::is_resumption`]).
+    psk_accepted: bool,
     tickets_to_send: u32,
 }
 
@@ -424,6 +462,7 @@ impl TlsServer {
             connected_at: None,
             error: None,
             resumed: false,
+            psk_accepted: false,
             tickets_to_send: 1,
         }
     }
@@ -569,6 +608,8 @@ impl TlsServer {
                 && t.version == version
                 && chosen_alpn.as_deref() == Some(&t.alpn[..])
         });
+        let flight_start = self.out.len();
+        self.psk_accepted = psk_ok;
         match version {
             TlsVersion::Tls13 => {
                 self.early_accepted = psk_ok
@@ -626,11 +667,20 @@ impl TlsServer {
                 }
             }
         }
+        let flight_len = self.out.len() - flight_start;
+        sink::emit(now.as_nanos(), || Event::TlsFlightSent {
+            flight: "server_hello",
+            bytes: flight_len,
+        });
     }
 
     fn complete(&mut self, now: SimTime) {
         self.state = ServerState::Connected;
         self.connected_at = Some(now);
+        // Client-side counts the handshake metrics; only the trace
+        // event is mirrored here.
+        let resumed = self.psk_accepted;
+        sink::emit(now.as_nanos(), || Event::TlsHandshakeCompleted { resumed });
         // Promote early data and issue tickets.
         self.app_rx.splice(0..0, std::mem::take(&mut self.early_rx));
         for _ in 0..self.tickets_to_send {

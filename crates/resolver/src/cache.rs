@@ -3,6 +3,7 @@
 
 use doqlab_dnswire::{Name, RecordType, ResourceRecord};
 use doqlab_simnet::{Duration, SimTime};
+use doqlab_telemetry::metrics::{self, Counter};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -55,6 +56,7 @@ impl DnsCache {
         match self.entries.get(&key) {
             Some(e) if e.expires_at > now => {
                 self.hits += 1;
+                metrics::count(Counter::CacheHits, 1);
                 // Remaining TTL decreases as the entry ages.
                 let remaining = (e.expires_at - now).as_secs() as u32;
                 Some(
@@ -71,10 +73,12 @@ impl DnsCache {
             Some(_) => {
                 self.entries.remove(&key);
                 self.misses += 1;
+                metrics::count(Counter::CacheMisses, 1);
                 None
             }
             None => {
                 self.misses += 1;
+                metrics::count(Counter::CacheMisses, 1);
                 None
             }
         }

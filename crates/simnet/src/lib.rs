@@ -42,4 +42,4 @@ pub use path::{GeoPathModel, PathCharacteristics, PathModel};
 pub use rng::SimRng;
 pub use sim::{Ctx, Host, HostId, Simulator};
 pub use time::{Duration, SimTime};
-pub use trace::{PacketRecord, PacketTap, PacketTrace};
+pub use trace::{quic_long_header, PacketRecord, PacketTap, PacketTrace};

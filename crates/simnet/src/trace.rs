@@ -38,6 +38,21 @@ impl PacketRecord {
             dropped,
         }
     }
+
+    /// True when the recorded first payload byte is a QUIC long header
+    /// (Initial / 0-RTT / Handshake / Retry — the handshake phase).
+    /// Empty payloads classify as short-header (application phase).
+    pub fn is_quic_long_header(&self) -> bool {
+        self.first_byte.is_some_and(quic_long_header)
+    }
+}
+
+/// RFC 9000 §17.2: the header form bit (MSB) of the first byte
+/// distinguishes long-header packets (handshake machinery) from
+/// short-header 1-RTT packets (application data). Phase accounting for
+/// DoQ attributes long-header packets to the connection-setup phase.
+pub fn quic_long_header(first_byte: u8) -> bool {
+    first_byte & 0x80 != 0
 }
 
 /// A streaming observer of routed packets.
@@ -171,5 +186,40 @@ mod tests {
         trace.record(rec(0, sa(1, 1), sa(2, 2), 10));
         trace.clear();
         assert!(trace.records().is_empty());
+    }
+
+    #[test]
+    fn quic_header_form_bit_classifies_all_long_header_types() {
+        // RFC 9000 first bytes: long headers set the MSB.
+        for fb in [
+            0xC0, // Initial
+            0xD0, // 0-RTT
+            0xE0, // Handshake
+            0xF0, // Retry
+            0x80, // version negotiation (form bit only)
+        ] {
+            assert!(quic_long_header(fb), "{fb:#04x} is a long header");
+        }
+        // Short (1-RTT) headers have the MSB clear; the fixed bit
+        // (0x40) and key-phase/spin bits do not matter.
+        for fb in [0x40u8, 0x41, 0x7F, 0x00] {
+            assert!(!quic_long_header(fb), "{fb:#04x} is a short header");
+        }
+    }
+
+    #[test]
+    fn record_first_byte_phase_attribution() {
+        let a = sa(1, 100);
+        let b = sa(2, 853);
+        let mut long = rec(0, a, b, 1252);
+        long.first_byte = Some(0xC3);
+        assert!(long.is_quic_long_header());
+        let mut short = rec(1, a, b, 60);
+        short.first_byte = Some(0x45);
+        assert!(!short.is_quic_long_header());
+        // Empty payload: nothing to classify, counts as application.
+        let mut empty = rec(2, a, b, 40);
+        empty.first_byte = None;
+        assert!(!empty.is_quic_long_header());
     }
 }

@@ -1,0 +1,220 @@
+//! The cross-layer event vocabulary.
+//!
+//! Each variant maps to a qlog-style `category:event` name plus a
+//! compact JSON `data` member. Names follow the qlog main schema where
+//! one exists (`transport:packet_sent`, `recovery:metrics_updated`,
+//! `connectivity:connection_state_updated`); TCP/TLS/HTTP events that
+//! qlog does not define reuse its naming convention. Every serialized
+//! event also carries a non-standard `layer` member attributing it to
+//! the protocol layer that emitted it, which is what the round-trip
+//! validation asserts on.
+
+/// The protocol layer an event is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    Quic,
+    Tls,
+    Tcp,
+    /// Congestion control / loss recovery (QUIC RTT estimation and the
+    /// TCP NewReno controller both emit here).
+    Cc,
+    Http,
+}
+
+impl Layer {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Quic => "quic",
+            Layer::Tls => "tls",
+            Layer::Tcp => "tcp",
+            Layer::Cc => "cc",
+            Layer::Http => "http",
+        }
+    }
+}
+
+/// One cross-layer protocol event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// QUIC packet handed to the wire (`transport:packet_sent`).
+    QuicPacketSent {
+        ptype: &'static str,
+        pn: u64,
+        size: usize,
+    },
+    /// QUIC packet accepted from the wire (`transport:packet_received`).
+    QuicPacketReceived { ptype: &'static str, size: usize },
+    /// Packet declared lost by the packet-threshold detector
+    /// (`recovery:packet_lost`).
+    QuicPacketLost { ptype: &'static str, pn: u64 },
+    /// Probe timeout fired (`recovery:loss_timer_expired`).
+    QuicPtoFired { epoch: &'static str, count: u32 },
+    /// Handshake / connection state transition
+    /// (`connectivity:connection_state_updated`).
+    QuicStateUpdated { state: &'static str },
+    /// A TLS handshake flight left the engine (`security:flight_sent`).
+    TlsFlightSent { flight: &'static str, bytes: usize },
+    /// Handshake completed (`security:handshake_completed`).
+    TlsHandshakeCompleted { resumed: bool },
+    /// 0-RTT decision (`security:early_data_updated`).
+    TlsEarlyData { accepted: bool },
+    /// TCP retransmission, `kind` is `"rto"` or `"fast"`
+    /// (`transport:packet_retransmitted`).
+    TcpRetransmit { kind: &'static str, bytes: usize },
+    /// TCP Fast Open engaged, `side` is `"client"` or `"server"`
+    /// (`transport:fast_open`).
+    TcpFastOpen { side: &'static str, data_len: usize },
+    /// Congestion/loss-recovery state (`recovery:metrics_updated`).
+    /// TCP reports cwnd/ssthresh; QUIC reports its RTT estimate.
+    CcMetricsUpdated {
+        cwnd: Option<u64>,
+        ssthresh: Option<u64>,
+        srtt_ns: Option<u64>,
+    },
+    /// HTTP/2 or HTTP/3 request opened a stream (`http:request_sent`).
+    HttpRequestSent {
+        protocol: &'static str,
+        stream_id: u64,
+    },
+    /// Response fully received on a stream (`http:response_received`).
+    HttpResponseReceived {
+        protocol: &'static str,
+        stream_id: u64,
+        status: u32,
+    },
+}
+
+impl Event {
+    /// The qlog-style `category:event` name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::QuicPacketSent { .. } => "transport:packet_sent",
+            Event::QuicPacketReceived { .. } => "transport:packet_received",
+            Event::QuicPacketLost { .. } => "recovery:packet_lost",
+            Event::QuicPtoFired { .. } => "recovery:loss_timer_expired",
+            Event::QuicStateUpdated { .. } => "connectivity:connection_state_updated",
+            Event::TlsFlightSent { .. } => "security:flight_sent",
+            Event::TlsHandshakeCompleted { .. } => "security:handshake_completed",
+            Event::TlsEarlyData { .. } => "security:early_data_updated",
+            Event::TcpRetransmit { .. } => "transport:packet_retransmitted",
+            Event::TcpFastOpen { .. } => "transport:fast_open",
+            Event::CcMetricsUpdated { .. } => "recovery:metrics_updated",
+            Event::HttpRequestSent { .. } => "http:request_sent",
+            Event::HttpResponseReceived { .. } => "http:response_received",
+        }
+    }
+
+    /// The layer the event is attributed to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            Event::QuicPacketSent { .. }
+            | Event::QuicPacketReceived { .. }
+            | Event::QuicPacketLost { .. }
+            | Event::QuicPtoFired { .. }
+            | Event::QuicStateUpdated { .. } => Layer::Quic,
+            Event::TlsFlightSent { .. }
+            | Event::TlsHandshakeCompleted { .. }
+            | Event::TlsEarlyData { .. } => Layer::Tls,
+            Event::TcpRetransmit { .. } | Event::TcpFastOpen { .. } => Layer::Tcp,
+            Event::CcMetricsUpdated { .. } => Layer::Cc,
+            Event::HttpRequestSent { .. } | Event::HttpResponseReceived { .. } => Layer::Http,
+        }
+    }
+
+    /// The event's `data` member as compact JSON. All string fields are
+    /// `&'static str` identifiers (no escaping required).
+    pub fn data_json(&self) -> String {
+        match self {
+            Event::QuicPacketSent { ptype, pn, size } => format!(
+                "{{\"header\":{{\"packet_type\":\"{ptype}\",\"packet_number\":{pn}}},\"raw\":{{\"length\":{size}}}}}"
+            ),
+            Event::QuicPacketReceived { ptype, size } => format!(
+                "{{\"header\":{{\"packet_type\":\"{ptype}\"}},\"raw\":{{\"length\":{size}}}}}"
+            ),
+            Event::QuicPacketLost { ptype, pn } => format!(
+                "{{\"header\":{{\"packet_type\":\"{ptype}\",\"packet_number\":{pn}}}}}"
+            ),
+            Event::QuicPtoFired { epoch, count } => format!(
+                "{{\"timer_type\":\"pto\",\"packet_number_space\":\"{epoch}\",\"count\":{count}}}"
+            ),
+            Event::QuicStateUpdated { state } => format!("{{\"new\":\"{state}\"}}"),
+            Event::TlsFlightSent { flight, bytes } => {
+                format!("{{\"flight\":\"{flight}\",\"length\":{bytes}}}")
+            }
+            Event::TlsHandshakeCompleted { resumed } => format!("{{\"resumed\":{resumed}}}"),
+            Event::TlsEarlyData { accepted } => format!("{{\"accepted\":{accepted}}}"),
+            Event::TcpRetransmit { kind, bytes } => {
+                format!("{{\"trigger\":\"{kind}\",\"length\":{bytes}}}")
+            }
+            Event::TcpFastOpen { side, data_len } => {
+                format!("{{\"side\":\"{side}\",\"data_length\":{data_len}}}")
+            }
+            Event::CcMetricsUpdated {
+                cwnd,
+                ssthresh,
+                srtt_ns,
+            } => {
+                let mut parts = Vec::new();
+                if let Some(v) = cwnd {
+                    parts.push(format!("\"congestion_window\":{v}"));
+                }
+                if let Some(v) = ssthresh {
+                    parts.push(format!("\"ssthresh\":{v}"));
+                }
+                if let Some(v) = srtt_ns {
+                    parts.push(format!("\"smoothed_rtt\":{:.6}", *v as f64 / 1e6));
+                }
+                format!("{{{}}}", parts.join(","))
+            }
+            Event::HttpRequestSent {
+                protocol,
+                stream_id,
+            } => format!("{{\"protocol\":\"{protocol}\",\"stream_id\":{stream_id}}}"),
+            Event::HttpResponseReceived {
+                protocol,
+                stream_id,
+                status,
+            } => format!(
+                "{{\"protocol\":\"{protocol}\",\"stream_id\":{stream_id},\"status\":{status}}}"
+            ),
+        }
+    }
+}
+
+/// A timestamped event. Times are simulator nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    pub time_ns: u64,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_carry_qlog_categories() {
+        let e = Event::QuicPacketSent {
+            ptype: "initial",
+            pn: 0,
+            size: 1200,
+        };
+        assert_eq!(e.name(), "transport:packet_sent");
+        assert_eq!(e.layer(), Layer::Quic);
+        assert_eq!(
+            e.data_json(),
+            "{\"header\":{\"packet_type\":\"initial\",\"packet_number\":0},\"raw\":{\"length\":1200}}"
+        );
+    }
+
+    #[test]
+    fn metrics_updated_elides_absent_fields() {
+        let e = Event::CcMetricsUpdated {
+            cwnd: None,
+            ssthresh: None,
+            srtt_ns: Some(1_500_000),
+        };
+        assert_eq!(e.layer(), Layer::Cc);
+        assert_eq!(e.data_json(), "{\"smoothed_rtt\":1.500000}");
+    }
+}

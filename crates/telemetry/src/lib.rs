@@ -1,0 +1,35 @@
+//! # doqlab-telemetry — cross-layer tracing and metrics
+//!
+//! The measurement harness reasons about per-phase behaviour of five
+//! DNS transports, yet the protocol state machines themselves (QUIC,
+//! TLS, TCP, congestion control, HTTP/2/3) were black boxes. This crate
+//! gives them two observation channels, both **provably inert** when
+//! disabled and purely observational when enabled — telemetry never
+//! touches an RNG or a control-flow decision, so campaign outputs are
+//! byte-identical with it on or off:
+//!
+//! * **Event tracing** ([`sink`], [`event`], [`qlog`]) — a
+//!   zero-cost-when-disabled emit path. Protocol code calls
+//!   [`sink::emit`] with a closure; unless a [`sink::Tracer`] is
+//!   installed on the current thread the closure is never run, so the
+//!   disabled cost is one thread-local flag read. An installed
+//!   [`sink::EventSink`] records [`event::EventRecord`]s which
+//!   [`qlog::to_json_seq`] serializes as qlog-compatible JSON-SEQ
+//!   (RFC 7464 framing), one trace group per connection.
+//! * **Metrics** ([`metrics`]) — a lock-free registry of counters and
+//!   log-linear histograms. Each engine worker thread owns a private
+//!   shard of relaxed atomics (no cross-thread contention on the hot
+//!   path); [`metrics::snapshot`] merges every registered shard at
+//!   campaign end for the report's telemetry section.
+//!
+//! The crate is dependency-free: timestamps cross the API as `u64`
+//! nanoseconds (the simulator's `SimTime::as_nanos`), keeping
+//! `doqlab-telemetry` below every other crate in the dependency graph.
+
+pub mod event;
+pub mod metrics;
+pub mod qlog;
+pub mod sink;
+
+pub use event::{Event, EventRecord, Layer};
+pub use sink::{EventSink, Tracer};

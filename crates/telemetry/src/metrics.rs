@@ -1,0 +1,470 @@
+//! Lock-free campaign metrics: counters and log-linear histograms.
+//!
+//! Every thread that records metrics owns a private **shard** — a flat
+//! block of `AtomicU64`s it increments with relaxed ordering, so the
+//! hot path never contends with another thread. Shards register
+//! themselves in a global registry; [`snapshot`] merges all of them at
+//! campaign end. The campaign engine installs a shard per worker via
+//! [`worker_guard`]; any other thread that records while enabled gets
+//! one lazily.
+//!
+//! Disabled cost is one relaxed `AtomicBool` load per call. Metrics
+//! are purely observational — nothing in the simulator or the
+//! protocol stacks ever reads them back — so enabling them cannot
+//! change campaign output.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Every counter the stacks record. The discriminant is the slot index
+/// in a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    QuicPacketsSent,
+    QuicPacketsReceived,
+    QuicPacketsLost,
+    QuicPtoFired,
+    QuicHandshakesCompleted,
+    TlsHandshakesCompleted,
+    TlsResumedHandshakes,
+    TlsEarlyDataAccepted,
+    TlsEarlyDataRejected,
+    TcpRtoRetransmits,
+    TcpFastRetransmits,
+    TcpFastOpenClient,
+    TcpFastOpenServer,
+    CacheHits,
+    CacheMisses,
+    HttpRequestsSent,
+    HttpResponsesReceived,
+    UnitsRun,
+    UnitsFailed,
+    BytesDoUdp,
+    BytesDoTcp,
+    BytesDoT,
+    BytesDoH,
+    BytesDoQ,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 24] = [
+        Counter::QuicPacketsSent,
+        Counter::QuicPacketsReceived,
+        Counter::QuicPacketsLost,
+        Counter::QuicPtoFired,
+        Counter::QuicHandshakesCompleted,
+        Counter::TlsHandshakesCompleted,
+        Counter::TlsResumedHandshakes,
+        Counter::TlsEarlyDataAccepted,
+        Counter::TlsEarlyDataRejected,
+        Counter::TcpRtoRetransmits,
+        Counter::TcpFastRetransmits,
+        Counter::TcpFastOpenClient,
+        Counter::TcpFastOpenServer,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::HttpRequestsSent,
+        Counter::HttpResponsesReceived,
+        Counter::UnitsRun,
+        Counter::UnitsFailed,
+        Counter::BytesDoUdp,
+        Counter::BytesDoTcp,
+        Counter::BytesDoT,
+        Counter::BytesDoH,
+        Counter::BytesDoQ,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::QuicPacketsSent => "quic.packets_sent",
+            Counter::QuicPacketsReceived => "quic.packets_received",
+            Counter::QuicPacketsLost => "quic.packets_lost",
+            Counter::QuicPtoFired => "quic.pto_fired",
+            Counter::QuicHandshakesCompleted => "quic.handshakes_completed",
+            Counter::TlsHandshakesCompleted => "tls.handshakes_completed",
+            Counter::TlsResumedHandshakes => "tls.resumed_handshakes",
+            Counter::TlsEarlyDataAccepted => "tls.early_data_accepted",
+            Counter::TlsEarlyDataRejected => "tls.early_data_rejected",
+            Counter::TcpRtoRetransmits => "tcp.rto_retransmits",
+            Counter::TcpFastRetransmits => "tcp.fast_retransmits",
+            Counter::TcpFastOpenClient => "tcp.fast_open_client",
+            Counter::TcpFastOpenServer => "tcp.fast_open_server",
+            Counter::CacheHits => "resolver.cache_hits",
+            Counter::CacheMisses => "resolver.cache_misses",
+            Counter::HttpRequestsSent => "http.requests_sent",
+            Counter::HttpResponsesReceived => "http.responses_received",
+            Counter::UnitsRun => "campaign.units_run",
+            Counter::UnitsFailed => "campaign.units_failed",
+            Counter::BytesDoUdp => "bytes.doudp",
+            Counter::BytesDoTcp => "bytes.dotcp",
+            Counter::BytesDoT => "bytes.dot",
+            Counter::BytesDoH => "bytes.doh",
+            Counter::BytesDoQ => "bytes.doq",
+        }
+    }
+}
+
+const NCOUNTERS: usize = Counter::ALL.len();
+
+/// Histogram series (value distributions, nanosecond-valued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Series {
+    HandshakeNs,
+    ResolveNs,
+}
+
+impl Series {
+    pub const ALL: [Series; 2] = [Series::HandshakeNs, Series::ResolveNs];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::HandshakeNs => "handshake_time",
+            Series::ResolveNs => "resolve_time",
+        }
+    }
+}
+
+const NSERIES: usize = Series::ALL.len();
+
+/// Log-linear bucketing: 8 linear sub-buckets per power of two, like a
+/// coarse HDR histogram. Relative error is bounded at 12.5% for any
+/// `u64` value, with 496 buckets total.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// The bucket a value falls into.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUB + sub
+}
+
+/// Inclusive lower bound of a bucket (the value [`HistSnapshot`]
+/// reports for percentiles).
+pub fn bucket_floor(index: usize) -> u64 {
+    if index < SUB {
+        return index as u64;
+    }
+    let octave = (index / SUB) as u32;
+    let sub = (index % SUB) as u64;
+    (SUB as u64 + sub) << (octave - 1)
+}
+
+struct Hist {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One thread's private metrics block.
+pub struct Shard {
+    counters: [AtomicU64; NCOUNTERS],
+    hists: [Hist; NSERIES],
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Hist::new()),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped by [`reset`]; lazily-installed thread shards re-register
+/// when their epoch is stale.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SHARD: RefCell<Option<(u64, Arc<Shard>)>> = const { RefCell::new(None) };
+}
+
+/// Turn metric recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Relaxed);
+}
+
+/// Is metric recording enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Drop all recorded data (shards unregister; live threads re-register
+/// lazily on their next record).
+pub fn reset() {
+    EPOCH.fetch_add(1, Relaxed);
+    registry().lock().unwrap().clear();
+}
+
+fn fresh_shard() -> (u64, Arc<Shard>) {
+    let shard = Arc::new(Shard::new());
+    registry().lock().unwrap().push(shard.clone());
+    (EPOCH.load(Relaxed), shard)
+}
+
+#[inline]
+fn with_shard(f: impl FnOnce(&Shard)) {
+    SHARD.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let current = EPOCH.load(Relaxed);
+        match &*slot {
+            Some((epoch, shard)) if *epoch == current => f(shard),
+            _ => {
+                let (epoch, shard) = fresh_shard();
+                f(&shard);
+                *slot = Some((epoch, shard));
+            }
+        }
+    });
+}
+
+/// Add `n` to a counter. One relaxed load when disabled.
+#[inline]
+pub fn count(counter: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        s.counters[counter as usize].fetch_add(n, Relaxed);
+    });
+}
+
+/// Record a value into a histogram series.
+#[inline]
+pub fn record(series: Series, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        let h = &s.hists[series as usize];
+        h.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        h.count.fetch_add(1, Relaxed);
+        h.sum.fetch_add(value, Relaxed);
+    });
+}
+
+/// Pins a freshly-registered shard to the current thread for the
+/// guard's lifetime (the campaign engine holds one per worker). On
+/// drop the thread-local is cleared; the shard itself stays registered
+/// so its data survives into [`snapshot`].
+pub struct WorkerGuard(());
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        SHARD.with(|cell| cell.borrow_mut().take());
+    }
+}
+
+/// Install a per-worker shard on the current thread. Cheap no-op work
+/// when disabled (the shard is only allocated on first record).
+pub fn worker_guard() -> WorkerGuard {
+    SHARD.with(|cell| cell.borrow_mut().take());
+    WorkerGuard(())
+}
+
+/// A merged, point-in-time view of every shard.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    counters: [u64; NCOUNTERS],
+    hists: Vec<HistSnapshot>,
+}
+
+/// Merged histogram data for one series.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistSnapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded values (exact, from the running sum).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1], reported as the lower bound of
+    /// the bucket holding that rank (≤ 12.5% below the true value).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_floor(i));
+            }
+        }
+        Some(bucket_floor(BUCKETS - 1))
+    }
+}
+
+impl Snapshot {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    pub fn hist(&self, s: Series) -> &HistSnapshot {
+        &self.hists[s as usize]
+    }
+}
+
+/// Merge every registered shard.
+pub fn snapshot() -> Snapshot {
+    let mut counters = [0u64; NCOUNTERS];
+    let mut hists: Vec<HistSnapshot> = (0..NSERIES)
+        .map(|_| HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        })
+        .collect();
+    for shard in registry().lock().unwrap().iter() {
+        for (slot, a) in counters.iter_mut().zip(shard.counters.iter()) {
+            *slot += a.load(Relaxed);
+        }
+        for (merged, h) in hists.iter_mut().zip(shard.hists.iter()) {
+            for (slot, b) in merged.buckets.iter_mut().zip(h.buckets.iter()) {
+                *slot += b.load(Relaxed);
+            }
+            merged.count += h.count.load(Relaxed);
+            merged.sum += h.sum.load(Relaxed);
+        }
+    }
+    Snapshot { counters, hists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable flag, epoch and registry are process-global: tests
+    /// that touch them must not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose floor is <= the value, and
+        // bucket indices never decrease as values grow.
+        let probes: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |off| (1u64 << shift).saturating_add(off))
+            })
+            .collect();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut last = 0usize;
+        for v in sorted {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "v={v} i={i}");
+            assert!(bucket_floor(i) <= v, "floor({i})={} > {v}", bucket_floor(i));
+            assert!(i >= last, "non-monotone at {v}: {i} < {last}");
+            last = i;
+        }
+        // Small values are exact.
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+        // Relative error bound: floor is within 12.5% below the value.
+        for v in [100u64, 1_000, 1_000_000, u64::MAX / 3] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(
+                floor <= v && (v - floor) as f64 / v as f64 <= 0.125,
+                "v={v}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn count_record_merge_quantiles() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        count(Counter::CacheHits, 3);
+        count(Counter::CacheHits, 2);
+        for v in [10u64, 20, 30, 40, 1000] {
+            record(Series::HandshakeNs, v);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter(Counter::CacheHits), 5);
+        assert_eq!(snap.counter(Counter::CacheMisses), 0);
+        let h = snap.hist(Series::HandshakeNs);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(220.0));
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert!(h.quantile(1.0).unwrap() >= 896, "p100 in top bucket");
+        reset();
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        count(Counter::UnitsRun, 1);
+        record(Series::ResolveNs, 42);
+        // The disabled path must not even allocate a shard.
+        SHARD.with(|c| assert!(c.borrow().is_none()));
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _guard = worker_guard();
+                    for _ in 0..100 {
+                        count(Counter::UnitsRun, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter(Counter::UnitsRun), 400);
+        reset();
+    }
+}

@@ -1,0 +1,383 @@
+//! qlog JSON-SEQ serialization and the round-trip validator.
+//!
+//! The writer emits the qlog "JSON-SEQ" container (draft-ietf-quic-
+//! qlog-main-schema with RFC 7464 framing): every record is prefixed
+//! with an RS byte (0x1E) and terminated with LF; the first record is
+//! the file header, each following record one event with a `group_id`
+//! naming the connection it belongs to. Events carry a non-standard
+//! `layer` member so consumers (and our own tests) can attribute them
+//! without parsing event names.
+//!
+//! The vendored `serde_json` stand-in can serialize but not parse, so
+//! this module also carries a minimal recursive-descent JSON parser
+//! ([`parse`], [`parse_seq`]) used by the round-trip validation test
+//! and the CI trace check.
+
+use crate::event::EventRecord;
+
+/// RFC 7464 record separator.
+pub const RS: char = '\u{1e}';
+
+/// The events of one traced connection, labelled by `group_id`.
+#[derive(Debug, Clone, Default)]
+pub struct ConnTrace {
+    pub group_id: String,
+    pub events: Vec<EventRecord>,
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize connection traces as one qlog JSON-SEQ stream.
+pub fn to_json_seq(title: &str, traces: &[ConnTrace]) -> String {
+    let mut out = String::new();
+    out.push(RS);
+    out.push_str("{\"qlog_version\":\"0.3\",\"qlog_format\":\"JSON-SEQ\",\"title\":");
+    escape(title, &mut out);
+    out.push_str(
+        ",\"trace\":{\"common_fields\":{\"time_format\":\"relative\",\"reference_time\":0},\
+         \"vantage_point\":{\"type\":\"client\"}}}\n",
+    );
+    for trace in traces {
+        for rec in &trace.events {
+            out.push(RS);
+            out.push_str(&format!(
+                "{{\"time\":{:.6},\"name\":\"{}\",\"layer\":\"{}\",\"data\":{},\"group_id\":",
+                rec.time_ns as f64 / 1e6,
+                rec.event.name(),
+                rec.event.layer().as_str(),
+                rec.event.data_json(),
+            ));
+            escape(&trace.group_id, &mut out);
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// A parsed JSON document (the validator's tiny object model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[', "expected '['")?;
+        let mut elements = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(elements));
+        }
+        loop {
+            elements.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(elements));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // `pos` only ever advances past complete scalars,
+                    // so it is always a char boundary.
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parse one JSON document; trailing whitespace allowed, trailing
+/// garbage is an error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Parse an RFC 7464 JSON-SEQ stream into its records.
+pub fn parse_seq(input: &str) -> Result<Vec<Json>, String> {
+    let mut records = Vec::new();
+    for (i, chunk) in input.split(RS).enumerate() {
+        if chunk.is_empty() {
+            continue; // before the first RS, or doubled separators
+        }
+        let body = chunk.trim_end_matches(['\n', '\r']);
+        records.push(parse(body).map_err(|e| format!("record {i}: {e}"))?);
+    }
+    if records.is_empty() {
+        return Err("no records in JSON-SEQ stream".to_string());
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample_trace() -> ConnTrace {
+        ConnTrace {
+            group_id: "doq:vp0".to_string(),
+            events: vec![
+                EventRecord {
+                    time_ns: 1_500_000,
+                    event: Event::QuicPacketSent {
+                        ptype: "initial",
+                        pn: 0,
+                        size: 1252,
+                    },
+                },
+                EventRecord {
+                    time_ns: 2_000_000,
+                    event: Event::TlsHandshakeCompleted { resumed: true },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_seq_round_trips() {
+        let seq = to_json_seq("unit", &[sample_trace()]);
+        assert!(seq.starts_with(RS));
+        let records = parse_seq(&seq).expect("parses");
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[0].get("qlog_version").and_then(Json::as_str),
+            Some("0.3")
+        );
+        assert_eq!(
+            records[1].get("name").and_then(Json::as_str),
+            Some("transport:packet_sent")
+        );
+        assert_eq!(records[1].get("time").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            records[1].get("group_id").and_then(Json::as_str),
+            Some("doq:vp0")
+        );
+        assert_eq!(records[2].get("layer").and_then(Json::as_str), Some("tls"));
+        assert_eq!(
+            records[2]
+                .get("data")
+                .and_then(|d| d.get("resumed"))
+                .cloned(),
+            Some(Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_arrays_and_numbers() {
+        let v = parse(r#"{"a":[1,-2.5,1e3],"s":"x\"\\\nA","n":null,"b":false}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(1000.0)
+            ]))
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x\"\\\nA"));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        assert_eq!(v.get("b"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse_seq("").is_err());
+    }
+}

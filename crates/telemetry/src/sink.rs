@@ -1,0 +1,163 @@
+//! The zero-cost-when-disabled emit path.
+//!
+//! Protocol code never constructs an event eagerly: it calls
+//! [`emit`]`(time_ns, || Event::…)` and the closure only runs when a
+//! [`Tracer`] is installed on the **current thread**. Disabled cost is
+//! a single thread-local flag read and a predictable branch — no
+//! allocation, no formatting, no atomics. The thread-local design also
+//! keeps the campaign engine deterministic: tracing one worker's unit
+//! can never observe (or perturb) another worker's.
+
+use crate::event::{Event, EventRecord};
+use std::cell::{Cell, RefCell};
+
+/// A destination for emitted events.
+pub trait Tracer {
+    fn record(&mut self, rec: EventRecord);
+    /// Downcast support (mirrors `doqlab_simnet::PacketTap`).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The simple recording tracer: an in-memory event log.
+#[derive(Debug, Default)]
+pub struct EventSink {
+    pub events: Vec<EventRecord>,
+}
+
+impl Tracer for EventSink {
+    fn record(&mut self, rec: EventRecord) {
+        self.events.push(rec);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// Timestamp of the last timed emit, for [`emit_untimed`] call
+    /// sites (sans-I/O layers with no clock of their own).
+    static LAST_NS: Cell<u64> = const { Cell::new(0) };
+    static SINK: RefCell<Option<Box<dyn Tracer>>> = const { RefCell::new(None) };
+}
+
+/// Is a tracer installed on this thread? The one check every emit
+/// site pays when tracing is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|c| c.get())
+}
+
+/// Emit an event at `time_ns`. The closure runs only when a tracer is
+/// installed on this thread.
+#[inline]
+pub fn emit(time_ns: u64, build: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    LAST_NS.with(|c| c.set(time_ns));
+    record(EventRecord {
+        time_ns,
+        event: build(),
+    });
+}
+
+/// Emit an event from a layer that has no clock (the sans-I/O HTTP
+/// codecs), stamping it with the time of the nearest preceding timed
+/// emit on this thread. Inside one simulator dispatch that is the
+/// current simulated instant.
+#[inline]
+pub fn emit_untimed(build: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    record(EventRecord {
+        time_ns: LAST_NS.with(|c| c.get()),
+        event: build(),
+    });
+}
+
+#[cold]
+fn record(rec: EventRecord) {
+    SINK.with(|s| {
+        if let Some(t) = s.borrow_mut().as_mut() {
+            t.record(rec);
+        }
+    });
+}
+
+/// Install a tracer on the current thread (enabling the emit path).
+pub fn install(tracer: Box<dyn Tracer>) {
+    SINK.with(|s| *s.borrow_mut() = Some(tracer));
+    ENABLED.with(|c| c.set(true));
+}
+
+/// Remove the current thread's tracer (disabling the emit path) and
+/// return it for inspection.
+pub fn take() -> Option<Box<dyn Tracer>> {
+    ENABLED.with(|c| c.set(false));
+    LAST_NS.with(|c| c.set(0));
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// Install an [`EventSink`], run `f`, and return its recorded events
+/// alongside `f`'s result. Panic-safe: the sink is removed on unwind.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<EventRecord>) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            take();
+        }
+    }
+    install(Box::<EventSink>::default());
+    let restore = Restore;
+    let out = f();
+    let events = match take() {
+        Some(mut t) => match t.as_any_mut().downcast_mut::<EventSink>() {
+            Some(sink) => std::mem::take(&mut sink.events),
+            None => Vec::new(),
+        },
+        None => Vec::new(),
+    };
+    std::mem::forget(restore);
+    (out, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emit_never_builds_the_event() {
+        assert!(!enabled());
+        emit(1, || panic!("closure ran while tracing was disabled"));
+        emit_untimed(|| panic!("closure ran while tracing was disabled"));
+    }
+
+    #[test]
+    fn capture_records_in_order_with_untimed_backfill() {
+        let ((), events) = capture(|| {
+            emit(10, || Event::QuicStateUpdated { state: "initial" });
+            emit_untimed(|| Event::HttpRequestSent {
+                protocol: "h2",
+                stream_id: 1,
+            });
+            emit(20, || Event::QuicStateUpdated { state: "handshake" });
+        });
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].time_ns, 10);
+        assert_eq!(events[1].time_ns, 10, "untimed emit reuses last time");
+        assert_eq!(events[2].time_ns, 20);
+        assert!(!enabled(), "capture removes the tracer");
+    }
+
+    #[test]
+    fn capture_is_panic_safe() {
+        let caught = std::panic::catch_unwind(|| {
+            capture(|| panic!("unit died"));
+        });
+        assert!(caught.is_err());
+        assert!(!enabled(), "tracer removed on unwind");
+    }
+}

@@ -5,26 +5,49 @@
 //! doqlab discovery
 //! doqlab single-query --scale medium
 //! doqlab webperf --scale quick --seed 7
-//! doqlab all --scale quick
+//! doqlab all --scale quick --threads 8
+//! doqlab trace single-query --scale quick --trace-out trace.qlog
 //! ```
 
+use doqlab_core::measure::engine;
 use doqlab_core::measure::report;
+use doqlab_core::telemetry::metrics;
 use doqlab_core::Study;
 
 fn usage() -> ! {
     eprintln!(
         "usage: doqlab <discovery|single-query|webperf|all> \
-         [--scale quick|medium|paper] [--seed N]"
+         [--scale quick|medium|paper] [--seed N] [--threads N]\n\
+         \x20      doqlab trace <single-query> \
+         [--scale quick|medium|paper] [--seed N] [--trace-out PATH]\n\
+         \n\
+         environment:\n\
+         \x20 DOQLAB_THREADS  worker threads for campaign runs \
+         (same as --threads)\n\
+         \x20 DOQLAB_SEED     campaign seed override \
+         (read by the experiment binaries)"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(command) = args.get(1) else { usage() };
-    let mut seed = 2022u64;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    let trace_target = if command == "trace" {
+        if args.is_empty() {
+            usage();
+        }
+        Some(args.remove(0))
+    } else {
+        None
+    };
+    let mut seed = engine::env_seed(2022);
     let mut scale = "quick".to_string();
-    let mut i = 2;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" if i + 1 < args.len() => {
@@ -35,9 +58,24 @@ fn main() {
                 scale = args[i + 1].clone();
                 i += 1;
             }
+            "--threads" if i + 1 < args.len() => {
+                let n: usize = args[i + 1].parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                std::env::set_var(engine::THREADS_ENV, n.to_string());
+                i += 1;
+            }
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(args[i + 1].clone());
+                i += 1;
+            }
             _ => usage(),
         }
         i += 1;
+    }
+    if trace_out.is_some() && trace_target.is_none() {
+        usage(); // --trace-out only applies to `doqlab trace`
     }
     let study = match scale.as_str() {
         "quick" => Study::quick(seed),
@@ -46,6 +84,15 @@ fn main() {
         _ => usage(),
     };
 
+    if let Some(target) = trace_target {
+        run_trace(&study, &target, trace_out.as_deref());
+        return;
+    }
+
+    // Campaign runs collect lock-free counters/histograms; the samples
+    // themselves are byte-identical with telemetry on or off (pinned by
+    // the engine invariance tests).
+    metrics::set_enabled(true);
     match command.as_str() {
         "discovery" => run_discovery(&study),
         "single-query" => run_single_query(&study),
@@ -56,6 +103,34 @@ fn main() {
             run_webperf(&study);
         }
         _ => usage(),
+    }
+    let telemetry = report::render_telemetry(&report::telemetry_section());
+    if !telemetry.is_empty() {
+        println!("{telemetry}");
+    }
+}
+
+fn run_trace(study: &Study, target: &str, out: Option<&str>) {
+    if target != "single-query" {
+        eprintln!("doqlab trace: only the single-query campaign is traceable");
+        usage();
+    }
+    let run = study.trace_single_query();
+    let seq = run.to_json_seq();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &seq).unwrap_or_else(|e| {
+                eprintln!("doqlab trace: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            let events: usize = run.traces.iter().map(|t| t.events.len()).sum();
+            eprintln!(
+                "wrote {} qlog events for {} connections to {path}",
+                events,
+                run.traces.len()
+            );
+        }
+        None => print!("{seq}"),
     }
 }
 

@@ -1,0 +1,62 @@
+//! End-to-end qlog trace validation: `Study::trace_single_query` (the
+//! body of `doqlab trace single-query`) must emit a JSON-SEQ stream
+//! that round-trips through the parser with the layer coverage the
+//! telemetry subsystem promises — at least one event each from the
+//! QUIC, TLS and congestion-control instrumentation.
+
+use doqlab_core::telemetry::qlog::{parse_seq, Json};
+use doqlab_core::Study;
+
+#[test]
+fn trace_single_query_round_trips_with_layer_coverage() {
+    let run = Study::quick(2022).trace_single_query();
+    assert_eq!(run.traces.len(), 5, "one trace per transport");
+    let seq = run.to_json_seq();
+
+    let records = parse_seq(&seq).expect("trace output is valid JSON-SEQ");
+    let header = &records[0];
+    assert_eq!(
+        header.get("qlog_version").and_then(Json::as_str),
+        Some("0.3")
+    );
+    assert_eq!(
+        header.get("qlog_format").and_then(Json::as_str),
+        Some("JSON-SEQ")
+    );
+
+    let events = &records[1..];
+    assert!(!events.is_empty(), "trace emitted no events");
+    for event in events {
+        assert!(event.get("name").and_then(Json::as_str).is_some());
+        assert!(event.get("time").and_then(Json::as_f64).is_some());
+        assert!(event.get("group_id").and_then(Json::as_str).is_some());
+        assert!(event.get("data").is_some());
+    }
+    let layer_count = |layer: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("layer").and_then(Json::as_str) == Some(layer))
+            .count()
+    };
+    assert!(layer_count("quic") >= 1, "no QUIC events in the trace");
+    assert!(layer_count("tls") >= 1, "no TLS events in the trace");
+    assert!(
+        layer_count("cc") >= 1,
+        "no congestion-control events in the trace"
+    );
+
+    // The DoQ connection must carry QUIC packet events under its own
+    // group_id, so traces stay attributable per transport.
+    let doq_events = events
+        .iter()
+        .filter(|e| {
+            e.get("group_id")
+                .and_then(Json::as_str)
+                .is_some_and(|g| g.starts_with("DoQ:"))
+        })
+        .count();
+    assert!(
+        doq_events >= 1,
+        "no events attributed to the DoQ connection"
+    );
+}
