@@ -31,6 +31,7 @@ pub use doqlab_webperf as webperf;
 
 use doqlab_dox::DnsTransport;
 use doqlab_measure::discovery::DiscoveryReport;
+use doqlab_measure::impairments::{ImpairmentSample, ImpairmentsCampaign};
 use doqlab_measure::single_query::{SingleQueryCampaign, SingleQuerySample};
 use doqlab_measure::webperf::{WebperfCampaign, WebperfSample};
 use doqlab_measure::Scale;
@@ -120,6 +121,19 @@ impl Study {
     pub fn trace_single_query(&self) -> doqlab_measure::TraceRun {
         let population = self.population();
         doqlab_measure::trace_single_query(&self.single_query_campaign(), &population)
+    }
+
+    /// The fault-injection sweep: single-query units under impairment
+    /// regimes (`doqlab measure impairments`). Shares the study seed
+    /// with the single-query campaign, so the baseline regime
+    /// reproduces that campaign's samples bit for bit.
+    pub fn run_impairments(&self) -> Vec<ImpairmentSample> {
+        let population = self.population();
+        let mut c = ImpairmentsCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        c.use_resumption = self.use_resumption;
+        c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
+        doqlab_measure::run_impairments_campaign(&c, &population)
     }
 
     /// §3.2 Web-performance campaign.

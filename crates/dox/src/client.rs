@@ -64,6 +64,46 @@ impl std::fmt::Display for DnsTransport {
     }
 }
 
+/// Why a query never completed: the failure taxonomy the measurement
+/// campaigns report and count through `doqlab-telemetry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// Retries/retransmissions went unanswered after a usable session
+    /// existed (or, for DoUDP, ever).
+    Timeout,
+    /// The peer reset or abruptly closed the connection.
+    Reset,
+    /// The transport never reached a usable session: TCP SYN retries
+    /// exhausted, a TLS alert, or a QUIC version/ALPN/crypto failure.
+    HandshakeFail,
+    /// The per-query deadline elapsed before a response arrived.
+    DeadlineExceeded,
+}
+
+impl FailureKind {
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::Timeout,
+        FailureKind::Reset,
+        FailureKind::HandshakeFail,
+        FailureKind::DeadlineExceeded,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::Reset => "reset",
+            FailureKind::HandshakeFail => "handshake-fail",
+            FailureKind::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Resumption material carried from one connection to the next — what
 /// the paper's cache-warming query captures and the measurement query
 /// reuses: TLS session ticket, QUIC address-validation token and the
@@ -96,6 +136,17 @@ pub struct ClientConfig {
     pub enable_tfo: bool,
     /// Ask the resolver to hold DoTCP connections open (RFC 7828).
     pub request_tcp_keepalive: bool,
+    /// Overall per-query deadline, enforced by `DnsClientHost`: if no
+    /// response arrived when it expires the query is abandoned with
+    /// [`FailureKind::DeadlineExceeded`]. `None` disables the deadline
+    /// (the historical behavior).
+    pub query_deadline: Option<std::time::Duration>,
+    /// How many times `DnsClientHost` may tear down a failed connection
+    /// and dial a fresh one (re-issuing the pending queries, reusing any
+    /// session ticket gathered so far). `0` disables reconnection.
+    pub reconnect_max: u32,
+    /// Backoff before the first reconnect attempt; doubles per attempt.
+    pub reconnect_backoff: std::time::Duration,
 }
 
 impl Default for ClientConfig {
@@ -107,6 +158,9 @@ impl Default for ClientConfig {
             udp_max_retries: 2,
             enable_tfo: false,
             request_tcp_keepalive: false,
+            query_deadline: None,
+            reconnect_max: 0,
+            reconnect_backoff: std::time::Duration::from_millis(250),
         }
     }
 }
@@ -156,6 +210,12 @@ pub trait DnsClientConn {
 
     /// The connection failed permanently.
     fn failed(&self) -> bool;
+
+    /// Classify the permanent failure (`None` while healthy).
+    /// Transports refine the default, which can only say "timeout".
+    fn failure(&self) -> Option<FailureKind> {
+        self.failed().then_some(FailureKind::Timeout)
+    }
 
     /// Resumption material gathered on this connection (tickets, QUIC
     /// token + version).

@@ -1,8 +1,8 @@
 //! DoH: DNS over HTTPS (RFC 8484) — HTTP/2 POST requests with
 //! `application/dns-message` bodies over TLS over TCP, port 443.
 
-use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, SessionState};
-use crate::tcp::segments_to_packets;
+use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, FailureKind, SessionState};
+use crate::tcp::{classify_tcp_failure, segments_to_packets};
 use doqlab_dnswire::Message;
 use doqlab_netstack::http2::{doh_request_headers, doh_response_headers, H2Connection};
 use doqlab_netstack::tcp::{TcpConfig, TcpSegment, TcpSocket};
@@ -106,8 +106,11 @@ impl DoHClient {
         if !h2_out.is_empty() {
             self.tls.write_app(&h2_out);
         }
+        // A dying socket (closed by the resilience layer, or reset) no
+        // longer accepts data; drop the TLS output rather than
+        // asserting.
         let wire = self.tls.take_output();
-        if !wire.is_empty() {
+        if !wire.is_empty() && self.tcp.can_send() {
             self.tcp.send(&wire);
         }
         let (local, remote) = (self.tcp.local, self.tcp.remote);
@@ -162,6 +165,13 @@ impl DnsClientConn for DoHClient {
 
     fn failed(&self) -> bool {
         self.tcp.is_reset() || self.tls.error().is_some()
+    }
+
+    fn failure(&self) -> Option<FailureKind> {
+        if self.tls.error().is_some() {
+            return Some(FailureKind::HandshakeFail);
+        }
+        classify_tcp_failure(&self.tcp)
     }
 
     fn session_state(&mut self) -> SessionState {

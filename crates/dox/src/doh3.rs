@@ -5,7 +5,8 @@
 //! `doh3_preview` experiment compares all three encrypted QUIC-era
 //! options.
 
-use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, SessionState};
+use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, FailureKind, SessionState};
+use crate::doq::classify_quic_failure;
 use doqlab_dnswire::Message;
 use doqlab_netstack::http3::{control_stream_preamble, doh3_request, doh3_response, H3Message};
 use doqlab_netstack::quic::{QuicConfig, QuicConnection, QUIC_V1};
@@ -191,6 +192,10 @@ impl DnsClientConn for DoH3Client {
         self.conn
             .as_ref()
             .is_some_and(|c| c.error().is_some() && !c.is_established())
+    }
+
+    fn failure(&self) -> Option<FailureKind> {
+        classify_quic_failure(self.conn.as_ref()?)
     }
 
     fn session_state(&mut self) -> SessionState {

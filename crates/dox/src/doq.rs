@@ -10,12 +10,28 @@
 //! with resumption).
 
 use crate::alpn::DoqAlpn;
-use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, SessionState};
+use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, FailureKind, SessionState};
 use doqlab_dnswire::{framing, LengthPrefixedReader, Message};
-use doqlab_netstack::quic::{QuicConfig, QuicConnection, QUIC_V1};
+use doqlab_netstack::quic::{QuicConfig, QuicConnection, QuicError, QUIC_V1};
 use doqlab_netstack::tls::TlsConfig;
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
 use std::collections::HashMap;
+
+/// Classify a dead QUIC connection for the failure taxonomy. `None`
+/// while the connection is healthy or the error struck after the
+/// session was already established and usable. Shared by DoQ and DoH3.
+pub(crate) fn classify_quic_failure(conn: &QuicConnection) -> Option<FailureKind> {
+    if conn.is_established() {
+        return None;
+    }
+    Some(match conn.error()? {
+        QuicError::IdleTimeout | QuicError::TooManyRetries => FailureKind::Timeout,
+        QuicError::HandshakeFailed(_) | QuicError::NoCommonAlpn | QuicError::NoCommonVersion => {
+            FailureKind::HandshakeFail
+        }
+        QuicError::PeerClosed(_) => FailureKind::Reset,
+    })
+}
 
 /// A DoQ client connection.
 #[derive(Debug)]
@@ -215,6 +231,10 @@ impl DnsClientConn for DoQClient {
         self.conn
             .as_ref()
             .is_some_and(|c| c.error().is_some() && !c.is_established())
+    }
+
+    fn failure(&self) -> Option<FailureKind> {
+        classify_quic_failure(self.conn.as_ref()?)
     }
 
     fn session_state(&mut self) -> SessionState {

@@ -1,8 +1,8 @@
 //! DoT: DNS over TLS (RFC 7858) — TLS over TCP on port 853, ALPN
 //! `dot`, with the RFC 1035 2-byte message framing inside the tunnel.
 
-use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, SessionState};
-use crate::tcp::segments_to_packets;
+use crate::client::{ClientConfig, ConnMetadata, DnsClientConn, FailureKind, SessionState};
+use crate::tcp::{classify_tcp_failure, segments_to_packets};
 use doqlab_dnswire::{framing, LengthPrefixedReader, Message};
 use doqlab_netstack::tcp::{TcpConfig, TcpSegment, TcpSocket};
 use doqlab_netstack::tls::{TlsClient, TlsConfig};
@@ -60,9 +60,11 @@ impl DoTClient {
         for ticket in self.tls.take_tickets() {
             self.session_out.tls_ticket = Some(ticket);
         }
-        // TLS -> TCP.
+        // TLS -> TCP. A dying socket (closed by the resilience layer,
+        // or reset) no longer accepts data; drop the TLS output rather
+        // than asserting.
         let wire = self.tls.take_output();
-        if !wire.is_empty() {
+        if !wire.is_empty() && self.tcp.can_send() {
             self.tcp.send(&wire);
         }
         let (local, remote) = (self.tcp.local, self.tcp.remote);
@@ -115,6 +117,13 @@ impl DnsClientConn for DoTClient {
 
     fn failed(&self) -> bool {
         self.tcp.is_reset() || self.tls.error().is_some()
+    }
+
+    fn failure(&self) -> Option<FailureKind> {
+        if self.tls.error().is_some() {
+            return Some(FailureKind::HandshakeFail);
+        }
+        classify_tcp_failure(&self.tcp)
     }
 
     fn session_state(&mut self) -> SessionState {

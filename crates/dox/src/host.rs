@@ -1,8 +1,18 @@
 //! Simulator-host glue: wraps any [`DnsClientConn`] as a
 //! [`doqlab_simnet::Host`], which is how the measurement harness and
 //! the DNS proxy drive client connections.
+//!
+//! Beyond forwarding packets and timers, the host is the resilience
+//! layer shared by all five transports: it enforces the per-query
+//! deadline ([`ClientConfig::query_deadline`]), and when the underlying
+//! connection fails permanently it can tear it down and dial a fresh
+//! one with exponential backoff ([`ClientConfig::reconnect_max`]),
+//! re-issuing the pending queries and carrying forward any session
+//! ticket the failed attempt managed to gather. With both knobs at
+//! their defaults (no deadline, no reconnects) the host behaves exactly
+//! as it did before the resilience layer existed.
 
-use crate::client::{ClientConfig, DnsClientConn, DnsTransport, SessionState};
+use crate::client::{ClientConfig, DnsClientConn, DnsTransport, FailureKind, SessionState};
 use crate::doh::DoHClient;
 use crate::doh3::DoH3Client;
 use crate::doq::DoQClient;
@@ -10,7 +20,8 @@ use crate::dot::DoTClient;
 use crate::tcp::DoTcpClient;
 use crate::udp::DoUdpClient;
 use doqlab_dnswire::Message;
-use doqlab_simnet::{Ctx, Host, Packet, SimTime, SocketAddr};
+use doqlab_simnet::{Ctx, Host, Packet, SimRng, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
 use std::any::Any;
 
 /// Construct a client connection for any of the five transports.
@@ -36,6 +47,20 @@ pub struct DnsClientHost {
     /// Responses accumulated across the connection's lifetime.
     pub responses: Vec<(SimTime, Message)>,
     started_at: Option<SimTime>,
+    // Everything needed to dial a replacement connection.
+    transport: DnsTransport,
+    local: SocketAddr,
+    remote: SocketAddr,
+    cfg: ClientConfig,
+    /// Queries issued so far, re-sent on a reconnected connection.
+    issued: Vec<Message>,
+    /// Absolute per-query deadline, armed at start.
+    deadline: Option<SimTime>,
+    /// Pending reconnect: dial again at this time.
+    reconnect_at: Option<SimTime>,
+    reconnects_done: u32,
+    /// Terminal verdict; once set the host goes quiet.
+    terminal: Option<FailureKind>,
 }
 
 impl DnsClientHost {
@@ -49,15 +74,28 @@ impl DnsClientHost {
             conn: make_client(transport, local, remote, cfg),
             responses: Vec::new(),
             started_at: None,
+            transport,
+            local,
+            remote,
+            cfg: cfg.clone(),
+            issued: Vec::new(),
+            deadline: None,
+            reconnect_at: None,
+            reconnects_done: 0,
+            terminal: None,
         }
     }
 
     /// Queue a query and open the connection (idempotent open).
     pub fn start_with_query(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        self.issued.push(msg.clone());
         self.conn.query(ctx.now, msg);
         let mut out = Vec::new();
         if self.started_at.is_none() {
             self.started_at = Some(ctx.now);
+            if let Some(d) = self.cfg.query_deadline {
+                self.deadline = Some(ctx.now + d);
+            }
             self.conn.start(ctx.now, ctx.rng, &mut out);
         }
         self.conn.poll(ctx.now, &mut out);
@@ -80,14 +118,97 @@ impl DnsClientHost {
     pub fn session_state(&mut self) -> SessionState {
         self.conn.session_state()
     }
+
+    /// Why the query run failed, if it did: the host-level verdict
+    /// (deadline exceeded, reconnects exhausted) or, failing that, the
+    /// live connection's own classification. `None` once any response
+    /// arrived.
+    pub fn failure(&self) -> Option<FailureKind> {
+        if !self.responses.is_empty() {
+            return None;
+        }
+        self.terminal.or_else(|| self.conn.failure())
+    }
+
+    /// How many replacement connections were dialed.
+    pub fn reconnects(&self) -> u32 {
+        self.reconnects_done
+    }
+
+    /// Resilience supervision, run after every event: enforce the
+    /// per-query deadline, detect a dead connection and schedule or
+    /// perform the reconnect. A no-op for default configs.
+    fn supervise(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        if self.terminal.is_some() {
+            return;
+        }
+        if let Some(d) = self.deadline {
+            if !self.responses.is_empty() {
+                self.deadline = None;
+            } else if now >= d {
+                // The deadline is terminal: abandon the query whatever
+                // the transport is doing.
+                self.deadline = None;
+                self.reconnect_at = None;
+                // If the transport already knows why it died, keep that
+                // diagnosis; otherwise the deadline itself is the cause.
+                self.terminal = Some(self.conn.failure().unwrap_or(FailureKind::DeadlineExceeded));
+                self.conn.close(now, out);
+                return;
+            }
+        }
+        if let Some(at) = self.reconnect_at {
+            if now >= at {
+                self.reconnect_at = None;
+                self.reconnect(now, rng, out);
+            }
+            return;
+        }
+        if self.cfg.reconnect_max > 0 && self.responses.is_empty() && self.conn.failed() {
+            if self.reconnects_done < self.cfg.reconnect_max {
+                // Exponential backoff: base * 2^attempts.
+                let backoff = self
+                    .cfg
+                    .reconnect_backoff
+                    .saturating_mul(1u32 << self.reconnects_done.min(16));
+                self.reconnect_at = Some(now + backoff);
+            } else {
+                self.terminal = self.conn.failure();
+            }
+        }
+    }
+
+    /// Replace the dead connection with a fresh one, re-issuing every
+    /// query and reusing any resumption material gathered so far.
+    fn reconnect(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        metrics::count(Counter::Reconnects, 1);
+        let session = self.conn.session_state();
+        let mut cfg = self.cfg.clone();
+        if !session.is_empty() {
+            cfg.session = session;
+        }
+        self.conn = make_client(self.transport, self.local, self.remote, &cfg);
+        self.reconnects_done += 1;
+        for q in &self.issued {
+            self.conn.query(now, q);
+        }
+        self.conn.start(now, rng, out);
+        self.conn.poll(now, out);
+    }
 }
 
 impl Host for DnsClientHost {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         let mut out = Vec::new();
-        self.conn.on_packet(ctx.now, &pkt, &mut out);
-        self.conn.poll(ctx.now, &mut out);
-        self.responses.extend(self.conn.take_responses());
+        // Once the verdict is terminal or a replacement dial is
+        // pending, the connection is dead: late packets addressed to it
+        // are dropped instead of pumped into closed state machines.
+        if self.terminal.is_none() && self.reconnect_at.is_none() {
+            self.conn.on_packet(ctx.now, &pkt, &mut out);
+            self.conn.poll(ctx.now, &mut out);
+            self.responses.extend(self.conn.take_responses());
+        }
+        self.supervise(ctx.now, ctx.rng, &mut out);
         for p in out {
             ctx.send(p);
         }
@@ -95,15 +216,35 @@ impl Host for DnsClientHost {
 
     fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
         let mut out = Vec::new();
-        self.conn.poll(ctx.now, &mut out);
-        self.responses.extend(self.conn.take_responses());
+        if self.terminal.is_none() && self.reconnect_at.is_none() {
+            self.conn.poll(ctx.now, &mut out);
+            self.responses.extend(self.conn.take_responses());
+        }
+        self.supervise(ctx.now, ctx.rng, &mut out);
         for p in out {
             ctx.send(p);
         }
     }
 
     fn next_wakeup(&self) -> Option<SimTime> {
-        self.conn.next_timeout()
+        // Once terminal, the host goes quiet: re-advertising the dead
+        // connection's timers would spin the event loop forever.
+        if self.terminal.is_some() {
+            return None;
+        }
+        // While a replacement dial is pending the dead connection's
+        // timers are irrelevant (and would spin the loop, since its
+        // wakeups are no longer delivered).
+        let mut next = match self.reconnect_at {
+            Some(at) => Some(at),
+            None => self.conn.next_timeout(),
+        };
+        if self.responses.is_empty() {
+            if let Some(d) = self.deadline {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        next
     }
 
     fn as_any(&self) -> &dyn Any {

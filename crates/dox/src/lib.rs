@@ -27,7 +27,9 @@ pub mod tcp;
 pub mod udp;
 
 pub use alpn::DoqAlpn;
-pub use client::{ClientConfig, ConnMetadata, DnsClientConn, DnsTransport, SessionState};
+pub use client::{
+    ClientConfig, ConnMetadata, DnsClientConn, DnsTransport, FailureKind, SessionState,
+};
 pub use host::{make_client, DnsClientHost};
 pub use server::{DnsServerSet, ServerConfig, ServerEvent};
 

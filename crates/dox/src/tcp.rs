@@ -7,11 +7,28 @@
 //! implemented and configurable so the recommended behaviour can be
 //! measured as an ablation.
 
-use crate::client::{ClientConfig, DnsClientConn, SessionState};
+use crate::client::{ClientConfig, DnsClientConn, FailureKind, SessionState};
 use doqlab_dnswire::{framing, LengthPrefixedReader, Message};
-use doqlab_netstack::tcp::{TcpConfig, TcpSegment, TcpSocket};
+use doqlab_netstack::tcp::{TcpConfig, TcpFailure, TcpSegment, TcpSocket};
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
 use std::collections::HashSet;
+
+/// Classify a failed TCP socket for the failure taxonomy: a peer RST
+/// (or local abort) is a reset; exhausted retransmissions count as a
+/// handshake failure if the 3-way handshake never completed, and a
+/// timeout otherwise. Shared by DoTCP, DoT and DoH.
+pub(crate) fn classify_tcp_failure(tcp: &TcpSocket) -> Option<FailureKind> {
+    Some(match tcp.failure()? {
+        TcpFailure::PeerReset | TcpFailure::Aborted => FailureKind::Reset,
+        TcpFailure::RetriesExhausted => {
+            if tcp.established_at().is_none() {
+                FailureKind::HandshakeFail
+            } else {
+                FailureKind::Timeout
+            }
+        }
+    })
+}
 
 /// Convert TCP segments to simulator packets.
 pub(crate) fn segments_to_packets(
@@ -106,6 +123,10 @@ impl DnsClientConn for DoTcpClient {
 
     fn failed(&self) -> bool {
         self.tcp.is_reset()
+    }
+
+    fn failure(&self) -> Option<FailureKind> {
+        classify_tcp_failure(&self.tcp)
     }
 
     fn session_state(&mut self) -> SessionState {

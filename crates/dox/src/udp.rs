@@ -19,12 +19,21 @@ pub struct DoUdpClient {
     retry_timeout: Duration,
     max_retries: u32,
     started_at: Option<SimTime>,
-    /// id -> (encoded query, retries left, next retry time)
+    /// id -> (encoded query, retries left, next retry time). Entries
+    /// whose retries are exhausted are removed at their final deadline,
+    /// so `next_timeout` never advertises a deadline nothing will act
+    /// on.
     pending: HashMap<u16, (Vec<u8>, u32, SimTime)>,
     responses: Vec<(SimTime, Message)>,
     failed: bool,
     /// Queries issued before `start`.
     queued: Vec<Vec<u8>>,
+    /// Queries accepted after `start`, transmitted on the next poll to
+    /// keep the sans-I/O trait uniform (`query` cannot emit packets).
+    ready: Vec<Vec<u8>>,
+    /// When the earliest `ready` entry was queued — the immediate
+    /// wakeup `next_timeout` advertises until the next poll drains it.
+    ready_since: Option<SimTime>,
 }
 
 impl DoUdpClient {
@@ -39,6 +48,8 @@ impl DoUdpClient {
             responses: Vec::new(),
             failed: false,
             queued: Vec::new(),
+            ready: Vec::new(),
+            ready_since: None,
         }
     }
 
@@ -63,10 +74,12 @@ impl DnsClientConn for DoUdpClient {
     fn query(&mut self, now: SimTime, msg: &Message) {
         let wire = msg.encode();
         if self.started_at.is_some() {
-            // Transmission happens on the next poll to keep the trait
-            // uniform; store with an immediate deadline.
-            self.pending
-                .insert(msg.header.id, (wire, self.max_retries + 1, now));
+            // An earlier version faked this by inserting a pending
+            // entry with an inflated retry count and an already-past
+            // deadline, which corrupted the retry bookkeeping; keep a
+            // dedicated ready queue instead.
+            self.ready.push(wire);
+            self.ready_since.get_or_insert(now);
         } else {
             self.queued.push(wire);
         }
@@ -85,6 +98,11 @@ impl DnsClientConn for DoUdpClient {
     }
 
     fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        // Initial transmissions for queries issued since the last poll.
+        for wire in std::mem::take(&mut self.ready) {
+            self.transmit(now, wire, out);
+        }
+        self.ready_since = None;
         let due: Vec<u16> = self
             .pending
             .iter()
@@ -104,7 +122,12 @@ impl DnsClientConn for DoUdpClient {
     }
 
     fn next_timeout(&self) -> Option<SimTime> {
-        self.pending.values().map(|(_, _, at)| *at).min()
+        let pending = self.pending.values().map(|(_, _, at)| *at).min();
+        match (self.ready_since, pending) {
+            (Some(r), Some(p)) => Some(r.min(p)),
+            (Some(r), None) => Some(r),
+            (None, p) => p,
+        }
     }
 
     fn take_responses(&mut self) -> Vec<(SimTime, Message)> {
@@ -125,6 +148,8 @@ impl DnsClientConn for DoUdpClient {
 
     fn close(&mut self, _now: SimTime, _out: &mut Vec<Packet>) {
         self.pending.clear();
+        self.ready.clear();
+        self.ready_since = None;
     }
 }
 
@@ -218,5 +243,56 @@ mod tests {
     fn no_session_state() {
         let mut c = client();
         assert!(c.session_state().is_empty());
+    }
+
+    #[test]
+    fn late_query_keeps_clean_retry_bookkeeping() {
+        use crate::client::FailureKind;
+        let mut c = client();
+        let mut rng = SimRng::new(1);
+        let mut out = Vec::new();
+        c.start(SimTime::ZERO, &mut rng, &mut out);
+        // Issue a query after start: it must request an immediate
+        // wakeup, transmit on the next poll, and then carry a normal
+        // retry deadline — not a stale past one.
+        c.query(SimTime::from_millis(10), &query(9));
+        assert_eq!(c.next_timeout(), Some(SimTime::from_millis(10)));
+        c.poll(SimTime::from_millis(10), &mut out);
+        assert_eq!(out.len(), 1, "transmitted on the poll after query()");
+        let deadline = SimTime::from_millis(10) + Duration::from_secs(5);
+        assert_eq!(c.next_timeout(), Some(deadline));
+        // Full budget: one initial transmission plus `max_retries`
+        // retransmissions (2 by default), then terminal failure with
+        // the exhausted entry removed at its final deadline.
+        let mut sends = 1;
+        for _ in 0..10 {
+            let Some(t) = c.next_timeout() else { break };
+            assert!(t > SimTime::from_millis(10), "no stale past deadline");
+            out.clear();
+            c.poll(t, &mut out);
+            sends += out.len();
+        }
+        assert_eq!(sends, 3);
+        assert!(c.failed());
+        assert_eq!(c.failure(), Some(FailureKind::Timeout));
+        assert_eq!(c.next_timeout(), None, "exhausted entries are removed");
+    }
+
+    #[test]
+    fn exhausted_entry_is_removed_at_final_deadline() {
+        let mut c = client();
+        let mut rng = SimRng::new(1);
+        c.query(SimTime::ZERO, &query(7));
+        let mut out = Vec::new();
+        c.start(SimTime::ZERO, &mut rng, &mut out);
+        // Walk every advertised deadline; each must be acted on (a
+        // retransmission or the terminal removal), never re-advertised.
+        let mut prev = SimTime::ZERO;
+        while let Some(t) = c.next_timeout() {
+            assert!(t > prev, "deadline {t} not after {prev}");
+            prev = t;
+            c.poll(t, &mut out);
+        }
+        assert!(c.failed());
     }
 }

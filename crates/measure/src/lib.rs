@@ -13,6 +13,10 @@
 //! * [`webperf`] — §3.2: Tranco top-10 page loads through the DNS
 //!   proxy per [vantage point x resolver x protocol], median of N cold
 //!   loads, relative FCP/PLT differences (Fig. 3, Fig. 4).
+//! * [`impairments`] — the fault-injection sweep: single-query units
+//!   re-run under deterministic burst loss, outages, reordering and
+//!   duplication regimes, reporting failure rates and response-time
+//!   CDFs per regime and transport.
 //!
 //! [`stats`] holds the estimators (median, percentiles, CDFs) and
 //! [`report`] renders tables that mirror the paper's layout. Campaign
@@ -21,6 +25,7 @@
 
 pub mod discovery;
 pub mod engine;
+pub mod impairments;
 pub mod report;
 pub mod single_query;
 pub mod stats;
@@ -29,6 +34,9 @@ pub mod vantage;
 pub mod webperf;
 
 pub use discovery::{run_discovery, DiscoveryReport};
+pub use impairments::{
+    run_impairments_campaign, ImpairmentRegime, ImpairmentSample, ImpairmentsCampaign,
+};
 pub use single_query::{run_single_query_campaign, SingleQueryCampaign, SingleQuerySample};
 pub use stats::{cdf_points, median, percentile, Cdf};
 pub use trace::{trace_single_query, TraceRun};

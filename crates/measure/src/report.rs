@@ -2,8 +2,9 @@
 //! paper's tables and figures (structured values plus plain-text
 //! rendering; the bench binaries also dump them as JSON).
 
+use crate::impairments::ImpairmentSample;
 use crate::single_query::SingleQuerySample;
-use crate::stats::{cdf_points, median, relative_difference_pct, Cdf};
+use crate::stats::{cdf_points, median, percentile, relative_difference_pct, Cdf};
 use crate::webperf::WebperfSample;
 use doqlab_dox::DnsTransport;
 use doqlab_simnet::geo::Continent;
@@ -540,6 +541,106 @@ pub fn cdf_series(values: &[f64], points: usize) -> Vec<(f64, f64)> {
     cdf_points(values, points)
 }
 
+/// One cell of the impairments report: a regime x transport slice of
+/// the fault-injection sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ImpairmentRow {
+    pub regime: String,
+    pub transport: String,
+    pub units: usize,
+    pub failed: usize,
+    /// Replacement connections dialed across the cell's units.
+    pub reconnects: u64,
+    /// Failure-taxonomy name -> count (empty when nothing failed).
+    pub failure_kinds: BTreeMap<String, usize>,
+    /// Resolve-time CDF quantiles (p10, p50, p90, p99) over the cell's
+    /// successful units, in milliseconds.
+    pub resolve_ms: [Option<f64>; 4],
+}
+
+/// Reduce the fault-injection sweep to per-regime, per-transport rows
+/// (regime order preserved, transports in `DnsTransport::ALL` order).
+pub fn impairment_rows(samples: &[ImpairmentSample]) -> Vec<ImpairmentRow> {
+    let mut regimes: Vec<(usize, String)> = Vec::new();
+    for s in samples {
+        if !regimes.iter().any(|(i, _)| *i == s.regime) {
+            regimes.push((s.regime, s.regime_name.clone()));
+        }
+    }
+    regimes.sort_by_key(|(i, _)| *i);
+    let mut rows = Vec::new();
+    for (regime, name) in regimes {
+        for t in DnsTransport::ALL {
+            let cell: Vec<&ImpairmentSample> = samples
+                .iter()
+                .filter(|s| s.regime == regime && s.sample.transport == t)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let failed = cell.iter().filter(|s| s.sample.failed).count();
+            let mut failure_kinds = BTreeMap::new();
+            for s in &cell {
+                if let Some(k) = s.failure {
+                    *failure_kinds.entry(k.name().to_string()).or_insert(0) += 1;
+                }
+            }
+            let resolves: Vec<f64> = cell.iter().filter_map(|s| s.sample.resolve_ms).collect();
+            let q = |p: f64| percentile(&resolves, p);
+            rows.push(ImpairmentRow {
+                regime: name.clone(),
+                transport: t.name().to_string(),
+                units: cell.len(),
+                failed,
+                reconnects: cell.iter().map(|s| s.reconnects as u64).sum(),
+                failure_kinds,
+                resolve_ms: [q(10.0), q(50.0), q(90.0), q(99.0)],
+            });
+        }
+    }
+    rows
+}
+
+/// Render the impairments report: per regime, a transport table of
+/// failure rates and resolve-time quantiles, with a failure-kind
+/// breakdown where anything failed.
+pub fn render_impairments(rows: &[ImpairmentRow]) -> String {
+    let mut out = String::new();
+    let mut current = None::<&str>;
+    for row in rows {
+        if current != Some(row.regime.as_str()) {
+            current = Some(row.regime.as_str());
+            out.push_str(&format!(
+                "\nregime {:<14}{:>7}{:>7}{:>6}{:>9}{:>9}{:>9}{:>9}\n",
+                row.regime, "units", "fail%", "reconn", "p10 ms", "p50 ms", "p90 ms", "p99 ms"
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<19}{:>7}{:>6.1}%{:>6}",
+            row.transport,
+            row.units,
+            100.0 * row.failed as f64 / row.units.max(1) as f64,
+            row.reconnects,
+        ));
+        for q in row.resolve_ms {
+            match q {
+                Some(v) => out.push_str(&format!("{v:>9.1}")),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        out.push('\n');
+        if !row.failure_kinds.is_empty() {
+            let kinds: Vec<String> = row
+                .failure_kinds
+                .iter()
+                .map(|(k, n)| format!("{k} x{n}"))
+                .collect();
+            out.push_str(&format!("  {:<19}  {}\n", "", kinds.join(", ")));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +711,7 @@ mod tests {
             plt_ms: plt,
             proxy_connections: 1,
             failed: false,
+            loads_failed: 0,
         }
     }
 
@@ -712,5 +814,47 @@ mod tests {
         assert_eq!(cells[0].doq_faster_than_doh, 1.0);
         let rendered = render_fig4(&cells);
         assert!(rendered.contains("page0"));
+    }
+
+    #[test]
+    fn impairment_rows_group_by_regime_and_transport() {
+        use doqlab_dox::FailureKind;
+        let mk = |regime: usize, name: &str, t, ok: bool| ImpairmentSample {
+            regime,
+            regime_name: name.into(),
+            failure: (!ok).then_some(FailureKind::Timeout),
+            reconnects: u32::from(!ok),
+            sample: {
+                let mut s = sample(t, Some(10.0), 25.0, 100);
+                if !ok {
+                    s.failed = true;
+                    s.resolve_ms = None;
+                }
+                s
+            },
+        };
+        let samples = vec![
+            mk(0, "baseline", DnsTransport::DoQ, true),
+            mk(0, "baseline", DnsTransport::DoQ, true),
+            mk(1, "loss", DnsTransport::DoQ, false),
+            mk(1, "loss", DnsTransport::DoUdp, true),
+        ];
+        let rows = impairment_rows(&samples);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].regime, "baseline");
+        assert_eq!(rows[0].units, 2);
+        assert_eq!(rows[0].failed, 0);
+        assert_eq!(rows[0].resolve_ms[1], Some(25.0));
+        let loss_doq = rows
+            .iter()
+            .find(|r| r.regime == "loss" && r.transport == "DoQ")
+            .unwrap();
+        assert_eq!(loss_doq.failed, 1);
+        assert_eq!(loss_doq.failure_kinds["timeout"], 1);
+        assert_eq!(loss_doq.reconnects, 1);
+        assert_eq!(loss_doq.resolve_ms[1], None);
+        let rendered = render_impairments(&rows);
+        assert!(rendered.contains("regime baseline"));
+        assert!(rendered.contains("timeout x1"));
     }
 }

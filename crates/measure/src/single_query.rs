@@ -24,11 +24,15 @@ use crate::engine;
 use crate::vantage::{vantage_points, VantagePoint};
 use crate::Scale;
 use doqlab_dnswire::{Message, Name, RecordType};
-use doqlab_dox::{ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, SessionState};
+use doqlab_dox::{
+    ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, FailureKind, SessionState,
+};
 use doqlab_resolver::{RecursionModel, ResolverHost, ResolverProfile};
 use doqlab_simnet::geo::Continent;
 use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
-use doqlab_simnet::{Duration, Ipv4Addr, PacketRecord, PacketTap, SimTime, Simulator, SocketAddr};
+use doqlab_simnet::{
+    Duration, ImpairmentSchedule, Ipv4Addr, PacketRecord, PacketTap, SimTime, Simulator, SocketAddr,
+};
 use doqlab_telemetry::metrics::{self, Counter, Series};
 
 /// Byte totals per phase and direction (IP payload, like Table 1).
@@ -213,6 +217,54 @@ impl SingleQueryCampaign {
     }
 }
 
+/// Per-unit overrides, used by the impairments campaign
+/// ([`crate::impairments`]). The default is the vanilla unit: standard
+/// seed, no impairment, no resilience policy — under which
+/// [`run_unit_custom`] is bit-identical to the plain unit runner.
+pub struct UnitOptions {
+    /// Seed override (`None` → the campaign's standard unit seed).
+    pub seed: Option<u64>,
+    /// Impairment for the measured phase, built from its start instant
+    /// (regimes specify outage windows as offsets from that start).
+    /// The warm phase always runs unimpaired.
+    pub impairment: Option<Box<dyn Fn(SimTime) -> ImpairmentSchedule>>,
+    /// Per-query deadline for the measured connection.
+    pub query_deadline: Option<Duration>,
+    /// Reconnect budget for the measured connection.
+    pub reconnect_max: u32,
+    pub reconnect_backoff: Duration,
+    /// How long the measured phase may run in simulated time.
+    pub run_deadline: Duration,
+}
+
+impl Default for UnitOptions {
+    fn default() -> Self {
+        let cfg = ClientConfig::default();
+        UnitOptions {
+            seed: None,
+            impairment: None,
+            query_deadline: cfg.query_deadline,
+            reconnect_max: cfg.reconnect_max,
+            reconnect_backoff: cfg.reconnect_backoff,
+            run_deadline: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Everything a unit run produces beyond the sample itself.
+pub struct UnitOutcome {
+    pub sample: SingleQuerySample,
+    /// The failure taxonomy verdict for the measured query, `None` on
+    /// success.
+    pub failure: Option<FailureKind>,
+    /// Replacement connections the measured client dialed.
+    pub reconnects: u32,
+    /// When the measured phase started.
+    pub started: SimTime,
+    /// When the measured handshake completed.
+    pub hs_done: Option<SimTime>,
+}
+
 /// Run a single measurement unit in a simulator of its own.
 pub fn run_unit(
     campaign: &SingleQueryCampaign,
@@ -250,15 +302,43 @@ fn run_unit_inner(
     transport: DnsTransport,
     rep: usize,
 ) -> (SingleQuerySample, SimTime, Option<SimTime>) {
-    let seed = engine::unit_seed(
-        campaign.seed,
-        &[
-            vp.index as u64,
-            profile.index as u64,
-            transport as u64,
-            rep as u64,
-        ],
+    let o = run_unit_custom(
+        sim,
+        campaign,
+        vp,
+        profile,
+        transport,
+        rep,
+        &UnitOptions::default(),
     );
+    (o.sample, o.started, o.hs_done)
+}
+
+/// The parameterized unit body: the plain single-query unit plus the
+/// [`UnitOptions`] overrides (seed, measured-phase impairment,
+/// resilience policy). With default options this is exactly the vanilla
+/// unit — no extra RNG draws, identical samples.
+#[allow(clippy::too_many_arguments)] // the unit tuple is the argument list
+pub fn run_unit_custom(
+    sim: &mut Simulator,
+    campaign: &SingleQueryCampaign,
+    vp: &VantagePoint,
+    profile: &ResolverProfile,
+    transport: DnsTransport,
+    rep: usize,
+    opts: &UnitOptions,
+) -> UnitOutcome {
+    let seed = opts.seed.unwrap_or_else(|| {
+        engine::unit_seed(
+            campaign.seed,
+            &[
+                vp.index as u64,
+                profile.index as u64,
+                transport as u64,
+                rep as u64,
+            ],
+        )
+    });
     let mut path = GeoPathModel::new(campaign.path_params.clone());
     let warm_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 2);
     let meas_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 3);
@@ -311,6 +391,9 @@ fn run_unit_inner(
         } else {
             SessionState::default()
         },
+        query_deadline: opts.query_deadline,
+        reconnect_max: opts.reconnect_max,
+        reconnect_backoff: opts.reconnect_backoff,
         ..ClientConfig::default()
     };
     let meas = DnsClientHost::new(
@@ -321,8 +404,13 @@ fn run_unit_inner(
     );
     let mid = sim.add_host(Box::new(meas), &[meas_ip]);
     let started = sim.now();
+    // The impairment covers the measured phase only: installed before
+    // the measured client's first flight, torn down once the phase ends.
+    if let Some(build) = &opts.impairment {
+        sim.set_impairment(Box::new(build(started)));
+    }
     sim.with_host::<DnsClientHost, _>(mid, |c, ctx| c.start_with_query(ctx, &query));
-    let deadline = started + Duration::from_secs(20);
+    let deadline = started + opts.run_deadline;
     if transport != DnsTransport::DoQ {
         // Step one event at a time until the handshake completes, then
         // hand the tap its phase split. Stepping dispatches in exactly
@@ -341,11 +429,16 @@ fn run_unit_inner(
         }
     }
     sim.run_until(deadline);
+    if opts.impairment.is_some() {
+        sim.clear_impairment();
+    }
 
     let meas = sim.host::<DnsClientHost>(mid);
     let hs_done = meas.conn.handshake_done_at();
     let response_at = meas.responses.first().map(|(t, _)| *t);
     let metadata = meas.conn.metadata();
+    let failure = meas.failure();
+    let reconnects = meas.reconnects();
     let failed = response_at.is_none();
     let handshake_ms = match transport {
         DnsTransport::DoUdp => None,
@@ -364,6 +457,9 @@ fn run_unit_inner(
     metrics::count(Counter::UnitsRun, 1);
     if failed {
         metrics::count(Counter::UnitsFailed, 1);
+    }
+    if let Some(kind) = failure {
+        metrics::count(failure_counter(kind), 1);
     }
     if transport != DnsTransport::DoUdp {
         if let Some(t) = hs_done {
@@ -387,7 +483,23 @@ fn run_unit_inner(
         metadata,
         failed,
     };
-    (sample, started, hs_done)
+    UnitOutcome {
+        sample,
+        failure,
+        reconnects,
+        started,
+        hs_done,
+    }
+}
+
+/// The failure-taxonomy counter a unit's terminal verdict folds into.
+fn failure_counter(kind: FailureKind) -> Counter {
+    match kind {
+        FailureKind::Timeout => Counter::FailTimeout,
+        FailureKind::Reset => Counter::FailReset,
+        FailureKind::HandshakeFail => Counter::FailHandshake,
+        FailureKind::DeadlineExceeded => Counter::FailDeadline,
+    }
 }
 
 /// The per-transport byte-total counter a unit's traffic folds into.

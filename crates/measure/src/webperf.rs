@@ -32,7 +32,14 @@ pub struct WebperfSample {
     pub fcp_ms: f64,
     pub plt_ms: f64,
     pub proxy_connections: u32,
+    /// No load of the round succeeded (the medians are NaN).
     pub failed: bool,
+    /// How many of the round's loads failed. Partially-failed rounds
+    /// used to be silently absorbed into the medians (a failed load's
+    /// NaN FCP/PLT is ignored by [`crate::stats::median`]), biasing
+    /// results low; now failed loads are excluded explicitly and
+    /// counted here.
+    pub loads_failed: usize,
 }
 
 /// Campaign configuration.
@@ -121,9 +128,14 @@ pub fn run_webperf_unit(
         path_params: campaign.path_params.clone(),
     };
     let loads = run_page_load_in(sim, &cfg);
-    let fcp = crate::stats::median(&loads.iter().map(|l| l.fcp_ms).collect::<Vec<_>>());
-    let plt = crate::stats::median(&loads.iter().map(|l| l.plt_ms).collect::<Vec<_>>());
-    let failed = loads.iter().all(|l| l.failed) || fcp.is_none() || plt.is_none();
+    // Medians over the successful loads only: a failed load must not
+    // contribute a partial FCP/PLT, and its NaNs must not be silently
+    // dropped as if the round were smaller than configured.
+    let ok_loads: Vec<_> = loads.iter().filter(|l| !l.failed).collect();
+    let loads_failed = loads.len() - ok_loads.len();
+    let fcp = crate::stats::median(&ok_loads.iter().map(|l| l.fcp_ms).collect::<Vec<_>>());
+    let plt = crate::stats::median(&ok_loads.iter().map(|l| l.plt_ms).collect::<Vec<_>>());
+    let failed = ok_loads.is_empty() || fcp.is_none() || plt.is_none();
     WebperfSample {
         vp,
         vp_continent: vps[vp].continent,
@@ -137,6 +149,7 @@ pub fn run_webperf_unit(
         plt_ms: plt.unwrap_or(f64::NAN),
         proxy_connections: loads.iter().map(|l| l.proxy_connections).max().unwrap_or(0),
         failed,
+        loads_failed,
     }
 }
 
@@ -208,5 +221,17 @@ mod tests {
             .iter()
             .filter(|s| s.page == 0)
             .all(|s| s.page_dns_queries == 1));
+        // Failed-load accounting: with one load per round, a sample is
+        // failed exactly when its only load failed; successful samples
+        // carry finite medians and a zero failed-load count.
+        for s in &samples {
+            if s.failed {
+                assert_eq!(s.loads_failed, 1);
+                assert!(s.fcp_ms.is_nan() && s.plt_ms.is_nan());
+            } else {
+                assert_eq!(s.loads_failed, 0);
+                assert!(s.fcp_ms.is_finite() && s.plt_ms.is_finite());
+            }
+        }
     }
 }

@@ -4,9 +4,12 @@
 //! so the comparison goes through their `Debug` rendering — identical
 //! strings mean identical bits.
 
+use doqlab_measure::impairments::run_impairments_campaign;
 use doqlab_measure::single_query::run_single_query_campaign;
 use doqlab_measure::webperf::run_webperf_campaign;
-use doqlab_measure::{trace_single_query, Scale, SingleQueryCampaign, WebperfCampaign};
+use doqlab_measure::{
+    trace_single_query, ImpairmentsCampaign, Scale, SingleQueryCampaign, WebperfCampaign,
+};
 use doqlab_resolver::synthesize_dox_population;
 use doqlab_telemetry::metrics::{self, Counter};
 use doqlab_webperf::tranco_top10;
@@ -58,6 +61,56 @@ fn webperf_campaign_is_thread_count_invariant() {
     }
     assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
     assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+}
+
+fn impairments_scale(threads: usize) -> Scale {
+    Scale {
+        resolvers: Some(2),
+        repetitions: 1,
+        threads,
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn impairments_campaign_is_thread_count_invariant() {
+    // The fault-injection sweep must be bit-identical across thread
+    // counts and across repeated runs at a fixed seed: every stochastic
+    // impairment decision flows through the unit's seeded RNG.
+    let pop = synthesize_dox_population(1);
+    let mut renderings = Vec::new();
+    for threads in [1, 4, 8, 4] {
+        let campaign = ImpairmentsCampaign::new(impairments_scale(threads));
+        let samples = run_impairments_campaign(&campaign, &pop);
+        assert!(!samples.is_empty());
+        renderings.push(format!("{samples:?}"));
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+    assert_eq!(renderings[1], renderings[3], "repeated 4-thread runs");
+}
+
+#[test]
+fn impairments_telemetry_is_inert() {
+    // Failure-taxonomy counters and reconnect counts ride telemetry;
+    // collecting them must not perturb the samples.
+    let pop = synthesize_dox_population(1);
+    let campaign = ImpairmentsCampaign::new(impairments_scale(4));
+    metrics::set_enabled(false);
+    let baseline = format!("{:?}", run_impairments_campaign(&campaign, &pop));
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let with_metrics = format!("{:?}", run_impairments_campaign(&campaign, &pop));
+    let snapshot = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(
+        baseline, with_metrics,
+        "metrics collection perturbed impaired samples"
+    );
+    let units = (campaign.scale.resolvers.unwrap() * campaign.regimes.len() * 5 * 6) as u64;
+    assert_eq!(snapshot.counter(Counter::UnitsRun), units);
 }
 
 #[test]

@@ -5,4 +5,4 @@ mod segment;
 mod socket;
 
 pub use segment::{TcpFlags, TcpOption, TcpSegment};
-pub use socket::{TcpConfig, TcpListener, TcpSocket, TcpState};
+pub use socket::{TcpConfig, TcpFailure, TcpListener, TcpSocket, TcpState};

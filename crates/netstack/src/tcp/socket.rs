@@ -51,6 +51,17 @@ impl Default for TcpConfig {
     }
 }
 
+/// Why a socket entered its sticky failed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpFailure {
+    /// The peer sent RST.
+    PeerReset,
+    /// `max_retries` consecutive retransmissions went unanswered.
+    RetriesExhausted,
+    /// The local application called [`TcpSocket::abort`].
+    Aborted,
+}
+
 /// RFC 793 connection states (no simultaneous-open states).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpState {
@@ -166,8 +177,8 @@ pub struct TcpSocket {
     established_at: Option<SimTime>,
     /// RST owed to the peer.
     reset_pending: bool,
-    /// Sticky failure flag (reset by peer, retries exhausted, aborted).
-    failed: bool,
+    /// Sticky failure cause (reset by peer, retries exhausted, aborted).
+    failure: Option<TcpFailure>,
     /// Client-side cached TFO cookie (present = may send data on SYN).
     tfo_cookie: Option<Vec<u8>>,
     /// Server: data accepted from a TFO SYN, delivered on accept.
@@ -225,7 +236,7 @@ impl TcpSocket {
             need_syn: false,
             established_at: None,
             reset_pending: false,
-            failed: false,
+            failure: None,
             tfo_cookie: None,
             ts_echo: 0,
         }
@@ -273,7 +284,14 @@ impl TcpSocket {
 
     /// The connection was reset or retried out.
     pub fn is_reset(&self) -> bool {
-        self.failed
+        self.failure.is_some()
+    }
+
+    /// Why the socket failed, when it did — distinguishing a peer RST
+    /// from retransmission exhaustion feeds the failure taxonomy of the
+    /// measurement campaigns.
+    pub fn failure(&self) -> Option<TcpFailure> {
+        self.failure
     }
 
     pub fn is_closed(&self) -> bool {
@@ -284,6 +302,15 @@ impl TcpSocket {
     pub fn peer_closed(&self) -> bool {
         matches!(self.state, TcpState::CloseWait | TcpState::LastAck)
             || (self.peer_fin.is_some_and(|f| self.rcv_nxt > f))
+    }
+
+    /// Whether the transmit side still accepts application data: false
+    /// once [`TcpSocket::close`] or [`TcpSocket::abort`] was called, or
+    /// the connection fully closed. Callers with data of their own
+    /// (e.g. a TLS engine draining its output) check this instead of
+    /// tripping the `send` assertion on a dying socket.
+    pub fn can_send(&self) -> bool {
+        !self.tx_closing && self.state != TcpState::Closed
     }
 
     /// Queue application data for transmission.
@@ -327,7 +354,7 @@ impl TcpSocket {
     pub fn abort(&mut self) {
         if !matches!(self.state, TcpState::Closed | TcpState::Listen) {
             self.reset_pending = true;
-            self.failed = true;
+            self.failure = Some(TcpFailure::Aborted);
         }
         self.state = TcpState::Closed;
         self.retransmit_at = None;
@@ -358,7 +385,7 @@ impl TcpSocket {
     pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) {
         if seg.flags.rst {
             if self.state != TcpState::Closed {
-                self.failed = true;
+                self.failure = Some(TcpFailure::PeerReset);
                 self.state = TcpState::Closed;
                 self.retransmit_at = None;
             }
@@ -725,7 +752,7 @@ impl TcpSocket {
             if now >= t {
                 self.retries += 1;
                 if self.retries > self.cfg.max_retries {
-                    self.failed = true;
+                    self.failure = Some(TcpFailure::RetriesExhausted);
                     self.state = TcpState::Closed;
                     self.retransmit_at = None;
                     return out;

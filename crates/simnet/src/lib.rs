@@ -26,9 +26,14 @@
 //!   Simulators double as reusable arenas: [`sim::Simulator::reset`]
 //!   clears hosts, queue, and traces while keeping allocations warm, so
 //!   campaign workers run thousands of units in one arena each.
+//! * [`impair`] — deterministic fault injection layered in front of the
+//!   path model: Gilbert–Elliott burst loss, timed outage windows,
+//!   packet reordering and duplication, all drawing from the
+//!   simulator's seeded RNG ([`sim::Simulator::set_impairment`]).
 
 pub mod event;
 pub mod geo;
+pub mod impair;
 pub mod net;
 pub mod path;
 pub mod rng;
@@ -37,6 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use geo::Coord;
+pub use impair::{GilbertElliott, Impairment, ImpairmentSchedule, OutageWindow, PacketFate};
 pub use net::{Ipv4Addr, Packet, SocketAddr, Transport};
 pub use path::{GeoPathModel, PathCharacteristics, PathModel};
 pub use rng::SimRng;

@@ -30,9 +30,17 @@ pub struct PathCharacteristics {
 
 impl PathCharacteristics {
     /// Sample the actual one-way delay for a single packet.
+    ///
+    /// Jitter is zero-mean Gaussian truncated to ±3σ, so the sampled
+    /// mean equals `propagation` and the delay stays positive for any
+    /// σ below a third of the propagation delay. (An earlier version
+    /// used the half-normal `|N(0,σ)|`, which silently inflated the
+    /// mean one-way delay by `σ·√(2/π)` above the configured value.)
     pub fn sample_delay(&self, rng: &mut SimRng) -> Duration {
-        let jitter_ns = self.jitter_std.as_nanos() as f64 * rng.normal().abs();
-        self.propagation + Duration::from_nanos(jitter_ns as u64)
+        let sigma = self.jitter_std.as_nanos() as f64;
+        let jitter_ns = (rng.normal() * sigma).clamp(-3.0 * sigma, 3.0 * sigma);
+        let base_ns = self.propagation.as_nanos() as f64;
+        Duration::from_nanos((base_ns + jitter_ns).max(0.0) as u64)
     }
 }
 
@@ -227,17 +235,41 @@ mod tests {
     }
 
     #[test]
-    fn jitter_sampling_is_nonnegative_additive() {
-        let model = GeoPathModel::with_defaults();
+    fn jitter_is_bounded_around_propagation() {
         let mut rng = SimRng::new(1);
         let mut m = GeoPathModel::with_defaults();
         m.place(ip(1), Continent::Europe.center());
         m.place(ip(2), Continent::Asia.center());
         let c = m.characteristics(ip(1), ip(2));
-        for _ in 0..100 {
-            assert!(c.sample_delay(&mut rng) >= c.propagation);
+        let lo = c.propagation - 3 * c.jitter_std - Duration::from_nanos(1);
+        let hi = c.propagation + 3 * c.jitter_std + Duration::from_nanos(1);
+        for _ in 0..10_000 {
+            let d = c.sample_delay(&mut rng);
+            assert!(d >= lo && d <= hi, "delay {d:?} outside ±3σ of {c:?}");
         }
-        let _ = model;
+    }
+
+    #[test]
+    fn jitter_is_zero_mean() {
+        // Calibration pin for the half-normal bug: the sampled mean
+        // one-way delay must equal the model's deterministic
+        // propagation, not propagation + σ·√(2/π). With σ = 2% of the
+        // propagation and n = 50k the standard error of the mean is
+        // ~0.009% of propagation, so a 0.2% tolerance is ~20σ wide
+        // while the old half-normal bias (+1.6%) would fail by far.
+        let mut rng = SimRng::new(2);
+        let mut m = GeoPathModel::with_defaults();
+        m.place(ip(1), Continent::Europe.center());
+        m.place(ip(2), Continent::Asia.center());
+        let c = m.characteristics(ip(1), ip(2));
+        let n = 50_000;
+        let sum_ns: f64 = (0..n)
+            .map(|_| c.sample_delay(&mut rng).as_nanos() as f64)
+            .sum();
+        let mean_ns = sum_ns / n as f64;
+        let prop_ns = c.propagation.as_nanos() as f64;
+        let rel_err = (mean_ns - prop_ns).abs() / prop_ns;
+        assert!(rel_err < 0.002, "relative mean error {rel_err}");
     }
 
     #[test]

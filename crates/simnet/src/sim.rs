@@ -14,6 +14,7 @@
 //! has moved.
 
 use crate::event::EventQueue;
+use crate::impair::{Impairment, PacketFate};
 use crate::net::{Ipv4Addr, Packet};
 use crate::path::{FixedPathModel, PathModel};
 use crate::rng::SimRng;
@@ -76,6 +77,12 @@ pub struct NetStats {
     pub packets_lost: u64,
     pub packets_unroutable: u64,
     pub bytes_delivered: u64,
+    /// Packets dropped by the installed [`Impairment`] (a subset of
+    /// `packets_lost`).
+    pub packets_impaired: u64,
+    /// Extra packet copies delivered due to impairment-layer
+    /// duplication (included in `packets_delivered`).
+    pub packets_duplicated: u64,
 }
 
 /// The discrete-event simulator.
@@ -93,6 +100,7 @@ pub struct Simulator {
     flow_last_arrival: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
     trace: Option<PacketTrace>,
     tap: Option<Box<dyn PacketTap>>,
+    impair: Option<Box<dyn Impairment>>,
     stats: NetStats,
 }
 
@@ -109,6 +117,7 @@ impl Simulator {
             flow_last_arrival: HashMap::new(),
             trace: None,
             tap: None,
+            impair: None,
             stats: NetStats::default(),
         }
     }
@@ -141,6 +150,7 @@ impl Simulator {
             trace.clear();
         }
         self.tap = None;
+        self.impair = None;
         self.stats = NetStats::default();
     }
 
@@ -182,6 +192,21 @@ impl Simulator {
     /// Mutable access to the installed tap by concrete type.
     pub fn tap_mut<T: PacketTap>(&mut self) -> Option<&mut T> {
         self.tap.as_mut()?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Install a fault-injection policy (replacing any previous one).
+    /// Every subsequently routed packet is first judged by the
+    /// impairment, then by the path model's own loss/delay sampling.
+    /// Cleared by [`Simulator::reset`]. With no impairment installed the
+    /// router consumes no extra RNG, so runs are byte-identical to a
+    /// simulator predating this layer.
+    pub fn set_impairment(&mut self, impair: Box<dyn Impairment>) {
+        self.impair = Some(impair);
+    }
+
+    /// Remove the installed impairment, restoring the unimpaired path.
+    pub fn clear_impairment(&mut self) {
+        self.impair = None;
     }
 
     /// Register a host reachable at the given IPs.
@@ -282,6 +307,20 @@ impl Simulator {
             self.observe(now, &pkt, true);
             return;
         };
+        // Fault injection first: an installed impairment may blackhole,
+        // delay, reorder or duplicate the packet before the path model's
+        // own i.i.d. loss. `impair` and `rng` are disjoint fields, so
+        // both can be borrowed mutably at once.
+        let fate = match &mut self.impair {
+            Some(im) => im.apply(now, &pkt, &mut self.rng),
+            None => PacketFate::deliver(),
+        };
+        if fate.drop {
+            self.stats.packets_lost += 1;
+            self.stats.packets_impaired += 1;
+            self.observe(now, &pkt, true);
+            return;
+        }
         let lost = chars.loss > 0.0 && self.rng.chance(chars.loss);
         self.observe(now, &pkt, lost);
         if lost {
@@ -300,15 +339,32 @@ impl Simulator {
             }
             _ => now,
         };
-        let mut arrival = depart + chars.sample_delay(&mut self.rng);
-        // FIFO per flow.
+        let mut arrival = depart + chars.sample_delay(&mut self.rng) + fate.extra_delay;
+        // FIFO per flow. A reordered packet bypasses the clamp (so its
+        // extra delay can genuinely push it behind later-sent packets)
+        // and does not advance the flow's arrival clock, which would
+        // otherwise drag every subsequent packet behind it.
         let key = (pkt.src.ip, pkt.dst.ip);
-        if let Some(&last) = self.flow_last_arrival.get(&key) {
-            arrival = arrival.max(last);
+        if !fate.reorder {
+            if let Some(&last) = self.flow_last_arrival.get(&key) {
+                arrival = arrival.max(last);
+            }
+            self.flow_last_arrival.insert(key, arrival);
         }
-        self.flow_last_arrival.insert(key, arrival);
         self.stats.packets_delivered += 1;
         self.stats.bytes_delivered += pkt.ip_payload_len() as u64;
+        if fate.duplicate {
+            // A duplicated packet gets its own sampled path delay and,
+            // like a reordered one, skips the FIFO clamp — duplicates
+            // commonly arrive out of order in real networks.
+            let dup_arrival = depart + chars.sample_delay(&mut self.rng);
+            self.stats.packets_delivered += 1;
+            self.stats.packets_duplicated += 1;
+            self.stats.bytes_delivered += pkt.ip_payload_len() as u64;
+            self.observe(now, &pkt, false);
+            self.queue
+                .push(dup_arrival, Event::Arrival(dst_host, pkt.clone()));
+        }
         self.queue.push(arrival, Event::Arrival(dst_host, pkt));
     }
 
@@ -800,6 +856,146 @@ mod tests {
         assert_eq!(stepped.stats(), run.stats());
         assert_eq!(stepped.now(), run.now());
         assert_eq!(stepped.now(), deadline);
+    }
+
+    #[test]
+    fn impairment_outage_blackholes_window() {
+        use crate::impair::ImpairmentSchedule;
+        // Ping at t=0 falls inside the outage and is dropped; the
+        // pinger never hears back.
+        let (mut sim, pinger, echo) = two_host_sim(Duration::from_millis(10));
+        sim.set_impairment(Box::new(
+            ImpairmentSchedule::new().with_outage(SimTime::ZERO, SimTime::from_millis(5)),
+        ));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.host::<Echo>(echo).received, 0);
+        assert_eq!(sim.stats().packets_lost, 1);
+        assert_eq!(sim.stats().packets_impaired, 1);
+        assert!(sim.host::<Pinger>(pinger).echo_at.is_none());
+    }
+
+    #[test]
+    fn impairment_outage_spares_the_echo_after_it_ends() {
+        use crate::impair::ImpairmentSchedule;
+        // One-way delay 10 ms; the outage covers [5, 9) ms, so the ping
+        // (sent at 0) passes but nothing is in flight during the window
+        // and the echo (sent at 10 ms) passes too.
+        let (mut sim, pinger, echo) = two_host_sim(Duration::from_millis(10));
+        sim.set_impairment(Box::new(
+            ImpairmentSchedule::new().with_outage(SimTime::from_millis(5), SimTime::from_millis(9)),
+        ));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        assert_eq!(sim.host::<Echo>(echo).received, 1);
+        assert_eq!(
+            sim.host::<Pinger>(pinger).echo_at,
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(sim.stats().packets_impaired, 0);
+    }
+
+    #[test]
+    fn impairment_duplication_delivers_copies() {
+        use crate::impair::ImpairmentSchedule;
+        let (mut sim, pinger, echo) = two_host_sim(Duration::from_millis(10));
+        sim.set_impairment(Box::new(ImpairmentSchedule::new().with_duplicate(1.0)));
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        // Ping duplicated -> echo receives 2, replies twice, each reply
+        // duplicated -> 3 duplicated copies in total, 6 deliveries.
+        assert_eq!(sim.host::<Echo>(echo).received, 2);
+        assert_eq!(sim.stats().packets_duplicated, 3);
+        assert_eq!(sim.stats().packets_delivered, 6);
+    }
+
+    #[test]
+    fn impairment_reordering_overtakes_fifo() {
+        use crate::impair::{Impairment, PacketFate};
+        // A deterministic impairment that delays only the first packet
+        // of the run far enough for the second to overtake it.
+        struct DelayFirst {
+            seen: usize,
+        }
+        impl Impairment for DelayFirst {
+            fn apply(&mut self, _now: SimTime, _pkt: &Packet, _rng: &mut SimRng) -> PacketFate {
+                self.seen += 1;
+                let mut fate = PacketFate::deliver();
+                if self.seen == 1 {
+                    fate.reorder = true;
+                    fate.extra_delay = Duration::from_millis(50);
+                }
+                fate
+            }
+        }
+        /// Records the payload tag order of arrivals.
+        struct Collector {
+            order: Vec<u8>,
+        }
+        impl Host for Collector {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+                self.order.push(pkt.payload[0]);
+            }
+            fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+        let a = addr(1, 40000);
+        let b = addr(2, 7);
+        let sender = sim.add_host(
+            Box::new(Pinger {
+                target: b,
+                local: a,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
+        let sink = sim.add_host(Box::new(Collector { order: vec![] }), &[b.ip]);
+        sim.set_impairment(Box::new(DelayFirst { seen: 0 }));
+        sim.with_host::<Pinger, _>(sender, |_, ctx| {
+            ctx.send(Packet::udp(a, b, vec![1]));
+            ctx.send(Packet::udp(a, b, vec![2]));
+        });
+        sim.run(1000);
+        assert_eq!(sim.host::<Collector>(sink).order, vec![2, 1]);
+    }
+
+    #[test]
+    fn inert_impairment_is_byte_identical_to_none() {
+        use crate::impair::ImpairmentSchedule;
+        let run = |install_inert: bool| {
+            let mut sim = Simulator::new(
+                9,
+                Box::new(FixedPathModel::with_loss(Duration::from_millis(3), 0.2)),
+            );
+            if install_inert {
+                sim.set_impairment(Box::new(ImpairmentSchedule::new()));
+            }
+            let a = addr(1, 40000);
+            let b = addr(2, 7);
+            let pinger = sim.add_host(
+                Box::new(Pinger {
+                    target: b,
+                    local: a,
+                    echo_at: None,
+                }),
+                &[a.ip],
+            );
+            sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+            sim.with_host::<Pinger, _>(pinger, |p, ctx| {
+                for _ in 0..30 {
+                    p.start(ctx);
+                }
+            });
+            sim.run(10_000);
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

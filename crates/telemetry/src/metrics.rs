@@ -46,10 +46,18 @@ pub enum Counter {
     BytesDoT,
     BytesDoH,
     BytesDoQ,
+    /// Connection re-dials performed by the client host after a
+    /// transport failure.
+    Reconnects,
+    /// Failure taxonomy: terminal query failures by kind.
+    FailTimeout,
+    FailReset,
+    FailHandshake,
+    FailDeadline,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 29] = [
         Counter::QuicPacketsSent,
         Counter::QuicPacketsReceived,
         Counter::QuicPacketsLost,
@@ -74,6 +82,11 @@ impl Counter {
         Counter::BytesDoT,
         Counter::BytesDoH,
         Counter::BytesDoQ,
+        Counter::Reconnects,
+        Counter::FailTimeout,
+        Counter::FailReset,
+        Counter::FailHandshake,
+        Counter::FailDeadline,
     ];
 
     pub fn name(self) -> &'static str {
@@ -102,6 +115,11 @@ impl Counter {
             Counter::BytesDoT => "bytes.dot",
             Counter::BytesDoH => "bytes.doh",
             Counter::BytesDoQ => "bytes.doq",
+            Counter::Reconnects => "client.reconnects",
+            Counter::FailTimeout => "fail.timeout",
+            Counter::FailReset => "fail.reset",
+            Counter::FailHandshake => "fail.handshake",
+            Counter::FailDeadline => "fail.deadline",
         }
     }
 }

@@ -5,9 +5,13 @@
 //! doqlab discovery
 //! doqlab single-query --scale medium
 //! doqlab webperf --scale quick --seed 7
+//! doqlab measure impairments --scale quick --seed 7
 //! doqlab all --scale quick --threads 8
 //! doqlab trace single-query --scale quick --trace-out trace.qlog
 //! ```
+//!
+//! Campaign names may be prefixed with `measure` (`doqlab measure
+//! impairments` and `doqlab impairments` are the same command).
 
 use doqlab_core::measure::engine;
 use doqlab_core::measure::report;
@@ -16,7 +20,7 @@ use doqlab_core::Study;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: doqlab <discovery|single-query|webperf|all> \
+        "usage: doqlab [measure] <discovery|single-query|webperf|impairments|all> \
          [--scale quick|medium|paper] [--seed N] [--threads N]\n\
          \x20      doqlab trace <single-query> \
          [--scale quick|medium|paper] [--seed N] [--trace-out PATH]\n\
@@ -35,7 +39,15 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let command = args.remove(0);
+    let mut command = args.remove(0);
+    // `doqlab measure <campaign>` is the spelled-out form of
+    // `doqlab <campaign>`.
+    if command == "measure" {
+        if args.is_empty() {
+            usage();
+        }
+        command = args.remove(0);
+    }
     let trace_target = if command == "trace" {
         if args.is_empty() {
             usage();
@@ -97,10 +109,12 @@ fn main() {
         "discovery" => run_discovery(&study),
         "single-query" => run_single_query(&study),
         "webperf" => run_webperf(&study),
+        "impairments" => run_impairments(&study),
         "all" => {
             run_discovery(&study);
             run_single_query(&study);
             run_webperf(&study);
+            run_impairments(&study);
         }
         _ => usage(),
     }
@@ -150,6 +164,15 @@ fn run_single_query(study: &Study) {
     let samples = study.run_single_query();
     println!("{}", report::render_table1(&report::table1(&samples)));
     println!("{}", report::render_fig2(&report::fig2(&samples)));
+}
+
+fn run_impairments(study: &Study) {
+    println!("== fault injection (impairment sweep) ==");
+    let samples = study.run_impairments();
+    println!(
+        "{}",
+        report::render_impairments(&report::impairment_rows(&samples))
+    );
 }
 
 fn run_webperf(study: &Study) {
