@@ -14,6 +14,7 @@
 //! | `ablation_amplification` | A1: no-resumption amplification stall |
 //! | `ablation_dot_bug` | A2: dnsproxy DoT reconnect bug |
 //! | `ablation_0rtt` | A3: 0-RTT resolvers (§4 future work) |
+//! | `campaign_throughput` | E13: engine throughput (units/s, events/s) -> `BENCH_7.json` |
 //!
 //! Every binary accepts `--scale quick|medium|paper` (default `medium`),
 //! `--seed N` and `--json` (machine-readable output); paper-reference

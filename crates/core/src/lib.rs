@@ -32,6 +32,7 @@ pub use doqlab_webperf as webperf;
 use doqlab_dox::DnsTransport;
 use doqlab_measure::discovery::DiscoveryReport;
 use doqlab_measure::impairments::{ImpairmentSample, ImpairmentsCampaign};
+use doqlab_measure::populations::{PopulationSample, PopulationsCampaign};
 use doqlab_measure::single_query::{SingleQueryCampaign, SingleQuerySample};
 use doqlab_measure::webperf::{WebperfCampaign, WebperfSample};
 use doqlab_measure::Scale;
@@ -136,6 +137,18 @@ impl Study {
         doqlab_measure::run_impairments_campaign(&c, &population)
     }
 
+    /// The population-scale campaign (`doqlab measure populations`):
+    /// Zipf-workload client cohorts behind shared stub caches over
+    /// pooled connections, one simulated day per cohort. Shares the
+    /// study seed with the single-query campaign so the degenerate
+    /// variant reproduces its samples bit for bit.
+    pub fn run_populations(&self) -> Vec<PopulationSample> {
+        let population = self.population();
+        let mut c = PopulationsCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        doqlab_measure::run_populations_campaign(&c, &population)
+    }
+
     /// §3.2 Web-performance campaign.
     pub fn run_webperf(&self) -> Vec<WebperfSample> {
         let population = self.population();
@@ -175,6 +188,7 @@ mod tests {
                 rounds: 1,
                 loads_per_round: 1,
                 pages: Some(1),
+                clients: Some(512),
                 threads: 4,
             },
             ..Study::quick(3)

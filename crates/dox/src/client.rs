@@ -147,6 +147,19 @@ pub struct ClientConfig {
     pub reconnect_max: u32,
     /// Backoff before the first reconnect attempt; doubles per attempt.
     pub reconnect_backoff: std::time::Duration,
+    /// Connection pooling (`None` disables it — the historical
+    /// single-query behavior). With `Some(idle)`, `DnsClientHost` keeps
+    /// the connection open across queries, amortizing the TLS/QUIC
+    /// handshake, and closes it once it has sat idle — no query in
+    /// flight — for `idle`. The next query after an eviction dials a
+    /// fresh connection carrying any captured session ticket. Pool
+    /// evictions are bookkept separately from failure reconnects.
+    pub pool_idle_timeout: Option<std::time::Duration>,
+    /// Pooled mode only: a freshly dialed connection must complete its
+    /// handshake within this budget or it is torn down and redialed
+    /// (counting against `reconnect_max` like any other failure). Guards
+    /// against handshakes that retry forever without a terminal error.
+    pub pool_handshake_timeout: std::time::Duration,
 }
 
 impl Default for ClientConfig {
@@ -161,6 +174,8 @@ impl Default for ClientConfig {
             query_deadline: None,
             reconnect_max: 0,
             reconnect_backoff: std::time::Duration::from_millis(250),
+            pool_idle_timeout: None,
+            pool_handshake_timeout: std::time::Duration::from_secs(4),
         }
     }
 }

@@ -11,6 +11,15 @@
 //! ticket the failed attempt managed to gather. With both knobs at
 //! their defaults (no deadline, no reconnects) the host behaves exactly
 //! as it did before the resilience layer existed.
+//!
+//! With [`ClientConfig::pool_idle_timeout`] set the host switches to
+//! **pooled mode** for population-scale workloads: the connection stays
+//! open across queries (amortizing the TLS/QUIC handshake — counted as
+//! `pool.reuse`), a connection idle past the timeout is closed and
+//! bookkept as a pool eviction (`pool.evict_idle`, never a reconnect),
+//! and the next query after an eviction or failure dials fresh,
+//! presenting whatever session ticket earlier connections captured.
+//! Pooled failure redials re-issue only the still-unanswered queries.
 
 use crate::client::{ClientConfig, DnsClientConn, DnsTransport, FailureKind, SessionState};
 use crate::doh::DoHClient;
@@ -61,6 +70,33 @@ pub struct DnsClientHost {
     reconnects_done: u32,
     /// Terminal verdict; once set the host goes quiet.
     terminal: Option<FailureKind>,
+    // --- pooled mode (cfg.pool_idle_timeout = Some) -------------------
+    /// Unanswered queries with their issue times; a pool redial
+    /// re-issues only these, never the full history.
+    pending: Vec<(SimTime, Message)>,
+    /// Last query issue or response arrival; the idle clock.
+    last_activity: SimTime,
+    /// A live (dialed, not evicted) connection exists.
+    dialed: bool,
+    /// When the live connection was dialed (handshake-deadline clock).
+    dialed_at: SimTime,
+    /// The source port of the first dial; each pool redial binds a
+    /// fresh port above it, as a real stub's sockets would.
+    base_port: u16,
+    /// Pooled dials so far (drives the source-port rotation).
+    dials: u32,
+    /// Reconnect budget consumed by the current query flow (reset once
+    /// the flow completes, unlike the monotonic `reconnects_done`).
+    pool_budget_used: u32,
+    pool_evictions: u32,
+    /// Queries issued on an already-established pooled connection.
+    pool_reuses: u64,
+    /// Queries abandoned after the reconnect budget was exhausted.
+    failed_queries: u64,
+    /// The abandoned queries themselves, for the owner to collect.
+    abandoned: Vec<Message>,
+    /// Resumption material carried across pool evictions and redials.
+    cached_session: SessionState,
 }
 
 impl DnsClientHost {
@@ -83,11 +119,32 @@ impl DnsClientHost {
             reconnect_at: None,
             reconnects_done: 0,
             terminal: None,
+            pending: Vec::new(),
+            last_activity: SimTime::ZERO,
+            dialed: false,
+            dialed_at: SimTime::ZERO,
+            base_port: local.port,
+            dials: 0,
+            pool_budget_used: 0,
+            pool_evictions: 0,
+            pool_reuses: 0,
+            failed_queries: 0,
+            abandoned: Vec::new(),
+            cached_session: SessionState::default(),
         }
+    }
+
+    /// Pooling is on: the host keeps the connection across queries.
+    fn pooled(&self) -> bool {
+        self.cfg.pool_idle_timeout.is_some()
     }
 
     /// Queue a query and open the connection (idempotent open).
     pub fn start_with_query(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        if self.pooled() {
+            self.pool_query(ctx, msg);
+            return;
+        }
         self.issued.push(msg.clone());
         self.conn.query(ctx.now, msg);
         let mut out = Vec::new();
@@ -195,10 +252,188 @@ impl DnsClientHost {
         self.conn.start(now, rng, out);
         self.conn.poll(now, out);
     }
+
+    // --- pooled mode --------------------------------------------------
+
+    /// Pool evictions performed (idle-timeout closes). Never counted
+    /// into [`DnsClientHost::reconnects`]: an idle eviction is not a
+    /// failure.
+    pub fn pool_evictions(&self) -> u32 {
+        self.pool_evictions
+    }
+
+    /// Queries abandoned after the reconnect budget ran out (pooled
+    /// mode only).
+    pub fn failed_queries(&self) -> u64 {
+        self.failed_queries
+    }
+
+    /// Queries that rode an already-established pooled connection — the
+    /// handshakes the pool amortized away.
+    pub fn pool_reuses(&self) -> u64 {
+        self.pool_reuses
+    }
+
+    /// Drain the queries the pool abandoned (budget exhausted), so the
+    /// owning stub can fail the waiting clients instead of leaking them.
+    pub fn take_abandoned(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.abandoned)
+    }
+
+    /// Queries currently in flight (pooled mode only).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Keep the freshest non-empty resumption material for later dials.
+    fn capture_session(&mut self) {
+        let s = self.conn.session_state();
+        if !s.is_empty() {
+            self.cached_session = s;
+        }
+    }
+
+    /// Issue a query on the pooled connection, dialing one if none is
+    /// live. Reuse of an established connection is the pooling payoff
+    /// and is counted as such.
+    fn pool_query(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        self.pending.push((ctx.now, msg.clone()));
+        self.last_activity = ctx.now;
+        let mut out = Vec::new();
+        if self.dialed {
+            if self.conn.handshake_done_at().is_some() {
+                self.pool_reuses += 1;
+                metrics::count(Counter::PoolReuse, 1);
+            }
+            self.conn.query(ctx.now, msg);
+            self.conn.poll(ctx.now, &mut out);
+        } else {
+            self.pool_dial(ctx.now, ctx.rng, &mut out);
+        }
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    /// Dial a fresh pooled connection and issue every pending query on
+    /// it, presenting any session material captured so far.
+    fn pool_dial(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        let mut cfg = self.cfg.clone();
+        if !self.cached_session.is_empty() {
+            cfg.session = self.cached_session.clone();
+        }
+        // Every dial binds a fresh source port, as a real stub's socket
+        // would. Reusing the 4-tuple would hand the new handshake to
+        // whatever stale state the server still holds for it — e.g.
+        // when the previous connection's CLOSE was lost in transit, a
+        // QUIC server keeps routing the old connection by 4-tuple and
+        // the new handshake retries forever against it.
+        self.local = SocketAddr::new(
+            self.local.ip,
+            self.base_port.wrapping_add((self.dials % 16_384) as u16),
+        );
+        self.dials += 1;
+        self.dialed_at = now;
+        self.conn = make_client(self.transport, self.local, self.remote, &cfg);
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+        let pending: Vec<Message> = self.pending.iter().map(|(_, q)| q.clone()).collect();
+        for q in &pending {
+            self.conn.query(now, q);
+        }
+        self.conn.start(now, rng, out);
+        self.conn.poll(now, out);
+        self.dialed = true;
+    }
+
+    /// Failure recovery for the pooled connection: dial a replacement
+    /// and re-issue only the *pending* queries. This is a genuine
+    /// reconnect and counts as one — unlike a pool eviction.
+    fn pool_failure_redial(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        metrics::count(Counter::Reconnects, 1);
+        self.capture_session();
+        self.reconnects_done += 1;
+        self.pool_budget_used += 1;
+        self.dialed = false;
+        self.pool_dial(now, rng, out);
+    }
+
+    /// Pooled-mode supervision: recover from transport failures within
+    /// the reconnect budget, and close connections that sat idle past
+    /// `pool_idle_timeout` (bookkept as evictions, never reconnects).
+    fn supervise_pooled(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        let idle = self.cfg.pool_idle_timeout.expect("pooled");
+        if let Some(at) = self.reconnect_at {
+            if now >= at {
+                self.reconnect_at = None;
+                self.pool_failure_redial(now, rng, out);
+            }
+            return;
+        }
+        // A handshake that neither completes nor reaches a terminal
+        // error within the budget (e.g. endless PTO retries against a
+        // peer that will never answer) is treated as a failure.
+        let hs_overdue = self.dialed
+            && self.conn.handshake_done_at().is_none()
+            && now >= self.dialed_at + self.cfg.pool_handshake_timeout;
+        if self.dialed && (self.conn.failed() || hs_overdue) {
+            if !self.pending.is_empty()
+                && self.cfg.reconnect_max > 0
+                && self.pool_budget_used < self.cfg.reconnect_max
+            {
+                let backoff = self
+                    .cfg
+                    .reconnect_backoff
+                    .saturating_mul(1u32 << self.pool_budget_used.min(16));
+                self.reconnect_at = Some(now + backoff);
+            } else {
+                // Budget exhausted (or nothing in flight): abandon the
+                // pending queries and tear the connection down; the
+                // next query dials fresh with a fresh budget.
+                self.failed_queries += self.pending.len() as u64;
+                self.abandoned
+                    .extend(self.pending.drain(..).map(|(_, q)| q));
+                self.capture_session();
+                self.conn.close(now, out);
+                self.dialed = false;
+                self.pool_budget_used = 0;
+            }
+            return;
+        }
+        if self.dialed && self.pending.is_empty() && now >= self.last_activity + idle {
+            self.capture_session();
+            self.conn.close(now, out);
+            self.dialed = false;
+            self.pool_evictions += 1;
+            self.pool_budget_used = 0;
+            metrics::count(Counter::PoolEvictIdle, 1);
+        }
+    }
+
+    /// Fold freshly-taken responses into the host: in pooled mode they
+    /// retire their pending queries (matched by message id) and restart
+    /// the idle clock.
+    fn absorb_responses(&mut self, taken: Vec<(SimTime, Message)>) {
+        if self.pooled() && !taken.is_empty() {
+            for (at, resp) in &taken {
+                self.pending.retain(|(_, q)| q.header.id != resp.header.id);
+                self.last_activity = *at;
+            }
+            self.pool_budget_used = 0;
+        }
+        self.responses.extend(taken);
+    }
 }
 
 impl Host for DnsClientHost {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        // Pooled dials rotate source ports; a packet addressed to a
+        // retired port belongs to an evicted or replaced connection and
+        // must not be pumped into the current one's state machine.
+        if self.pooled() && pkt.dst.port != self.local.port {
+            return;
+        }
         let mut out = Vec::new();
         // Once the verdict is terminal or a replacement dial is
         // pending, the connection is dead: late packets addressed to it
@@ -206,9 +441,14 @@ impl Host for DnsClientHost {
         if self.terminal.is_none() && self.reconnect_at.is_none() {
             self.conn.on_packet(ctx.now, &pkt, &mut out);
             self.conn.poll(ctx.now, &mut out);
-            self.responses.extend(self.conn.take_responses());
+            let taken = self.conn.take_responses();
+            self.absorb_responses(taken);
         }
-        self.supervise(ctx.now, ctx.rng, &mut out);
+        if self.pooled() {
+            self.supervise_pooled(ctx.now, ctx.rng, &mut out);
+        } else {
+            self.supervise(ctx.now, ctx.rng, &mut out);
+        }
         for p in out {
             ctx.send(p);
         }
@@ -218,15 +458,40 @@ impl Host for DnsClientHost {
         let mut out = Vec::new();
         if self.terminal.is_none() && self.reconnect_at.is_none() {
             self.conn.poll(ctx.now, &mut out);
-            self.responses.extend(self.conn.take_responses());
+            let taken = self.conn.take_responses();
+            self.absorb_responses(taken);
         }
-        self.supervise(ctx.now, ctx.rng, &mut out);
+        if self.pooled() {
+            self.supervise_pooled(ctx.now, ctx.rng, &mut out);
+        } else {
+            self.supervise(ctx.now, ctx.rng, &mut out);
+        }
         for p in out {
             ctx.send(p);
         }
     }
 
     fn next_wakeup(&self) -> Option<SimTime> {
+        if self.pooled() {
+            // Pooled connections never go terminal; their timers are
+            // the live connection's, the pending failure redial, and
+            // the idle-eviction sweep.
+            let mut next = match self.reconnect_at {
+                Some(at) => Some(at),
+                None if self.dialed => self.conn.next_timeout(),
+                None => None,
+            };
+            if self.dialed && self.reconnect_at.is_none() && self.pending.is_empty() {
+                let evict = self.last_activity + self.cfg.pool_idle_timeout.expect("pooled");
+                next = Some(next.map_or(evict, |n| n.min(evict)));
+            }
+            if self.dialed && self.reconnect_at.is_none() && self.conn.handshake_done_at().is_none()
+            {
+                let hs = self.dialed_at + self.cfg.pool_handshake_timeout;
+                next = Some(next.map_or(hs, |n| n.min(hs)));
+            }
+            return next;
+        }
         // Once terminal, the host goes quiet: re-advertising the dead
         // connection's timers would spin the event loop forever.
         if self.terminal.is_some() {

@@ -452,6 +452,10 @@ impl DnsServerSet {
                     dgram,
                 ));
             }
+            // Long-lived hosts see many connections per peer (pooled
+            // clients redial after evictions); drained ones must not
+            // accumulate.
+            server.reap();
         }
         self.events.append(&mut doq_events);
 

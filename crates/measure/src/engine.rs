@@ -53,6 +53,22 @@ pub fn env_seed(configured: u64) -> u64 {
     }
 }
 
+/// Environment variable overriding the population campaign's simulated
+/// client count ([`env_clients`]).
+pub const CLIENTS_ENV: &str = "DOQLAB_CLIENTS";
+
+/// The simulated client count to use: `DOQLAB_CLIENTS` if set to a
+/// positive integer, otherwise `configured`.
+pub fn env_clients(configured: u64) -> u64 {
+    match std::env::var(CLIENTS_ENV) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
 /// Mix a campaign seed and a unit coordinate tuple into the unit's RNG
 /// seed (splitmix64-style finalization per part). Hashing every part —
 /// rather than packing parts into one integer — means coordinates can

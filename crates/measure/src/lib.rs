@@ -17,6 +17,11 @@
 //!   re-run under deterministic burst loss, outages, reordering and
 //!   duplication regimes, reporting failure rates and response-time
 //!   CDFs per regime and transport.
+//! * [`populations`] — the population-scale campaign: whole client
+//!   cohorts behind shared stub caches and pooled connections, issuing
+//!   Zipf-popular queries over a simulated day; reports cache hit
+//!   ratios, resolver load, client resolve-time quantiles and
+//!   aggregate bytes per transport.
 //!
 //! [`stats`] holds the estimators (median, percentiles, CDFs) and
 //! [`report`] renders tables that mirror the paper's layout. Campaign
@@ -26,6 +31,7 @@
 pub mod discovery;
 pub mod engine;
 pub mod impairments;
+pub mod populations;
 pub mod report;
 pub mod single_query;
 pub mod stats;
@@ -37,6 +43,7 @@ pub use discovery::{run_discovery, DiscoveryReport};
 pub use impairments::{
     run_impairments_campaign, ImpairmentRegime, ImpairmentSample, ImpairmentsCampaign,
 };
+pub use populations::{run_populations_campaign, PopulationSample, PopulationsCampaign};
 pub use single_query::{run_single_query_campaign, SingleQueryCampaign, SingleQuerySample};
 pub use stats::{cdf_points, median, percentile, Cdf};
 pub use trace::{trace_single_query, TraceRun};
@@ -59,6 +66,10 @@ pub struct Scale {
     pub loads_per_round: usize,
     /// Pages (None = all ten).
     pub pages: Option<usize>,
+    /// Simulated clients for the population campaign (None = the
+    /// campaign's 10⁵ default; `DOQLAB_CLIENTS` overrides either way
+    /// via [`engine::env_clients`]).
+    pub clients: Option<u64>,
     /// OS threads to shard vantage points / units across.
     pub threads: usize,
 }
@@ -73,6 +84,7 @@ impl Scale {
             rounds: 3,
             loads_per_round: 4,
             pages: None,
+            clients: None,
             threads: Scale::default_threads(),
         }
     }
@@ -85,6 +97,7 @@ impl Scale {
             rounds: 1,
             loads_per_round: 1,
             pages: Some(4),
+            clients: Some(2_000),
             threads: Scale::default_threads(),
         }
     }
@@ -97,6 +110,7 @@ impl Scale {
             rounds: 1,
             loads_per_round: 2,
             pages: None,
+            clients: Some(20_000),
             threads: Scale::default_threads(),
         }
     }

@@ -3,6 +3,7 @@
 //! rendering; the bench binaries also dump them as JSON).
 
 use crate::impairments::ImpairmentSample;
+use crate::populations::PopulationSample;
 use crate::single_query::SingleQuerySample;
 use crate::stats::{cdf_points, median, percentile, relative_difference_pct, Cdf};
 use crate::webperf::WebperfSample;
@@ -641,6 +642,159 @@ pub fn render_impairments(rows: &[ImpairmentRow]) -> String {
     out
 }
 
+/// One cell of the populations report: an alpha x transport slice of
+/// the population campaign, all vantage points merged.
+#[derive(Debug, Clone, Serialize)]
+pub struct PopulationRow {
+    pub alpha: f64,
+    pub transport: String,
+    pub cohorts: usize,
+    /// Clients simulated across the cell's cohorts.
+    pub clients: u64,
+    /// Client queries issued over the simulated day.
+    pub queries: u64,
+    /// Stub cache hit ratio (positive + negative hits over lookups), %.
+    pub hit_pct: f64,
+    /// Queries answered from an already-in-flight upstream lookup, %.
+    pub coalesced_pct: f64,
+    /// Load the upstream resolvers actually served, queries/second of
+    /// simulated time.
+    pub resolver_qps: f64,
+    /// Client resolve-time quantiles [p50, p99, p999] in ms over every
+    /// query, cache hits included at ~0 ms. Quantiles are log-linear
+    /// bucket floors (<=12.5% relative error).
+    pub resolve_ms: [f64; 3],
+    pub pool_reuses: u64,
+    pub pool_evictions: u64,
+    pub reconnects: u64,
+    /// Aggregate IP payload the cell's upstream traffic moved, MB.
+    pub megabytes: f64,
+}
+
+/// Reduce the population campaign to per-alpha, per-transport rows
+/// (alphas ascending by campaign index, transports in the campaign's
+/// column order). Degenerate baseline samples are skipped — they carry
+/// a single-query sample, not a day of population traffic.
+pub fn population_rows(samples: &[PopulationSample]) -> Vec<PopulationRow> {
+    let mut alphas: Vec<(usize, f64)> = Vec::new();
+    let mut transports: Vec<DnsTransport> = Vec::new();
+    for s in samples {
+        if s.baseline.is_some() {
+            continue;
+        }
+        if !alphas.iter().any(|(i, _)| *i == s.alpha_idx) {
+            alphas.push((s.alpha_idx, s.alpha));
+        }
+        if !transports.contains(&s.transport) {
+            transports.push(s.transport);
+        }
+    }
+    alphas.sort_by_key(|(i, _)| *i);
+    let mut rows = Vec::new();
+    for (alpha_idx, alpha) in alphas {
+        for &t in &transports {
+            let cell: Vec<&PopulationSample> = samples
+                .iter()
+                .filter(|s| s.baseline.is_none() && s.alpha_idx == alpha_idx && s.transport == t)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let queries: u64 = cell.iter().map(|s| s.stats.queries).sum();
+            let hits: u64 = cell
+                .iter()
+                .map(|s| s.stats.cache_hits + s.stats.negative_hits)
+                .sum();
+            let coalesced: u64 = cell.iter().map(|s| s.stats.coalesced).sum();
+            let resolver_queries: u64 = cell.iter().map(|s| s.resolver_queries).sum();
+            let window_s: f64 = cell.iter().map(|s| s.window_s).fold(0.0, f64::max);
+            let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+            for s in &cell {
+                for &(bucket, n) in &s.resolve_hist {
+                    *hist.entry(bucket).or_insert(0) += n;
+                }
+            }
+            let q = |p: f64| hist_quantile_ms(&hist, p);
+            rows.push(PopulationRow {
+                alpha,
+                transport: t.name().to_string(),
+                cohorts: cell.len(),
+                clients: cell.iter().map(|s| s.clients).sum(),
+                queries,
+                hit_pct: 100.0 * hits as f64 / queries.max(1) as f64,
+                coalesced_pct: 100.0 * coalesced as f64 / queries.max(1) as f64,
+                resolver_qps: resolver_queries as f64 / window_s.max(1.0),
+                resolve_ms: [q(0.5), q(0.99), q(0.999)],
+                pool_reuses: cell.iter().map(|s| s.pool_reuses).sum(),
+                pool_evictions: cell.iter().map(|s| s.pool_evictions as u64).sum(),
+                reconnects: cell.iter().map(|s| s.reconnects as u64).sum(),
+                megabytes: cell.iter().map(|s| s.bytes_delivered).sum::<u64>() as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Quantile of a merged sparse log-bucket histogram, in milliseconds
+/// (bucket floors, so cache hits in bucket 0 report as exactly 0).
+fn hist_quantile_ms(hist: &BTreeMap<u32, u64>, q: f64) -> f64 {
+    let total: u64 = hist.values().sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (&bucket, &n) in hist {
+        seen += n;
+        if seen >= target {
+            return metrics::bucket_floor(bucket as usize) as f64 / 1e6;
+        }
+    }
+    f64::NAN
+}
+
+/// Render the populations report: per Zipf alpha, a transport table of
+/// cache effectiveness, resolver load, client latency quantiles, and
+/// connection-pool behavior.
+pub fn render_populations(rows: &[PopulationRow]) -> String {
+    let mut out = String::new();
+    let mut current = None::<f64>;
+    for row in rows {
+        if current != Some(row.alpha) {
+            current = Some(row.alpha);
+            out.push_str(&format!(
+                "\nzipf a={:<7.2}{:>10}{:>7}{:>7}{:>9}{:>9}{:>9}{:>9}{:>8}{:>7}{:>9}\n",
+                row.alpha,
+                "queries",
+                "hit%",
+                "coal%",
+                "rslv q/s",
+                "p50 ms",
+                "p99 ms",
+                "p999 ms",
+                "reuse",
+                "evict",
+                "MB"
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<12}{:>10}{:>6.1}%{:>6.1}%{:>9.1}{:>9.2}{:>9.1}{:>9.1}{:>8}{:>7}{:>9.2}\n",
+            row.transport,
+            row.queries,
+            row.hit_pct,
+            row.coalesced_pct,
+            row.resolver_qps,
+            row.resolve_ms[0],
+            row.resolve_ms[1],
+            row.resolve_ms[2],
+            row.pool_reuses,
+            row.pool_evictions,
+            row.megabytes,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,5 +1010,92 @@ mod tests {
         let rendered = render_impairments(&rows);
         assert!(rendered.contains("regime baseline"));
         assert!(rendered.contains("timeout x1"));
+    }
+
+    fn pop_sample(alpha_idx: usize, alpha: f64, t: DnsTransport, vp: usize) -> PopulationSample {
+        use doqlab_resolver::StubStats;
+        PopulationSample {
+            vp,
+            vp_name: "test",
+            resolver: 0,
+            alpha_idx,
+            alpha,
+            transport: t,
+            clients: 100,
+            window_s: 3_600.0,
+            stats: StubStats {
+                queries: 1_000,
+                cache_hits: 700,
+                negative_hits: 50,
+                coalesced: 30,
+                upstream_queries: 220,
+                upstream_answered: 220,
+                failed: 0,
+            },
+            cache_expired: 5,
+            cache_entries: 40,
+            pool_reuses: 200,
+            pool_evictions: 3,
+            reconnects: 1,
+            resolver_queries: 220,
+            bytes_delivered: 2_000_000,
+            packets_delivered: 4_000,
+            // 750 cache hits at ~0, 250 upstream answers at ~20 ms.
+            resolve_hist: vec![(0, 750), (metrics::bucket_index(20_000_000) as u32, 250)],
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn population_rows_merge_vantage_points_per_alpha_transport() {
+        let samples = vec![
+            pop_sample(0, 0.75, DnsTransport::DoQ, 0),
+            pop_sample(0, 0.75, DnsTransport::DoQ, 1),
+            pop_sample(0, 0.75, DnsTransport::DoUdp, 0),
+            pop_sample(1, 0.9, DnsTransport::DoQ, 0),
+        ];
+        let rows = population_rows(&samples);
+        assert_eq!(rows.len(), 3);
+        let doq = &rows[0];
+        assert_eq!(doq.transport, "DoQ");
+        assert_eq!(doq.alpha, 0.75);
+        assert_eq!(doq.cohorts, 2);
+        assert_eq!(doq.clients, 200);
+        assert_eq!(doq.queries, 2_000);
+        assert!((doq.hit_pct - 75.0).abs() < 1e-9);
+        assert!((doq.coalesced_pct - 3.0).abs() < 1e-9);
+        assert!((doq.resolver_qps - 440.0 / 3_600.0).abs() < 1e-9);
+        // p50 lands in the cache-hit bucket, p99 in the upstream one
+        // (floors, so the 20 ms answers report as >= 16 ms).
+        assert_eq!(doq.resolve_ms[0], 0.0);
+        assert!(doq.resolve_ms[1] >= 16.0 && doq.resolve_ms[1] <= 20.0);
+        assert_eq!(doq.pool_reuses, 400);
+        assert_eq!(doq.pool_evictions, 6);
+        assert!((doq.megabytes - 4.0).abs() < 1e-9);
+        // Second alpha opens its own group.
+        assert_eq!(rows[2].alpha, 0.9);
+        let rendered = render_populations(&rows);
+        assert!(rendered.contains("zipf a=0.75"));
+        assert!(rendered.contains("zipf a=0.90"));
+        assert!(rendered.contains("DoUDP"));
+    }
+
+    #[test]
+    fn population_rows_skip_degenerate_baselines() {
+        let mut s = pop_sample(0, 0.9, DnsTransport::DoQ, 0);
+        s.baseline = Some(sample(DnsTransport::DoQ, Some(10.0), 25.0, 100));
+        assert!(population_rows(&[s]).is_empty());
+    }
+
+    #[test]
+    fn hist_quantile_walks_bucket_floors() {
+        let hist: BTreeMap<u32, u64> =
+            [(0u32, 90u64), (metrics::bucket_index(8_000_000) as u32, 10)]
+                .into_iter()
+                .collect();
+        assert_eq!(hist_quantile_ms(&hist, 0.5), 0.0);
+        let p99 = hist_quantile_ms(&hist, 0.99);
+        assert!(p99 > 0.0 && p99 <= 8.0);
+        assert!(hist_quantile_ms(&BTreeMap::new(), 0.5).is_nan());
     }
 }

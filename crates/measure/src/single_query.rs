@@ -503,7 +503,7 @@ fn failure_counter(kind: FailureKind) -> Counter {
 }
 
 /// The per-transport byte-total counter a unit's traffic folds into.
-fn transport_byte_counter(transport: DnsTransport) -> Counter {
+pub(crate) fn transport_byte_counter(transport: DnsTransport) -> Counter {
     match transport {
         DnsTransport::DoUdp => Counter::BytesDoUdp,
         DnsTransport::DoTcp => Counter::BytesDoTcp,

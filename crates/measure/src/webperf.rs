@@ -15,6 +15,7 @@ use doqlab_resolver::ResolverProfile;
 use doqlab_simnet::geo::Continent;
 use doqlab_simnet::path::GeoPathParams;
 use doqlab_simnet::{Duration, Simulator};
+use doqlab_telemetry::metrics::{self, Counter};
 use doqlab_webperf::{run_page_load_in, PageLoadConfig, PageProfile};
 
 /// One Web-performance sample (already the median over the round's
@@ -127,6 +128,7 @@ pub fn run_webperf_unit(
         load_timeout: Duration::from_secs(30),
         path_params: campaign.path_params.clone(),
     };
+    metrics::count(Counter::UnitsRun, 1);
     let loads = run_page_load_in(sim, &cfg);
     // Medians over the successful loads only: a failed load must not
     // contribute a partial FCP/PLT, and its NaNs must not be silently

@@ -1,7 +1,14 @@
 //! A TTL-bounded DNS record cache, keyed case-insensitively by
 //! (name, type) like a real resolver cache.
+//!
+//! Besides positive record sets, the cache stores RFC 2308 **negative
+//! entries** (NXDOMAIN / NODATA verdicts bounded by the zone SOA's
+//! MINIMUM field): a stub or resolver that has just learned a name does
+//! not exist must not re-ask until the negative TTL lapses. Without
+//! them, population-scale cache-hit ratios are inflated for miss-heavy
+//! Zipf tails, since every repeat NXDOMAIN would count as a fresh miss.
 
-use doqlab_dnswire::{Name, RecordType, ResourceRecord};
+use doqlab_dnswire::{Name, Rcode, RecordType, ResourceRecord};
 use doqlab_simnet::{Duration, SimTime};
 use doqlab_telemetry::metrics::{self, Counter};
 use std::collections::HashMap;
@@ -26,9 +33,25 @@ impl Key {
     }
 }
 
+/// What a cache lookup yields: a positive record set (TTLs decayed to
+/// the remaining lifetime) or an RFC 2308 negative verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    Records(Vec<ResourceRecord>),
+    /// NXDOMAIN ([`Rcode::NxDomain`]) or NODATA ([`Rcode::NoError`]
+    /// with an empty answer section).
+    Negative(Rcode),
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Records(Vec<ResourceRecord>),
+    Negative(Rcode),
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
-    records: Vec<ResourceRecord>,
+    payload: Payload,
     expires_at: SimTime,
 }
 
@@ -38,6 +61,8 @@ pub struct DnsCache {
     entries: HashMap<Key, Entry>,
     hits: u64,
     misses: u64,
+    negative_hits: u64,
+    expired: u64,
 }
 
 impl DnsCache {
@@ -45,34 +70,60 @@ impl DnsCache {
         DnsCache::default()
     }
 
-    /// Look up records; expired entries count as misses and are evicted.
+    /// Look up records; expired entries count as misses and are
+    /// evicted. A live negative entry is reported as `None` (the legacy
+    /// interface cannot express it) but still counts as a hit — use
+    /// [`DnsCache::get_answer`] to observe negatives.
     pub fn get(
         &mut self,
         now: SimTime,
         name: &Name,
         rtype: RecordType,
     ) -> Option<Vec<ResourceRecord>> {
+        match self.get_answer(now, name, rtype) {
+            Some(CachedAnswer::Records(records)) => Some(records),
+            _ => None,
+        }
+    }
+
+    /// Look up an answer — positive or negative; expired entries count
+    /// as misses and are evicted.
+    pub fn get_answer(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Option<CachedAnswer> {
         let key = Key::new(name, rtype);
         match self.entries.get(&key) {
             Some(e) if e.expires_at > now => {
                 self.hits += 1;
                 metrics::count(Counter::CacheHits, 1);
-                // Remaining TTL decreases as the entry ages.
-                let remaining = (e.expires_at - now).as_secs() as u32;
-                Some(
-                    e.records
-                        .iter()
-                        .cloned()
-                        .map(|mut rr| {
-                            rr.ttl = rr.ttl.min(remaining);
-                            rr
-                        })
-                        .collect(),
-                )
+                match &e.payload {
+                    Payload::Records(records) => {
+                        // Remaining TTL decreases as the entry ages.
+                        let remaining = (e.expires_at - now).as_secs() as u32;
+                        Some(CachedAnswer::Records(
+                            records
+                                .iter()
+                                .cloned()
+                                .map(|mut rr| {
+                                    rr.ttl = rr.ttl.min(remaining);
+                                    rr
+                                })
+                                .collect(),
+                        ))
+                    }
+                    Payload::Negative(rcode) => {
+                        self.negative_hits += 1;
+                        Some(CachedAnswer::Negative(*rcode))
+                    }
+                }
             }
             Some(_) => {
                 self.entries.remove(&key);
                 self.misses += 1;
+                self.expired += 1;
                 metrics::count(Counter::CacheMisses, 1);
                 None
             }
@@ -96,7 +147,26 @@ impl DnsCache {
         self.entries.insert(
             Key::new(name, rtype),
             Entry {
-                records,
+                payload: Payload::Records(records),
+                expires_at: now + Duration::from_secs(ttl as u64),
+            },
+        );
+    }
+
+    /// Insert an RFC 2308 negative entry. `ttl` is the negative TTL the
+    /// caller derived from the zone SOA (`min(SOA TTL, SOA MINIMUM)`).
+    pub fn put_negative(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+        rcode: Rcode,
+        ttl: u32,
+    ) {
+        self.entries.insert(
+            Key::new(name, rtype),
+            Entry {
+                payload: Payload::Negative(rcode),
                 expires_at: now + Duration::from_secs(ttl as u64),
             },
         );
@@ -116,6 +186,17 @@ impl DnsCache {
 
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Hits answered from a negative entry (subset of the hit count).
+    pub fn negative_hits(&self) -> u64 {
+        self.negative_hits
+    }
+
+    /// Entries evicted because a lookup found them expired (subset of
+    /// the miss count).
+    pub fn expired(&self) -> u64 {
+        self.expired
     }
 }
 
@@ -202,6 +283,61 @@ mod tests {
         assert!(c
             .get(SimTime::ZERO, &name("a.b"), RecordType::Aaaa)
             .is_none());
+    }
+
+    #[test]
+    fn negative_entries_hit_until_their_ttl() {
+        let mut c = DnsCache::new();
+        let n = name("gone.example");
+        assert!(c.get_answer(SimTime::ZERO, &n, RecordType::A).is_none());
+        c.put_negative(SimTime::ZERO, &n, RecordType::A, Rcode::NxDomain, 60);
+        assert_eq!(
+            c.get_answer(SimTime::from_secs(59), &n, RecordType::A),
+            Some(CachedAnswer::Negative(Rcode::NxDomain))
+        );
+        // The legacy interface reports a live negative as None, but it
+        // still counts as a (negative) hit.
+        assert!(c.get(SimTime::from_secs(59), &n, RecordType::A).is_none());
+        assert_eq!(c.stats(), (2, 1));
+        assert_eq!(c.negative_hits(), 2);
+        // Past the SOA-minimum TTL the verdict expires like any entry.
+        assert!(c
+            .get_answer(SimTime::from_secs(60), &n, RecordType::A)
+            .is_none());
+        assert_eq!(c.expired(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn nodata_and_nxdomain_are_distinct_verdicts() {
+        let mut c = DnsCache::new();
+        c.put_negative(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::Txt,
+            Rcode::NoError,
+            30,
+        );
+        assert_eq!(
+            c.get_answer(SimTime::ZERO, &name("a.b"), RecordType::Txt),
+            Some(CachedAnswer::Negative(Rcode::NoError))
+        );
+    }
+
+    #[test]
+    fn expired_positive_lookup_is_counted() {
+        let mut c = DnsCache::new();
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 5)],
+        );
+        assert!(c
+            .get(SimTime::from_secs(10), &name("a.b"), RecordType::A)
+            .is_none());
+        assert_eq!(c.expired(), 1);
+        assert_eq!(c.negative_hits(), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! model irrelevant to the reported numbers — but it must exist for the
 //! cache-warming query to have something to do).
 
-use crate::cache::DnsCache;
+use crate::cache::{CachedAnswer, DnsCache};
 use doqlab_dnswire::{Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SvcParam};
 use doqlab_dox::server::{ConnKey, DnsServerSet, ServerConfig};
 use doqlab_simnet::{Ctx, Duration, Host, Packet, SimRng, SimTime};
@@ -72,6 +72,16 @@ pub fn ip_for_domain(domain: &str) -> doqlab_simnet::Ipv4Addr {
 /// address derived from the name, so answers are stable across runs and
 /// resolvers.
 pub fn authoritative_answer(q: &Question) -> Vec<ResourceRecord> {
+    // Names whose first label carries the synthetic `nx-` prefix do not
+    // exist anywhere: population workloads query them to exercise
+    // NXDOMAIN and RFC 2308 negative caching.
+    if q.name
+        .labels()
+        .first()
+        .is_some_and(|l| l.starts_with(b"nx-"))
+    {
+        return Vec::new();
+    }
     let ip = ip_for_name(&q.name).octets();
     match q.rtype {
         RecordType::A => {
@@ -88,6 +98,48 @@ pub fn authoritative_answer(q: &Question) -> Vec<ResourceRecord> {
     }
 }
 
+/// Negative TTL (RFC 2308): how long an NXDOMAIN/NODATA verdict may be
+/// cached, advertised as the SOA MINIMUM of the negative response's
+/// authority record.
+pub const NEGATIVE_TTL: u32 = 60;
+
+/// The SOA record a negative response carries in its authority section
+/// (RFC 2308 §3): its TTL and MINIMUM bound how long the verdict may be
+/// cached.
+pub fn negative_soa(q: &Question) -> ResourceRecord {
+    // The simulated authoritative serves everything from one zone; the
+    // query name's parent stands in for the zone apex.
+    let zone = q.name.parent().unwrap_or_else(Name::root);
+    ResourceRecord::new(
+        zone,
+        NEGATIVE_TTL,
+        RData::Soa {
+            mname: Name::parse("ns.doqlab.invalid").expect("const"),
+            rname: Name::parse("hostmaster.doqlab.invalid").expect("const"),
+            serial: 2022,
+            refresh: 3600,
+            retry: 600,
+            expire: 86400,
+            minimum: NEGATIVE_TTL,
+        },
+    )
+}
+
+/// Build the negative response for `query`: the rcode plus the RFC 2308
+/// SOA authority record that carries the negative TTL.
+fn negative_response(query: &Message, q: &Question, rcode: Rcode) -> Message {
+    let mut resp = Message::error_response_to(query, rcode);
+    resp.authorities.push(negative_soa(q));
+    resp
+}
+
+/// What releasing a pending answer writes back into the cache.
+#[derive(Debug, Clone)]
+enum CacheFill {
+    Records(Vec<ResourceRecord>),
+    Negative(Rcode),
+}
+
 /// A pending answer (waiting on hit-delay or recursion).
 #[derive(Debug)]
 struct PendingAnswer {
@@ -95,7 +147,7 @@ struct PendingAnswer {
     key: ConnKey,
     response: Message,
     /// Cache fill performed when the answer is released.
-    fill: Option<(Name, RecordType, Vec<ResourceRecord>)>,
+    fill: Option<(Name, RecordType, CacheFill)>,
 }
 
 /// The resolver host.
@@ -180,8 +232,8 @@ impl ResolverHost {
                 self.set.respond(ctx.now, ev.key, &resp);
                 continue;
             }
-            match self.cache.get(ctx.now, &q.name, q.rtype) {
-                Some(records) => {
+            match self.cache.get_answer(ctx.now, &q.name, q.rtype) {
+                Some(CachedAnswer::Records(records)) => {
                     self.cache_hits += 1;
                     let response = Message::response_to(&ev.query, records);
                     self.pending.push(PendingAnswer {
@@ -191,18 +243,36 @@ impl ResolverHost {
                         fill: None,
                     });
                 }
+                Some(CachedAnswer::Negative(rcode)) => {
+                    // RFC 2308: a cached NXDOMAIN/NODATA verdict is
+                    // served like any hit — no recursion.
+                    self.cache_hits += 1;
+                    let response = negative_response(&ev.query, &q, rcode);
+                    self.pending.push(PendingAnswer {
+                        due: ctx.now + self.model.hit_delay,
+                        key: ev.key,
+                        response,
+                        fill: None,
+                    });
+                }
                 None => {
                     let records = authoritative_answer(&q);
-                    let response = if records.is_empty() {
-                        Message::error_response_to(&ev.query, Rcode::NxDomain)
+                    let (response, fill) = if records.is_empty() {
+                        (
+                            negative_response(&ev.query, &q, Rcode::NxDomain),
+                            CacheFill::Negative(Rcode::NxDomain),
+                        )
                     } else {
-                        Message::response_to(&ev.query, records.clone())
+                        (
+                            Message::response_to(&ev.query, records.clone()),
+                            CacheFill::Records(records),
+                        )
                     };
                     self.pending.push(PendingAnswer {
                         due: ctx.now + self.model.sample(ctx.rng),
                         key: ev.key,
                         response,
-                        fill: (!records.is_empty()).then_some((q.name, q.rtype, records)),
+                        fill: Some((q.name, q.rtype, fill)),
                     });
                 }
             }
@@ -218,8 +288,15 @@ impl ResolverHost {
             }
         });
         for (key, response, fill) in released {
-            if let Some((name, rtype, records)) = fill {
-                self.cache.put(ctx.now, &name, rtype, records);
+            match fill {
+                Some((name, rtype, CacheFill::Records(records))) => {
+                    self.cache.put(ctx.now, &name, rtype, records);
+                }
+                Some((name, rtype, CacheFill::Negative(rcode))) => {
+                    self.cache
+                        .put_negative(ctx.now, &name, rtype, rcode, NEGATIVE_TTL);
+                }
+                None => {}
             }
             self.set.respond(ctx.now, key, &response);
         }
@@ -351,6 +428,56 @@ mod tests {
         assert!(miss > hit, "miss {miss:?} vs hit {hit:?}");
         assert_eq!(sim.host::<ResolverHost>(rid).cache_hits, 1);
         assert_eq!(sim.host::<ResolverHost>(rid).queries_served, 2);
+    }
+
+    #[test]
+    fn nxdomain_is_negatively_cached_with_soa_authority() {
+        // A name with no authoritative records (non-A/AAAA rtypes)
+        // yields NXDOMAIN with an RFC 2308 SOA authority record; asking
+        // again is served from the negative cache without recursion.
+        let resolver_ip = Ipv4Addr::new(192, 0, 2, 1);
+        let mut sim = Simulator::new(7, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+        let resolver = ResolverHost::new(
+            ServerConfig {
+                ip: resolver_ip,
+                ..ServerConfig::default()
+            },
+            RecursionModel::default(),
+        );
+        let rid = sim.add_host(Box::new(resolver), &[resolver_ip]);
+        let q = Message::query(9, Name::parse("nowhere.test").unwrap(), RecordType::Txt);
+        for (i, client_ip) in [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)]
+            .into_iter()
+            .enumerate()
+        {
+            let c = DnsClientHost::new(
+                DnsTransport::DoUdp,
+                SocketAddr::new(client_ip, 40000),
+                SocketAddr::new(resolver_ip, 53),
+                &ClientConfig::default(),
+            );
+            let cid = sim.add_host(Box::new(c), &[client_ip]);
+            let t0 = sim.now();
+            sim.with_host::<DnsClientHost, _>(cid, |c, ctx| c.start_with_query(ctx, &q));
+            sim.run_until(t0 + Duration::from_secs(15));
+            let resp = &sim.host::<DnsClientHost>(cid).responses[0].1;
+            assert_eq!(resp.header.rcode, Rcode::NxDomain);
+            assert!(resp.answers.is_empty());
+            let soa = resp
+                .authorities
+                .iter()
+                .find(|rr| matches!(rr.rdata, RData::Soa { .. }))
+                .expect("negative response carries an SOA");
+            assert_eq!(soa.ttl, NEGATIVE_TTL);
+            if let RData::Soa { minimum, .. } = soa.rdata {
+                assert_eq!(minimum, NEGATIVE_TTL);
+            }
+            let host = sim.host::<ResolverHost>(rid);
+            assert_eq!(host.cache_hits, i as u64, "query {i}");
+        }
+        let host = sim.host::<ResolverHost>(rid);
+        assert_eq!(host.queries_served, 2);
+        assert_eq!(host.cache().negative_hits(), 1);
     }
 
     #[test]

@@ -314,6 +314,37 @@ pub fn synthesize_scan_population(seed: u64, extra_quic: usize) -> Vec<ScannedHo
     hosts
 }
 
+/// The client side of a population campaign: how many simulated clients
+/// sit behind the stubs, split evenly across the vantage × transport
+/// cohorts.
+///
+/// The interesting scales run 10⁵–10⁶ clients; tests and CI smokes use
+/// a few hundred. Splitting is exact-or-ceiling so no cohort is ever
+/// empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ClientPopulation {
+    /// Total simulated clients across all cohorts.
+    pub clients: u64,
+    /// Number of cohorts the clients are divided among (one stub per
+    /// vantage × transport combination).
+    pub cohorts: u64,
+}
+
+impl ClientPopulation {
+    pub fn new(clients: u64, cohorts: u64) -> Self {
+        ClientPopulation {
+            clients: clients.max(1),
+            cohorts: cohorts.max(1),
+        }
+    }
+
+    /// Clients multiplexed behind one cohort's stub (ceiling division,
+    /// so every cohort has at least one client).
+    pub fn per_cohort(&self) -> u64 {
+        self.clients.div_ceil(self.cohorts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

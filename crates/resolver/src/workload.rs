@@ -1,0 +1,296 @@
+//! Deterministic population workload generation: what a vantage point's
+//! client population asks its stub resolver, and when.
+//!
+//! Two classic empirical regularities drive the model:
+//!
+//! * **Zipf popularity** — the i-th most popular name receives queries
+//!   proportional to `1 / i^alpha` (alpha ≈ 0.9 for DNS workloads).
+//!   The exponent controls how cacheable the workload is: a higher
+//!   alpha concentrates queries on few names, raising hit ratios.
+//! * **Diurnal load** — query rate follows the day: a sinusoid with a
+//!   night-time trough at the window start and a midday peak halfway
+//!   through. Arrivals are a non-homogeneous Poisson process sampled by
+//!   exponential thinning against the peak rate.
+//!
+//! Everything is a pure function of the seeded [`SimRng`] and simulated
+//! time — no wall clock, no global state — so a cohort's entire day is
+//! reproducible from its unit seed.
+
+use doqlab_dnswire::{Name, RecordType};
+use doqlab_simnet::{Duration, SimRng, SimTime};
+
+/// Peak-to-mean swing of the diurnal sinusoid: the midday peak runs at
+/// `1 + A` times the mean rate, the night trough at `1 - A`.
+pub const DIURNAL_AMPLITUDE: f64 = 0.45;
+
+/// Shape of one cohort's query workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Logical clients multiplexed behind the stub.
+    pub clients: u64,
+    /// Mean queries per client over the whole window.
+    pub queries_per_client: f64,
+    /// The simulated window (the "day").
+    pub window: Duration,
+    /// Zipf exponent alpha.
+    pub alpha: f64,
+    /// Distinct names in the popularity table.
+    pub domains: usize,
+    /// Fraction of the table (taken from the unpopular tail) that does
+    /// not exist: queries there come back NXDOMAIN and exercise the
+    /// stub's negative cache.
+    pub nxdomain_tail: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            clients: 1,
+            queries_per_client: 100.0,
+            window: Duration::from_secs(86_400),
+            alpha: 0.9,
+            domains: 1000,
+            nxdomain_tail: 0.15,
+        }
+    }
+}
+
+/// A seeded, anchored workload generator: popularity table plus arrival
+/// process. Build it, [`anchor`](WorkloadGen::anchor) it at the window
+/// start, then pull arrivals and queries.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    /// Cumulative normalized Zipf weights; sampled by binary search.
+    cum: Vec<f64>,
+    /// Ranks at and past this index are nonexistent names.
+    nx_from: usize,
+    /// Mean query rate over the window, queries per second.
+    base_rate: f64,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl WorkloadGen {
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let n = spec.domains.max(1);
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(spec.alpha);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        let nx = ((n as f64) * spec.nxdomain_tail.clamp(0.0, 1.0)).round() as usize;
+        let nx_from = n - nx.min(n);
+        let window_s = spec.window.as_secs_f64().max(1e-9);
+        let base_rate = spec.clients as f64 * spec.queries_per_client / window_s;
+        WorkloadGen {
+            spec,
+            cum,
+            nx_from,
+            base_rate,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }
+    }
+
+    /// Pin the window to simulated time: `[start, start + window)`.
+    pub fn anchor(&mut self, start: SimTime) {
+        self.start = start;
+        self.end = start + self.spec.window;
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Expected total queries over the window.
+    pub fn expected_queries(&self) -> f64 {
+        self.spec.clients as f64 * self.spec.queries_per_client
+    }
+
+    /// Instantaneous arrival rate (queries/s): the diurnal sinusoid,
+    /// trough at the window start, peak halfway through. Its mean over
+    /// the window is exactly `base_rate`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        if t < self.start || t >= self.end {
+            return 0.0;
+        }
+        let x = (t - self.start).as_secs_f64() / self.spec.window.as_secs_f64().max(1e-9);
+        self.base_rate * (1.0 - DIURNAL_AMPLITUDE * (std::f64::consts::TAU * x).cos())
+    }
+
+    /// Next arrival strictly after `t`, or `None` once the window is
+    /// over. Non-homogeneous Poisson sampling by thinning: candidates
+    /// are drawn at the peak rate and accepted with probability
+    /// `rate(t) / peak`.
+    pub fn next_arrival(&self, t: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        let peak = self.base_rate * (1.0 + DIURNAL_AMPLITUDE);
+        if peak <= 0.0 || self.end <= self.start {
+            return None;
+        }
+        let mut t = t.max(self.start);
+        loop {
+            let gap_s = rng.exponential(1.0 / peak);
+            // At least one nanosecond forward, so time always advances.
+            let gap_ns = (gap_s * 1e9).clamp(1.0, 1e18);
+            t += Duration::from_nanos(gap_ns as u64);
+            if t >= self.end {
+                return None;
+            }
+            if rng.f64() < self.rate_at(t) / peak {
+                return Some(t);
+            }
+        }
+    }
+
+    /// Sample a popularity rank (0 = most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let x = rng.f64();
+        let i = self.cum.partition_point(|&c| c < x);
+        i.min(self.cum.len() - 1)
+    }
+
+    /// The query a rank maps to. Existing ranks resolve as `d<rank>`
+    /// A-records; tail ranks are `nx-<rank>` names the authoritative
+    /// refuses to know (NXDOMAIN — see
+    /// [`authoritative_answer`](crate::host::authoritative_answer)).
+    pub fn query_for_rank(&self, rank: usize) -> (Name, RecordType) {
+        let name = if rank >= self.nx_from {
+            Name::parse(&format!("nx-{rank}.pop.doqlab.test")).expect("synthetic name")
+        } else {
+            Name::parse(&format!("d{rank}.pop.doqlab.test")).expect("synthetic name")
+        };
+        (name, RecordType::A)
+    }
+
+    /// First rank (by popularity) that is a nonexistent name.
+    pub fn nx_from(&self) -> usize {
+        self.nx_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            clients: 100,
+            queries_per_client: 50.0,
+            window: Duration::from_secs(3600),
+            alpha: 0.9,
+            domains: 200,
+            nxdomain_tail: 0.1,
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_are_popularity_ordered() {
+        let gen = WorkloadGen::new(spec());
+        let mut rng = SimRng::new(7);
+        let mut counts = vec![0u64; 200];
+        for _ in 0..200_000 {
+            counts[gen.sample_rank(&mut rng)] += 1;
+        }
+        // Rank 0 beats rank 9 beats rank 99, with comfortable margins.
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // Zipf(0.9): rank 0 / rank 9 frequency ratio should be near
+        // 10^0.9 ≈ 7.9.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_mass() {
+        let mut hi = spec();
+        hi.alpha = 1.2;
+        let flat = WorkloadGen::new(WorkloadSpec {
+            alpha: 0.4,
+            ..spec()
+        });
+        let steep = WorkloadGen::new(hi);
+        let mut rng_a = SimRng::new(11);
+        let mut rng_b = SimRng::new(11);
+        let (mut top_flat, mut top_steep) = (0u64, 0u64);
+        for _ in 0..100_000 {
+            if flat.sample_rank(&mut rng_a) < 10 {
+                top_flat += 1;
+            }
+            if steep.sample_rank(&mut rng_b) < 10 {
+                top_steep += 1;
+            }
+        }
+        assert!(top_steep > top_flat);
+    }
+
+    #[test]
+    fn arrivals_cover_the_window_and_stop() {
+        let mut gen = WorkloadGen::new(spec());
+        gen.anchor(SimTime::from_secs(100));
+        let mut rng = SimRng::new(3);
+        let mut t = SimTime::from_secs(100);
+        let mut n = 0u64;
+        while let Some(next) = gen.next_arrival(t, &mut rng) {
+            assert!(next > t);
+            assert!(next < SimTime::from_secs(100) + gen.spec().window);
+            t = next;
+            n += 1;
+        }
+        // Poisson with mean 5000 — stay within ±10%.
+        let expect = gen.expected_queries();
+        assert!(
+            (n as f64) > 0.9 * expect && (n as f64) < 1.1 * expect,
+            "{n} arrivals vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let mut gen = WorkloadGen::new(spec());
+        gen.anchor(SimTime::ZERO);
+        let run = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut t = SimTime::ZERO;
+            let mut seq = Vec::new();
+            for _ in 0..50 {
+                match gen.next_arrival(t, &mut rng) {
+                    Some(next) => {
+                        seq.push((next, gen.sample_rank(&mut rng)));
+                        t = next;
+                    }
+                    None => break,
+                }
+            }
+            seq
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_mid_window() {
+        let mut gen = WorkloadGen::new(spec());
+        gen.anchor(SimTime::ZERO);
+        let trough = gen.rate_at(SimTime::ZERO);
+        let peak = gen.rate_at(SimTime::from_secs(1800));
+        assert!(peak > trough);
+        let base = gen.expected_queries() / gen.spec().window.as_secs_f64();
+        assert!((peak - base * (1.0 + DIURNAL_AMPLITUDE)).abs() < 1e-9);
+        assert_eq!(gen.rate_at(SimTime::from_secs(3600)), 0.0);
+    }
+
+    #[test]
+    fn tail_ranks_are_nonexistent_names() {
+        let gen = WorkloadGen::new(spec());
+        assert_eq!(gen.nx_from(), 180);
+        let (name, rtype) = gen.query_for_rank(0);
+        assert_eq!(rtype, RecordType::A);
+        assert!(name.to_string().starts_with("d0."));
+        let (nx, _) = gen.query_for_rank(199);
+        assert!(nx.to_string().starts_with("nx-199."));
+    }
+}

@@ -20,6 +20,7 @@ use crate::path::{FixedPathModel, PathModel};
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
 use crate::trace::{PacketRecord, PacketTap, PacketTrace};
+use doqlab_telemetry::metrics::{self, Counter};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -92,6 +93,14 @@ pub struct Simulator {
     rng: SimRng,
     path: Box<dyn PathModel>,
     hosts: Vec<Option<Box<dyn Host>>>,
+    /// Earliest queued wakeup per host. Wakeup events are deduplicated
+    /// against this: a dispatch only enqueues a new entry when it would
+    /// fire *earlier* than the one already queued, and a popped entry
+    /// that no longer matches is dropped as stale. Without this, every
+    /// packet arrival leaks one wakeup entry that then circulates on
+    /// each timer re-arm — on day-long simulations the event count
+    /// grows quadratically with traffic.
+    armed: Vec<Option<SimTime>>,
     addr_map: HashMap<Ipv4Addr, HostId>,
     link_free: HashMap<Ipv4Addr, SimTime>,
     /// Last scheduled arrival per (src, dst) flow: paths are FIFO —
@@ -112,6 +121,7 @@ impl Simulator {
             rng: SimRng::new(seed),
             path,
             hosts: Vec::new(),
+            armed: Vec::new(),
             addr_map: HashMap::new(),
             link_free: HashMap::new(),
             flow_last_arrival: HashMap::new(),
@@ -143,6 +153,7 @@ impl Simulator {
         self.rng = SimRng::new(seed);
         self.path = path;
         self.hosts.clear();
+        self.armed.clear();
         self.addr_map.clear();
         self.link_free.clear();
         self.flow_last_arrival.clear();
@@ -213,15 +224,27 @@ impl Simulator {
     pub fn add_host(&mut self, host: Box<dyn Host>, ips: &[Ipv4Addr]) -> HostId {
         let id = self.hosts.len();
         self.hosts.push(Some(host));
+        self.armed.push(None);
         for ip in ips {
             let prev = self.addr_map.insert(*ip, id);
             assert!(prev.is_none(), "address {ip} already bound");
         }
         // Pick up any timer the host already holds.
         if let Some(w) = self.hosts[id].as_ref().unwrap().next_wakeup() {
-            self.queue.push(w.max(self.clock), Event::Wakeup(id));
+            self.arm_wakeup(id, w);
         }
         id
+    }
+
+    /// Enqueue a wakeup for `id` at `w` unless an earlier (or equal)
+    /// one is already queued; [`Simulator::dispatch`] drops superseded
+    /// entries when they surface.
+    fn arm_wakeup(&mut self, id: HostId, w: SimTime) {
+        let w = w.max(self.clock);
+        if self.armed[id].is_none_or(|a| w < a) {
+            self.armed[id] = Some(w);
+            self.queue.push(w, Event::Wakeup(id));
+        }
     }
 
     /// Immutable access to a host by concrete type.
@@ -280,7 +303,7 @@ impl Simulator {
             self.route(now, pkt);
         }
         if let Some(w) = next {
-            self.queue.push(w.max(now), Event::Wakeup(id));
+            self.arm_wakeup(id, w);
         }
     }
 
@@ -388,6 +411,12 @@ impl Simulator {
                 self.after_dispatch(id, next, out);
             }
             Event::Wakeup(id) => {
+                // A wakeup that no longer matches the armed time was
+                // superseded by an earlier re-arm; drop it unprocessed.
+                if self.armed[id] != Some(self.clock) {
+                    return;
+                }
+                self.armed[id] = None;
                 let Some(host_ref) = self.hosts[id].as_ref() else {
                     return;
                 };
@@ -410,7 +439,7 @@ impl Simulator {
                     }
                     Some(w) => {
                         // Deadline moved into the future: re-arm.
-                        self.queue.push(w, Event::Wakeup(id));
+                        self.arm_wakeup(id, w);
                     }
                 }
             }
@@ -436,6 +465,9 @@ impl Simulator {
         if deadline > self.clock {
             self.clock = deadline;
         }
+        if n > 0 {
+            metrics::count(Counter::SimEvents, n);
+        }
         n
     }
 
@@ -453,6 +485,7 @@ impl Simulator {
                 debug_assert!(t >= self.clock, "time went backwards");
                 self.clock = t;
                 self.dispatch(ev);
+                metrics::count(Counter::SimEvents, 1);
                 true
             }
             _ => {
@@ -477,6 +510,9 @@ impl Simulator {
             self.clock = t;
             self.dispatch(ev);
             n += 1;
+        }
+        if n > 0 {
+            metrics::count(Counter::SimEvents, n);
         }
         n
     }

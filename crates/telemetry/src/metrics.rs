@@ -49,6 +49,16 @@ pub enum Counter {
     /// Connection re-dials performed by the client host after a
     /// transport failure.
     Reconnects,
+    /// Queries issued over an already-established pooled connection
+    /// (the handshake they did not pay for).
+    PoolReuse,
+    /// Pooled connections closed by the idle-timeout sweep. Distinct
+    /// from [`Counter::Reconnects`]: an idle eviction is not a failure.
+    PoolEvictIdle,
+    /// Simulator events dispatched (arrivals + wakeups), counted per
+    /// run batch — the denominator of the events/sec throughput
+    /// baseline (`BENCH_7.json`).
+    SimEvents,
     /// Failure taxonomy: terminal query failures by kind.
     FailTimeout,
     FailReset,
@@ -57,7 +67,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::QuicPacketsSent,
         Counter::QuicPacketsReceived,
         Counter::QuicPacketsLost,
@@ -83,6 +93,9 @@ impl Counter {
         Counter::BytesDoH,
         Counter::BytesDoQ,
         Counter::Reconnects,
+        Counter::PoolReuse,
+        Counter::PoolEvictIdle,
+        Counter::SimEvents,
         Counter::FailTimeout,
         Counter::FailReset,
         Counter::FailHandshake,
@@ -116,6 +129,9 @@ impl Counter {
             Counter::BytesDoH => "bytes.doh",
             Counter::BytesDoQ => "bytes.doq",
             Counter::Reconnects => "client.reconnects",
+            Counter::PoolReuse => "pool.reuse",
+            Counter::PoolEvictIdle => "pool.evict_idle",
+            Counter::SimEvents => "sim.events",
             Counter::FailTimeout => "fail.timeout",
             Counter::FailReset => "fail.reset",
             Counter::FailHandshake => "fail.handshake",

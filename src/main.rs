@@ -6,6 +6,7 @@
 //! doqlab single-query --scale medium
 //! doqlab webperf --scale quick --seed 7
 //! doqlab measure impairments --scale quick --seed 7
+//! doqlab measure populations --scale quick --threads 8
 //! doqlab all --scale quick --threads 8
 //! doqlab trace single-query --scale quick --trace-out trace.qlog
 //! ```
@@ -20,7 +21,8 @@ use doqlab_core::Study;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: doqlab [measure] <discovery|single-query|webperf|impairments|all> \
+        "usage: doqlab [measure] \
+         <discovery|single-query|webperf|impairments|populations|all> \
          [--scale quick|medium|paper] [--seed N] [--threads N]\n\
          \x20      doqlab trace <single-query> \
          [--scale quick|medium|paper] [--seed N] [--trace-out PATH]\n\
@@ -29,7 +31,9 @@ fn usage() -> ! {
          \x20 DOQLAB_THREADS  worker threads for campaign runs \
          (same as --threads)\n\
          \x20 DOQLAB_SEED     campaign seed override \
-         (read by the experiment binaries)"
+         (read by the experiment binaries)\n\
+         \x20 DOQLAB_CLIENTS  simulated clients for `measure populations` \
+         (quick 2000, medium 20000, paper 100000)"
     );
     std::process::exit(2);
 }
@@ -110,11 +114,13 @@ fn main() {
         "single-query" => run_single_query(&study),
         "webperf" => run_webperf(&study),
         "impairments" => run_impairments(&study),
+        "populations" => run_populations(&study),
         "all" => {
             run_discovery(&study);
             run_single_query(&study);
             run_webperf(&study);
             run_impairments(&study);
+            run_populations(&study);
         }
         _ => usage(),
     }
@@ -172,6 +178,15 @@ fn run_impairments(study: &Study) {
     println!(
         "{}",
         report::render_impairments(&report::impairment_rows(&samples))
+    );
+}
+
+fn run_populations(study: &Study) {
+    println!("== population scale (Zipf workloads, shared caches) ==");
+    let samples = study.run_populations();
+    println!(
+        "{}",
+        report::render_populations(&report::population_rows(&samples))
     );
 }
 

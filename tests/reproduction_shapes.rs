@@ -15,6 +15,7 @@ fn small_study(seed: u64) -> Study {
             rounds: 1,
             loads_per_round: 1,
             pages: Some(10),
+            clients: Some(2_000),
             threads: 4,
         },
         ..Study::quick(seed)
