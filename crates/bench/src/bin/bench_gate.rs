@@ -1,0 +1,231 @@
+//! CI perf-regression gate: compares a fresh `campaign_throughput`
+//! report against the latest committed `BENCH_*.json` and fails when
+//! any campaign's `events_per_s` regressed by more than the threshold
+//! (default 30% — wide enough to absorb shared-runner noise, tight
+//! enough to catch a hot-path regression, which historically shows up
+//! as an order of magnitude).
+//!
+//! ```text
+//! bench_gate --fresh fresh_bench.json [--baseline BENCH_8.json]
+//!            [--threshold 0.30] [--dir .]
+//! ```
+//!
+//! Without `--baseline`, the highest-numbered `BENCH_<n>.json` in
+//! `--dir` (default: current directory) is used, so the gate follows
+//! whichever snapshot the repo most recently committed. Campaigns
+//! present only on one side are reported but do not fail the gate: a
+//! new campaign has no baseline to regress from.
+
+use std::process::exit;
+
+struct Campaign {
+    campaign: String,
+    events_per_s: f64,
+}
+
+struct Report {
+    scale: String,
+    seed: u64,
+    clients: u64,
+    campaigns: Vec<Campaign>,
+}
+
+/// `"key": "value"` on a pretty-printed line -> `value`.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let rest = line.trim().strip_prefix(&format!("\"{key}\": \""))?;
+    Some(rest.trim_end_matches(',').trim_end_matches('"').to_string())
+}
+
+/// `"key": 123.4` on a pretty-printed line -> `123.4`.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
+    rest.trim_end_matches(',').parse().ok()
+}
+
+/// Parse a `campaign_throughput` report. The vendored serde_json is
+/// serialize-only, so this reads the known pretty-printed shape
+/// line-by-line; it is strict about the fields the gate needs and
+/// ignores everything else (so adding metrics like `allocs_per_event`
+/// never breaks old gates).
+fn load(path: &str) -> Report {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        exit(2);
+    });
+    let (mut scale, mut seed, mut clients) = (None, None, None);
+    let mut campaigns: Vec<Campaign> = Vec::new();
+    let mut current: Option<String> = None;
+    for line in data.lines() {
+        if let Some(v) = str_field(line, "scale") {
+            scale = Some(v);
+        } else if let Some(v) = num_field(line, "seed") {
+            seed = Some(v as u64);
+        } else if let Some(v) = num_field(line, "clients") {
+            clients = Some(v as u64);
+        } else if let Some(v) = str_field(line, "campaign") {
+            current = Some(v);
+        } else if let Some(v) = num_field(line, "events_per_s") {
+            let Some(campaign) = current.take() else {
+                eprintln!("bench_gate: {path}: events_per_s before a campaign name");
+                exit(2);
+            };
+            campaigns.push(Campaign {
+                campaign,
+                events_per_s: v,
+            });
+        }
+    }
+    match (scale, seed, clients) {
+        (Some(scale), Some(seed), Some(clients)) if !campaigns.is_empty() => Report {
+            scale,
+            seed,
+            clients,
+            campaigns,
+        },
+        _ => {
+            eprintln!("bench_gate: {path}: not a campaign_throughput report");
+            exit(2);
+        }
+    }
+}
+
+/// The highest-numbered `BENCH_<n>.json` in `dir`, if any.
+fn latest_baseline(dir: &str) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, format!("{}/{name}", dir.trim_end_matches('/'))));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut fresh_path = None;
+    let mut baseline_path = None;
+    let mut dir = ".".to_string();
+    let mut threshold = 0.30f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fresh" if i + 1 < args.len() => {
+                fresh_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--dir" if i + 1 < args.len() => {
+                dir = args[i + 1].clone();
+                i += 1;
+            }
+            "--threshold" if i + 1 < args.len() => {
+                threshold = args[i + 1].parse().expect("--threshold takes a fraction");
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "bench_gate: unknown argument {other}\n\
+                     usage: bench_gate --fresh PATH [--baseline PATH] \
+                     [--dir DIR] [--threshold FRACTION]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(fresh_path) = fresh_path else {
+        eprintln!("bench_gate: --fresh is required");
+        exit(2);
+    };
+    let baseline_path = baseline_path
+        .or_else(|| latest_baseline(&dir))
+        .unwrap_or_else(|| {
+            eprintln!("bench_gate: no BENCH_*.json baseline found in {dir}");
+            exit(2);
+        });
+
+    let fresh = load(&fresh_path);
+    let baseline = load(&baseline_path);
+    println!(
+        "== bench_gate: {fresh_path} vs {baseline_path} (threshold {:.0}%) ==\n",
+        threshold * 100.0
+    );
+    if fresh.scale != baseline.scale
+        || fresh.seed != baseline.seed
+        || fresh.clients != baseline.clients
+    {
+        eprintln!(
+            "bench_gate: configuration mismatch — fresh ({}, seed {}, {} clients) \
+             vs baseline ({}, seed {}, {} clients); not comparable",
+            fresh.scale, fresh.seed, fresh.clients, baseline.scale, baseline.seed, baseline.clients
+        );
+        exit(2);
+    }
+
+    println!(
+        "{:<16}{:>14}{:>14}{:>10}",
+        "campaign", "baseline ev/s", "fresh ev/s", "ratio"
+    );
+    let mut failures = Vec::new();
+    for b in &baseline.campaigns {
+        let Some(f) = fresh.campaigns.iter().find(|f| f.campaign == b.campaign) else {
+            println!(
+                "{:<16}{:>14.0}{:>14}{:>10}",
+                b.campaign, b.events_per_s, "-", "gone"
+            );
+            continue;
+        };
+        let ratio = f.events_per_s / b.events_per_s.max(1e-9);
+        println!(
+            "{:<16}{:>14.0}{:>14.0}{:>10.2}",
+            b.campaign, b.events_per_s, f.events_per_s, ratio
+        );
+        if ratio < 1.0 - threshold {
+            failures.push(format!(
+                "{}: {:.0} -> {:.0} events/s ({:.0}% of baseline)",
+                b.campaign,
+                b.events_per_s,
+                f.events_per_s,
+                ratio * 100.0
+            ));
+        }
+    }
+    for f in &fresh.campaigns {
+        if !baseline.campaigns.iter().any(|b| b.campaign == f.campaign) {
+            println!(
+                "{:<16}{:>14}{:>14.0}{:>10}",
+                f.campaign, "-", f.events_per_s, "new"
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nbench_gate: OK — no campaign regressed more than {:.0}%",
+            threshold * 100.0
+        );
+    } else {
+        eprintln!(
+            "\nbench_gate: FAIL — events/s regressions beyond {:.0}%:",
+            threshold * 100.0
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        exit(1);
+    }
+}

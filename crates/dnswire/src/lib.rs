@@ -32,7 +32,7 @@ pub mod wire;
 pub use edns::{EdnsOption, OptRecord};
 pub use framing::LengthPrefixedReader;
 pub use message::{Header, Message, Question};
-pub use name::Name;
+pub use name::{Name, NameId, NameInterner};
 pub use record::{RData, ResourceRecord, SvcParam};
 pub use types::{Opcode, Rcode, RecordClass, RecordType};
 pub use wire::{WireError, WireReader, WireWriter};

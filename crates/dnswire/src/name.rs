@@ -114,6 +114,18 @@ impl Name {
         key
     }
 
+    /// Append the case-normalised (lowercased) uncompressed wire form to
+    /// `out`: one length byte per label followed by lowercased label
+    /// bytes, no terminating root byte. Two names append the same bytes
+    /// iff they are [`eq_ignore_case`](Name::eq_ignore_case)-equal, so
+    /// this is the canonical case-insensitive map key for a name.
+    pub fn append_lower_wire(&self, out: &mut Vec<u8>) {
+        for label in &self.labels {
+            out.push(label.len() as u8);
+            out.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        }
+    }
+
     /// Encode with compression: at each label boundary, emit a pointer
     /// if this suffix was written before; otherwise write the label and
     /// remember the suffix.
@@ -211,6 +223,83 @@ impl std::str::FromStr for Name {
     }
 }
 
+/// A copy-cheap handle to a name interned in a [`NameInterner`].
+///
+/// Ids are only meaningful against the interner that issued them; they
+/// are dense (`0..interner.len()`), assigned in first-intern order, and
+/// case-insensitive — `WWW.Example.COM` and `www.example.com` intern to
+/// the same id. Hot paths (workload tables, cache keys, in-flight
+/// coalescing) compare and hash the 4-byte id instead of walking heap
+/// label vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The dense index this id maps to (`0..interner.len()`), usable as
+    /// a direct index into caller-side side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A case-insensitive name interner: deduplicates [`Name`]s and issues
+/// dense [`NameId`] handles for allocation-free comparison and hashing.
+///
+/// The canonical spelling stored is the **first** one interned; later
+/// interns of case-variants return the same id without replacing it
+/// (matching how DNS caches treat 0x20 case randomisation).
+#[derive(Debug, Clone, Default)]
+pub struct NameInterner {
+    names: Vec<Name>,
+    /// Lowercased uncompressed wire form -> index into `names`.
+    ids: std::collections::HashMap<Vec<u8>, u32>,
+}
+
+impl NameInterner {
+    pub fn new() -> Self {
+        NameInterner::default()
+    }
+
+    /// Intern `name`, returning its id — existing if a case-equal name
+    /// was interned before, freshly assigned otherwise.
+    pub fn intern(&mut self, name: &Name) -> NameId {
+        let mut key = Vec::with_capacity(name.wire_len());
+        name.append_lower_wire(&mut key);
+        if let Some(&id) = self.ids.get(&key) {
+            return NameId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.clone());
+        self.ids.insert(key, id);
+        NameId(id)
+    }
+
+    /// The id of a previously interned name, without interning.
+    pub fn get(&self, name: &Name) -> Option<NameId> {
+        let mut key = Vec::with_capacity(name.wire_len());
+        name.append_lower_wire(&mut key);
+        self.ids.get(&key).map(|&id| NameId(id))
+    }
+
+    /// The canonical (first-interned) spelling behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different interner and is out of
+    /// range here.
+    pub fn resolve(&self, id: NameId) -> &Name {
+        &self.names[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +308,47 @@ mod tests {
         let mut w = WireWriter::new();
         name.encode(&mut w);
         w.finish()
+    }
+
+    #[test]
+    fn interner_is_case_insensitive_and_dense() {
+        let mut it = NameInterner::new();
+        let a = it.intern(&Name::parse("www.Example.COM").unwrap());
+        let b = it.intern(&Name::parse("www.example.com").unwrap());
+        let c = it.intern(&Name::parse("mail.example.com").unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(it.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        // Canonical spelling is the first-interned one.
+        assert_eq!(it.resolve(a).to_string(), "www.Example.COM.");
+        assert_eq!(it.get(&Name::parse("WWW.EXAMPLE.COM").unwrap()), Some(a));
+        assert_eq!(it.get(&Name::parse("other.example").unwrap()), None);
+    }
+
+    #[test]
+    fn interner_distinguishes_label_boundaries() {
+        // "ab.c" and "a.bc" must not collide: the length bytes in the
+        // lowercased wire key keep boundaries distinct.
+        let mut it = NameInterner::new();
+        let a = it.intern(&Name::parse("ab.c").unwrap());
+        let b = it.intern(&Name::parse("a.bc").unwrap());
+        assert_ne!(a, b);
+        // Root interns fine (empty key).
+        let r = it.intern(&Name::root());
+        assert_eq!(it.resolve(r), &Name::root());
+    }
+
+    #[test]
+    fn lower_wire_key_matches_case_equality() {
+        let a = Name::parse("GoOgle.Com").unwrap();
+        let b = Name::parse("google.com").unwrap();
+        let (mut ka, mut kb) = (Vec::new(), Vec::new());
+        a.append_lower_wire(&mut ka);
+        b.append_lower_wire(&mut kb);
+        assert_eq!(ka, kb);
+        assert_eq!(ka, b"\x06google\x03com".to_vec());
     }
 
     #[test]

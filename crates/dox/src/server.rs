@@ -314,8 +314,16 @@ impl DnsServerSet {
             out.push(Packet::tcp(
                 SocketAddr::new(self.cfg.ip, ports::DNS),
                 peer,
-                seg.encode(),
+                seg.encode_payload(),
             ));
+        }
+        // Pooled clients redial from fresh source ports, so abandoned
+        // connections accumulate forever unless reaped (after poll, so
+        // owed ACKs are already flushed).
+        self.tcp.reap_quiescent();
+        if self.tcp_readers.len() > self.tcp.len() {
+            let tcp = &self.tcp;
+            self.tcp_readers.retain(|peer, _| tcp.contains(*peer));
         }
 
         // --- DoT ---
@@ -356,8 +364,13 @@ impl DnsServerSet {
             out.push(Packet::tcp(
                 SocketAddr::new(self.cfg.ip, ports::DOT),
                 peer,
-                seg.encode(),
+                seg.encode_payload(),
             ));
+        }
+        self.dot.reap_quiescent();
+        if self.dot_conns.len() > self.dot.len() {
+            let dot = &self.dot;
+            self.dot_conns.retain(|peer, _| dot.contains(*peer));
         }
 
         // --- DoH ---
@@ -402,8 +415,13 @@ impl DnsServerSet {
             out.push(Packet::tcp(
                 SocketAddr::new(self.cfg.ip, ports::HTTPS),
                 peer,
-                seg.encode(),
+                seg.encode_payload(),
             ));
+        }
+        self.doh.reap_quiescent();
+        if self.doh_conns.len() > self.doh.len() {
+            let doh = &self.doh;
+            self.doh_conns.retain(|peer, _| doh.contains(*peer));
         }
 
         // --- DoQ ---

@@ -38,7 +38,7 @@ pub(crate) fn segments_to_packets(
     out: &mut Vec<Packet>,
 ) {
     for seg in segs {
-        out.push(Packet::tcp(local, remote, seg.encode()));
+        out.push(Packet::tcp(local, remote, seg.encode_payload()));
     }
 }
 
@@ -187,7 +187,7 @@ mod tests {
             }
             let mut done = segs.is_empty();
             for seg in segs {
-                let pkt = Packet::tcp(sa(2, 53), client_addr, seg.encode());
+                let pkt = Packet::tcp(sa(2, 53), client_addr, seg.encode_payload());
                 client.on_packet(now, &pkt, &mut out);
             }
             client.poll(now, &mut out);

@@ -65,7 +65,7 @@ struct Prober {
 impl Host for Prober {
     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
         if self.response.is_none() {
-            self.response = Some(pkt.payload);
+            self.response = Some(pkt.payload.into_vec());
         }
     }
     fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}

@@ -3,7 +3,7 @@
 //! Table 1 measures (a SYN with MSS + SACK-permitted + timestamps +
 //! window scale is 40 bytes; a data/ACK segment with timestamps is 32).
 
-use doqlab_simnet::SocketAddr;
+use doqlab_simnet::{PayloadBuf, SocketAddr};
 
 /// TCP header flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,11 +146,27 @@ impl TcpSegment {
     }
 
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode into a pooled packet payload — the zero-allocation send
+    /// path once the per-thread buffer pool is warm.
+    pub fn encode_payload(&self) -> PayloadBuf {
+        let mut out = PayloadBuf::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire encoding to `out` (cleared first).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         let opt_len: usize = self.options.iter().map(|o| o.encoded_len()).sum();
         // Options are padded to a 4-byte boundary with NOPs.
         let padded = (opt_len + 3) & !3;
         let data_offset_words = (TCP_HEADER_LEN + padded) / 4;
-        let mut out = Vec::with_capacity(TCP_HEADER_LEN + padded + self.payload.len());
+        out.reserve(TCP_HEADER_LEN + padded + self.payload.len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
@@ -161,11 +177,10 @@ impl TcpSegment {
         out.extend_from_slice(&[0, 0]); // checksum (not modelled)
         out.extend_from_slice(&[0, 0]); // urgent pointer
         for opt in &self.options {
-            opt.encode(&mut out);
+            opt.encode(out);
         }
         out.extend(std::iter::repeat_n(1u8, padded - opt_len)); // NOP padding
         out.extend_from_slice(&self.payload);
-        out
     }
 
     pub fn decode(buf: &[u8]) -> Option<TcpSegment> {

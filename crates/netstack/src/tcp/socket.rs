@@ -304,6 +304,22 @@ impl TcpSocket {
             || (self.peer_fin.is_some_and(|f| self.rcv_nxt > f))
     }
 
+    /// Half-closed by the peer and fully drained on our side: no
+    /// unacknowledged data, nothing buffered for the application, no
+    /// ACKs owed, no timer armed. Such a socket can never emit another
+    /// segment on its own, so a server that will not write to it again
+    /// may drop it without changing any observable traffic.
+    pub fn is_quiescent_peer_closed(&self) -> bool {
+        self.state == TcpState::CloseWait
+            && !self.tx_closing
+            && self.tx_buf.is_empty()
+            && self.rx_buf.is_empty()
+            && self.ooo.is_empty()
+            && self.pending_acks == 0
+            && !self.reset_pending
+            && self.retransmit_at.is_none()
+    }
+
     /// Whether the transmit side still accepts application data: false
     /// once [`TcpSocket::close`] or [`TcpSocket::abort`] was called, or
     /// the connection fully closed. Callers with data of their own
@@ -955,6 +971,25 @@ impl TcpListener {
     /// Drop fully closed connections.
     pub fn reap(&mut self) {
         self.conns.retain(|_, c| !c.is_closed() || c.reset_pending);
+    }
+
+    /// Drop connections that can never speak again: fully closed ones
+    /// and half-closed ones the peer abandoned (FIN received and
+    /// everything drained — see
+    /// [`TcpSocket::is_quiescent_peer_closed`]). A long-lived server
+    /// facing pooled clients that redial from fresh source ports would
+    /// otherwise scan an ever-growing table of dead sockets on every
+    /// poll. Call after a `poll` has flushed pending ACKs; a stray
+    /// late segment from a reaped peer hits a fresh LISTEN socket,
+    /// which ignores everything but SYN — same silence as CLOSED.
+    pub fn reap_quiescent(&mut self) {
+        self.conns
+            .retain(|_, c| (!c.is_closed() || c.reset_pending) && !c.is_quiescent_peer_closed());
+    }
+
+    /// Whether a connection from `peer` is currently tracked.
+    pub fn contains(&self, peer: SocketAddr) -> bool {
+        self.conns.contains_key(&peer)
     }
 
     pub fn len(&self) -> usize {

@@ -8,26 +8,35 @@
 //! them, population-scale cache-hit ratios are inflated for miss-heavy
 //! Zipf tails, since every repeat NXDOMAIN would count as a fresh miss.
 
-use doqlab_dnswire::{Name, Rcode, RecordType, ResourceRecord};
+use doqlab_dnswire::{Name, NameId, Rcode, RecordType, ResourceRecord};
 use doqlab_simnet::{Duration, SimTime};
 use doqlab_telemetry::metrics::{self, Counter};
 use std::collections::HashMap;
 
+/// Cache key: either the case-normalised wire form of a name (general
+/// path) or an interned [`NameId`] (hot path — hashes 6 bytes instead
+/// of a heap label vector). The two variants never collide; a cache
+/// fed through the id API must be queried through it too, since the
+/// cache cannot map one form onto the other.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct Key {
-    name_lower: Vec<u8>,
-    rtype: u16,
+enum Key {
+    Wire { name_lower: Vec<u8>, rtype: u16 },
+    Interned { id: NameId, rtype: u16 },
 }
 
 impl Key {
-    fn new(name: &Name, rtype: RecordType) -> Self {
-        let mut name_lower = Vec::new();
-        for label in name.labels() {
-            name_lower.push(label.len() as u8);
-            name_lower.extend(label.iter().map(|b| b.to_ascii_lowercase()));
-        }
-        Key {
+    fn wire(name: &Name, rtype: RecordType) -> Self {
+        let mut name_lower = Vec::with_capacity(name.wire_len());
+        name.append_lower_wire(&mut name_lower);
+        Key::Wire {
             name_lower,
+            rtype: rtype.to_u16(),
+        }
+    }
+
+    fn interned(id: NameId, rtype: RecordType) -> Self {
+        Key::Interned {
+            id,
             rtype: rtype.to_u16(),
         }
     }
@@ -94,7 +103,24 @@ impl DnsCache {
         name: &Name,
         rtype: RecordType,
     ) -> Option<CachedAnswer> {
-        let key = Key::new(name, rtype);
+        let key = Key::wire(name, rtype);
+        self.get_answer_key(now, key)
+    }
+
+    /// [`get_answer`](DnsCache::get_answer) keyed by an interned
+    /// [`NameId`] — no allocation, no label hashing. Only finds entries
+    /// inserted through [`put_id`](DnsCache::put_id) /
+    /// [`put_negative_id`](DnsCache::put_negative_id).
+    pub fn get_answer_id(
+        &mut self,
+        now: SimTime,
+        id: NameId,
+        rtype: RecordType,
+    ) -> Option<CachedAnswer> {
+        self.get_answer_key(now, Key::interned(id, rtype))
+    }
+
+    fn get_answer_key(&mut self, now: SimTime, key: Key) -> Option<CachedAnswer> {
         match self.entries.get(&key) {
             Some(e) if e.expires_at > now => {
                 self.hits += 1;
@@ -143,9 +169,24 @@ impl DnsCache {
         rtype: RecordType,
         records: Vec<ResourceRecord>,
     ) {
+        self.put_key(now, Key::wire(name, rtype), records);
+    }
+
+    /// [`put`](DnsCache::put) keyed by an interned [`NameId`].
+    pub fn put_id(
+        &mut self,
+        now: SimTime,
+        id: NameId,
+        rtype: RecordType,
+        records: Vec<ResourceRecord>,
+    ) {
+        self.put_key(now, Key::interned(id, rtype), records);
+    }
+
+    fn put_key(&mut self, now: SimTime, key: Key, records: Vec<ResourceRecord>) {
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
         self.entries.insert(
-            Key::new(name, rtype),
+            key,
             Entry {
                 payload: Payload::Records(records),
                 expires_at: now + Duration::from_secs(ttl as u64),
@@ -163,8 +204,25 @@ impl DnsCache {
         rcode: Rcode,
         ttl: u32,
     ) {
+        self.put_negative_key(now, Key::wire(name, rtype), rcode, ttl);
+    }
+
+    /// [`put_negative`](DnsCache::put_negative) keyed by an interned
+    /// [`NameId`].
+    pub fn put_negative_id(
+        &mut self,
+        now: SimTime,
+        id: NameId,
+        rtype: RecordType,
+        rcode: Rcode,
+        ttl: u32,
+    ) {
+        self.put_negative_key(now, Key::interned(id, rtype), rcode, ttl);
+    }
+
+    fn put_negative_key(&mut self, now: SimTime, key: Key, rcode: Rcode, ttl: u32) {
         self.entries.insert(
-            Key::new(name, rtype),
+            key,
             Entry {
                 payload: Payload::Negative(rcode),
                 expires_at: now + Duration::from_secs(ttl as u64),
@@ -338,6 +396,43 @@ mod tests {
             .is_none());
         assert_eq!(c.expired(), 1);
         assert_eq!(c.negative_hits(), 0);
+    }
+
+    #[test]
+    fn interned_id_path_mirrors_the_name_path() {
+        use doqlab_dnswire::NameInterner;
+        let mut it = NameInterner::new();
+        let id = it.intern(&name("d0.pop.doqlab.test"));
+        let other = it.intern(&name("d1.pop.doqlab.test"));
+        let mut c = DnsCache::new();
+        let t0 = SimTime::ZERO;
+        assert!(c.get_answer_id(t0, id, RecordType::A).is_none());
+        c.put_id(
+            t0,
+            id,
+            RecordType::A,
+            vec![a_record("d0.pop.doqlab.test", 300)],
+        );
+        // Hit with TTL decay, distinct ids and types stay distinct.
+        match c.get_answer_id(SimTime::from_secs(100), id, RecordType::A) {
+            Some(CachedAnswer::Records(rrs)) => assert_eq!(rrs[0].ttl, 200),
+            got => panic!("unexpected {got:?}"),
+        }
+        assert!(c.get_answer_id(t0, other, RecordType::A).is_none());
+        assert!(c.get_answer_id(t0, id, RecordType::Aaaa).is_none());
+        // Negative verdicts round-trip and expire.
+        c.put_negative_id(t0, other, RecordType::A, Rcode::NxDomain, 60);
+        assert_eq!(
+            c.get_answer_id(SimTime::from_secs(59), other, RecordType::A),
+            Some(CachedAnswer::Negative(Rcode::NxDomain))
+        );
+        assert!(c
+            .get_answer_id(SimTime::from_secs(60), other, RecordType::A)
+            .is_none());
+        // Hit/miss accounting is shared with the name-keyed path.
+        assert_eq!(c.stats(), (2, 4));
+        assert_eq!(c.negative_hits(), 1);
+        assert_eq!(c.expired(), 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::cache::{CachedAnswer, DnsCache};
 use crate::host::NEGATIVE_TTL;
 use crate::workload::WorkloadGen;
-use doqlab_dnswire::{Message, Name, RData, Rcode, RecordType};
+use doqlab_dnswire::{Message, NameId, RData, Rcode, RecordType};
 use doqlab_dox::client::{ClientConfig, DnsTransport};
 use doqlab_dox::host::DnsClientHost;
 use doqlab_simnet::{Ctx, Host, Packet, SimTime, SocketAddr};
@@ -54,7 +54,9 @@ pub struct StubStats {
 #[derive(Debug)]
 struct Inflight {
     id: u16,
-    name: Name,
+    /// Interned handle from the workload generator — coalescing
+    /// compares 4-byte ids, not heap label vectors.
+    name_id: NameId,
     rtype: RecordType,
     /// Issue time of every waiting client query (first = the one that
     /// triggered the upstream query, rest = coalesced joiners).
@@ -156,9 +158,9 @@ impl StubResolverHost {
     fn on_client_query(&mut self, ctx: &mut Ctx<'_>) {
         self.stats.queries += 1;
         let rank = self.gen.sample_rank(ctx.rng);
-        let (name, rtype) = self.gen.query_for_rank(rank);
+        let (name_id, rtype) = self.gen.query_id_for_rank(rank);
         if self.cache_enabled {
-            match self.cache.get_answer(ctx.now, &name, rtype) {
+            match self.cache.get_answer_id(ctx.now, name_id, rtype) {
                 Some(CachedAnswer::Records(_)) => {
                     self.stats.cache_hits += 1;
                     self.record_resolve(0);
@@ -176,17 +178,18 @@ impl StubResolverHost {
         if let Some(f) = self
             .inflight
             .iter_mut()
-            .find(|f| f.rtype == rtype && f.name.eq_ignore_case(&name))
+            .find(|f| f.rtype == rtype && f.name_id == name_id)
         {
             f.waiters.push(ctx.now);
             self.stats.coalesced += 1;
             return;
         }
         let id = self.alloc_id();
-        let msg = Message::query(id, name.clone(), rtype);
+        // The one place an owned Name is needed: the wire query.
+        let msg = Message::query(id, self.gen.name_of(name_id).clone(), rtype);
         self.inflight.push(Inflight {
             id,
-            name,
+            name_id,
             rtype,
             waiters: vec![ctx.now],
         });
@@ -220,12 +223,13 @@ impl StubResolverHost {
             if self.cache_enabled {
                 match (resp.header.rcode, resp.answers.is_empty()) {
                     (Rcode::NoError, false) => {
-                        self.cache.put(at, &f.name, f.rtype, resp.answers.clone());
+                        self.cache
+                            .put_id(at, f.name_id, f.rtype, resp.answers.clone());
                     }
                     (Rcode::NoError, true) | (Rcode::NxDomain, _) => {
-                        self.cache.put_negative(
+                        self.cache.put_negative_id(
                             at,
-                            &f.name,
+                            f.name_id,
                             f.rtype,
                             resp.header.rcode,
                             Self::negative_ttl(&resp),

@@ -16,7 +16,7 @@
 //! time — no wall clock, no global state — so a cohort's entire day is
 //! reproducible from its unit seed.
 
-use doqlab_dnswire::{Name, RecordType};
+use doqlab_dnswire::{Name, NameId, NameInterner, RecordType};
 use doqlab_simnet::{Duration, SimRng, SimTime};
 
 /// Peak-to-mean swing of the diurnal sinusoid: the midday peak runs at
@@ -69,6 +69,12 @@ pub struct WorkloadGen {
     base_rate: f64,
     start: SimTime,
     end: SimTime,
+    /// All rank names, interned once at construction; the per-query hot
+    /// path hands out copy-cheap [`NameId`]s instead of re-parsing
+    /// `d<rank>.pop.doqlab.test` strings.
+    interner: NameInterner,
+    /// rank -> interned id; ids are dense and assigned in rank order.
+    rank_ids: Vec<NameId>,
 }
 
 impl WorkloadGen {
@@ -87,6 +93,16 @@ impl WorkloadGen {
         let nx_from = n - nx.min(n);
         let window_s = spec.window.as_secs_f64().max(1e-9);
         let base_rate = spec.clients as f64 * spec.queries_per_client / window_s;
+        let mut interner = NameInterner::new();
+        let mut rank_ids = Vec::with_capacity(n);
+        for rank in 0..n {
+            let name = if rank >= nx_from {
+                Name::parse(&format!("nx-{rank}.pop.doqlab.test")).expect("synthetic name")
+            } else {
+                Name::parse(&format!("d{rank}.pop.doqlab.test")).expect("synthetic name")
+            };
+            rank_ids.push(interner.intern(&name));
+        }
         WorkloadGen {
             spec,
             cum,
@@ -94,6 +110,8 @@ impl WorkloadGen {
             base_rate,
             start: SimTime::ZERO,
             end: SimTime::ZERO,
+            interner,
+            rank_ids,
         }
     }
 
@@ -158,13 +176,26 @@ impl WorkloadGen {
     /// A-records; tail ranks are `nx-<rank>` names the authoritative
     /// refuses to know (NXDOMAIN — see
     /// [`authoritative_answer`](crate::host::authoritative_answer)).
+    ///
+    /// Allocates a fresh `Name`; the per-query hot path should use
+    /// [`query_id_for_rank`](WorkloadGen::query_id_for_rank) instead.
     pub fn query_for_rank(&self, rank: usize) -> (Name, RecordType) {
-        let name = if rank >= self.nx_from {
-            Name::parse(&format!("nx-{rank}.pop.doqlab.test")).expect("synthetic name")
-        } else {
-            Name::parse(&format!("d{rank}.pop.doqlab.test")).expect("synthetic name")
-        };
-        (name, RecordType::A)
+        let (id, rtype) = self.query_id_for_rank(rank);
+        (self.interner.resolve(id).clone(), rtype)
+    }
+
+    /// [`query_for_rank`](WorkloadGen::query_for_rank) without the
+    /// allocation: a copy-cheap interned handle from the table built at
+    /// construction. Resolve it via [`name_of`](WorkloadGen::name_of)
+    /// only when an owned `Name` is really needed (upstream misses).
+    pub fn query_id_for_rank(&self, rank: usize) -> (NameId, RecordType) {
+        let rank = rank.min(self.rank_ids.len().saturating_sub(1));
+        (self.rank_ids[rank], RecordType::A)
+    }
+
+    /// The name behind an id issued by this generator's interner.
+    pub fn name_of(&self, id: NameId) -> &Name {
+        self.interner.resolve(id)
     }
 
     /// First rank (by popularity) that is a nonexistent name.
@@ -292,5 +323,22 @@ mod tests {
         assert!(name.to_string().starts_with("d0."));
         let (nx, _) = gen.query_for_rank(199);
         assert!(nx.to_string().starts_with("nx-199."));
+    }
+
+    #[test]
+    fn interned_ids_agree_with_parsed_names() {
+        let gen = WorkloadGen::new(spec());
+        for rank in 0..gen.spec().domains {
+            let (id, id_rtype) = gen.query_id_for_rank(rank);
+            let (name, rtype) = gen.query_for_rank(rank);
+            assert_eq!(id_rtype, rtype);
+            assert!(gen.name_of(id).eq_ignore_case(&name));
+            // Ids are dense and rank-ordered: rank == id index.
+            assert_eq!(id.index(), rank);
+        }
+        // Distinct ranks never alias to one id.
+        let (a, _) = gen.query_id_for_rank(0);
+        let (b, _) = gen.query_id_for_rank(1);
+        assert_ne!(a, b);
     }
 }

@@ -1,0 +1,109 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! Compiled only under the `count-allocs` feature: installing a
+//! `#[global_allocator]` is a whole-binary decision, so the default
+//! build keeps the system allocator untouched. With the feature on,
+//! every allocation (alloc, alloc_zeroed, and grow-side realloc) bumps
+//! two counters:
+//!
+//! * a process-wide total ([`total_allocations`]) — what the campaign
+//!   throughput bench divides by simulator events to report
+//!   `allocs_per_event`;
+//! * a per-thread count ([`thread_allocations`]) — what the
+//!   zero-steady-state-allocation tests use, so concurrently running
+//!   tests on other threads cannot perturb the measurement.
+//!
+//! Deallocation is never counted: the interesting budget is how often
+//! the hot path asks the allocator for *new* memory, and a pooled
+//! buffer that is recycled instead of freed should score zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocation count across all threads since process start.
+pub fn total_allocations() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Allocation count on the calling thread since it started.
+pub fn thread_allocations() -> u64 {
+    LOCAL.try_with(|c| c.get()).unwrap_or(0)
+}
+
+/// The counting allocator: defers all memory management to [`System`],
+/// adding one relaxed atomic increment and one thread-local increment
+/// per allocation.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn record() {
+        TOTAL.fetch_add(1, Ordering::Relaxed);
+        // try_with: the TLS slot may already be gone during thread
+        // teardown; losing those few counts is fine.
+        let _ = LOCAL.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_observe_allocations() {
+        let before_total = total_allocations();
+        let before_local = thread_allocations();
+        let v: Vec<u8> = Vec::with_capacity(128);
+        assert!(v.capacity() >= 128);
+        assert!(total_allocations() > before_total);
+        assert!(thread_allocations() > before_local);
+    }
+
+    #[test]
+    fn thread_counter_is_per_thread() {
+        let before = thread_allocations();
+        std::thread::spawn(|| {
+            let v: Vec<u8> = Vec::with_capacity(4096);
+            assert!(v.capacity() >= 4096);
+            assert!(thread_allocations() > 0);
+        })
+        .join()
+        .unwrap();
+        // The spawned thread's allocations never land on this thread's
+        // counter (other allocations on this thread may have).
+        let v: Vec<u8> = Vec::with_capacity(64);
+        drop(v);
+        assert!(thread_allocations() > before);
+    }
+}

@@ -31,6 +31,8 @@
 //!   packet reordering and duplication, all drawing from the
 //!   simulator's seeded RNG ([`sim::Simulator::set_impairment`]).
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count;
 pub mod event;
 pub mod geo;
 pub mod impair;
@@ -41,9 +43,10 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use event::{EventQueue, HeapEventQueue};
 pub use geo::Coord;
 pub use impair::{GilbertElliott, Impairment, ImpairmentSchedule, OutageWindow, PacketFate};
-pub use net::{Ipv4Addr, Packet, SocketAddr, Transport};
+pub use net::{Ipv4Addr, Packet, PayloadBuf, SocketAddr, Transport};
 pub use path::{GeoPathModel, PathCharacteristics, PathModel};
 pub use rng::SimRng;
 pub use sim::{Ctx, Host, HostId, Simulator};

@@ -15,6 +15,8 @@
 //! accounting.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 
 /// IPv4 address (simulated; no relation to host networking).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -74,31 +76,175 @@ pub const UDP_HEADER_LEN: usize = 8;
 /// "IP payload" accounting, but exposed for full-wire-size statistics.
 pub const IPV4_HEADER_LEN: usize = 20;
 
+/// Most pooled buffers a thread retains; excess drops free normally.
+const POOL_MAX_BUFS: usize = 4096;
+/// Buffers above this capacity are freed rather than pooled, so one
+/// jumbo payload cannot pin memory for the rest of a campaign.
+const POOL_MAX_CAP: usize = 1 << 18;
+
+thread_local! {
+    /// Per-thread freelist backing [`PayloadBuf`]. Campaign workers
+    /// each own a thread, so no locking and no cross-thread traffic.
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled, recycled packet payload.
+///
+/// Behaves like a `Vec<u8>` (it derefs to one) but returns its backing
+/// storage to a per-thread freelist on drop, so steady-state packet
+/// routing — including duplication under impairment and packets
+/// discarded by loss — performs no heap allocation: every delivered,
+/// dropped or duplicated payload's buffer is reused by a later send.
+///
+/// Construct with [`PayloadBuf::from_slice`] (copies into a pooled
+/// buffer) or adopt an existing `Vec<u8>` via `From` — adopted vectors
+/// join the pool when dropped.
+#[derive(Default)]
+pub struct PayloadBuf {
+    vec: Vec<u8>,
+}
+
+impl PayloadBuf {
+    /// An empty buffer drawn from the pool.
+    pub fn new() -> Self {
+        PayloadBuf {
+            vec: Self::acquire(),
+        }
+    }
+
+    /// Copy `bytes` into a pooled buffer.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let mut vec = Self::acquire();
+        vec.extend_from_slice(bytes);
+        PayloadBuf { vec }
+    }
+
+    fn acquire() -> Vec<u8> {
+        BUF_POOL
+            .with(|p| p.borrow_mut().pop())
+            .map(|mut v| {
+                v.clear();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Detach the backing vector (it will not be recycled).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.vec)
+    }
+
+    /// Buffers currently sitting in this thread's freelist. Test
+    /// hook: lets leak tests pin that discarded packets return their
+    /// buffers instead of stranding them.
+    pub fn pooled() -> usize {
+        BUF_POOL.with(|p| p.borrow().len())
+    }
+}
+
+impl Drop for PayloadBuf {
+    fn drop(&mut self) {
+        let cap = self.vec.capacity();
+        if cap == 0 || cap > POOL_MAX_CAP {
+            return;
+        }
+        let vec = std::mem::take(&mut self.vec);
+        BUF_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_MAX_BUFS {
+                pool.push(vec);
+            }
+        });
+    }
+}
+
+impl Clone for PayloadBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(&self.vec)
+    }
+}
+
+impl Deref for PayloadBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.vec
+    }
+}
+
+impl DerefMut for PayloadBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for PayloadBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for PayloadBuf {
+    fn from(vec: Vec<u8>) -> Self {
+        PayloadBuf { vec }
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_slice(bytes)
+    }
+}
+
+impl std::fmt::Debug for PayloadBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.vec.fmt(f)
+    }
+}
+
+impl PartialEq for PayloadBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+impl Eq for PayloadBuf {}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.vec == other
+    }
+}
+
+impl PartialEq<[u8]> for PayloadBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.vec == other
+    }
+}
+
 /// One packet in flight between two simulated hosts.
 #[derive(Debug, Clone)]
 pub struct Packet {
     pub src: SocketAddr,
     pub dst: SocketAddr,
     pub transport: Transport,
-    pub payload: Vec<u8>,
+    pub payload: PayloadBuf,
 }
 
 impl Packet {
-    pub fn udp(src: SocketAddr, dst: SocketAddr, payload: Vec<u8>) -> Self {
+    pub fn udp(src: SocketAddr, dst: SocketAddr, payload: impl Into<PayloadBuf>) -> Self {
         Packet {
             src,
             dst,
             transport: Transport::Udp,
-            payload,
+            payload: payload.into(),
         }
     }
 
-    pub fn tcp(src: SocketAddr, dst: SocketAddr, segment: Vec<u8>) -> Self {
+    pub fn tcp(src: SocketAddr, dst: SocketAddr, segment: impl Into<PayloadBuf>) -> Self {
         Packet {
             src,
             dst,
             transport: Transport::Tcp,
-            payload: segment,
+            payload: segment.into(),
         }
     }
 

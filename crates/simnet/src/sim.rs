@@ -111,6 +111,10 @@ pub struct Simulator {
     tap: Option<Box<dyn PacketTap>>,
     impair: Option<Box<dyn Impairment>>,
     stats: NetStats,
+    /// Reused host-output buffer: dispatching an event borrows it,
+    /// routes its packets and hands it back, so steady-state event
+    /// processing allocates no fresh `Vec<Packet>`.
+    out_buf: Vec<Packet>,
 }
 
 impl Simulator {
@@ -129,6 +133,7 @@ impl Simulator {
             tap: None,
             impair: None,
             stats: NetStats::default(),
+            out_buf: Vec::new(),
         }
     }
 
@@ -163,6 +168,7 @@ impl Simulator {
         self.tap = None;
         self.impair = None;
         self.stats = NetStats::default();
+        self.out_buf.clear();
     }
 
     /// Current simulated time.
@@ -176,6 +182,16 @@ impl Simulator {
 
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// Pre-reserve `cap` entries in every event-wheel slot, paying the
+    /// one-time cold-slot growth up front instead of scattering it over
+    /// the first pass through the wheel (see
+    /// [`EventQueue::warm`](crate::event::EventQueue::warm)). Optional;
+    /// the allocation-budget tests use it to make steady state start at
+    /// event zero.
+    pub fn warm_queue(&mut self, cap: usize) {
+        self.queue.warm(cap);
     }
 
     /// Start recording every packet into a trace (for size accounting).
@@ -277,7 +293,7 @@ impl Simulator {
         f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
     ) -> R {
         let mut host = self.hosts[id].take().expect("reentrant host dispatch");
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.out_buf);
         let r = {
             let mut ctx = Ctx {
                 now: self.clock,
@@ -297,11 +313,12 @@ impl Simulator {
         r
     }
 
-    fn after_dispatch(&mut self, id: HostId, next: Option<SimTime>, out: Vec<Packet>) {
+    fn after_dispatch(&mut self, id: HostId, next: Option<SimTime>, mut out: Vec<Packet>) {
         let now = self.clock;
-        for pkt in out {
+        for pkt in out.drain(..) {
             self.route(now, pkt);
         }
+        self.out_buf = out;
         if let Some(w) = next {
             self.arm_wakeup(id, w);
         }
@@ -397,7 +414,7 @@ impl Simulator {
                 let Some(mut host) = self.hosts[id].take() else {
                     return;
                 };
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.out_buf);
                 {
                     let mut ctx = Ctx {
                         now: self.clock,
@@ -424,7 +441,7 @@ impl Simulator {
                     None => {}
                     Some(w) if w <= self.clock => {
                         let mut host = self.hosts[id].take().expect("checked above");
-                        let mut out = Vec::new();
+                        let mut out = std::mem::take(&mut self.out_buf);
                         {
                             let mut ctx = Ctx {
                                 now: self.clock,
@@ -561,7 +578,11 @@ mod tests {
 
     impl Pinger {
         fn start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(Packet::udp(self.local, self.target, vec![1, 2, 3]));
+            ctx.send(Packet::udp(
+                self.local,
+                self.target,
+                crate::net::PayloadBuf::from_slice(&[1, 2, 3]),
+            ));
         }
     }
 
@@ -1064,5 +1085,42 @@ mod tests {
         // With 30% loss and 100 transmissions, two seeds almost surely
         // differ in at least one counter.
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn impaired_routing_recycles_payload_buffers() {
+        use crate::impair::{GilbertElliott, ImpairmentSchedule};
+        use crate::net::PayloadBuf;
+        // Heavy loss, duplication and reordering discard or copy many
+        // packets. Every discarded packet's buffer must return to the
+        // thread's freelist, so a second identical burst runs from
+        // recycled buffers instead of growing the pool — the property
+        // that keeps long impairment campaigns allocation-free.
+        let burst = |sim: &mut Simulator, pinger: HostId| {
+            for _ in 0..50 {
+                sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+                sim.run(10_000);
+            }
+        };
+        let (mut sim, pinger, _echo) = two_host_sim(Duration::from_millis(10));
+        sim.set_impairment(Box::new(
+            ImpairmentSchedule::new()
+                .with_burst(GilbertElliott::new(0.2, 0.5, 0.05, 0.5))
+                .with_reorder(0.3, Duration::from_millis(30))
+                .with_duplicate(0.3),
+        ));
+        burst(&mut sim, pinger);
+        let warm = PayloadBuf::pooled();
+        assert!(warm > 0, "discarded payloads should land in the freelist");
+        burst(&mut sim, pinger);
+        let after = PayloadBuf::pooled();
+        assert!(
+            after >= warm,
+            "buffers leaked: pool shrank from {warm} to {after}"
+        );
+        assert!(
+            after <= warm + 8,
+            "pool kept growing ({warm} -> {after}): buffers are not being reused"
+        );
     }
 }

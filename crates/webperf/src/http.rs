@@ -126,7 +126,11 @@ impl HttpsClientConn {
             self.tcp.send(&wire);
         }
         for seg in self.tcp.poll(now) {
-            out.push(Packet::tcp(self.tcp.local, self.tcp.remote, seg.encode()));
+            out.push(Packet::tcp(
+                self.tcp.local,
+                self.tcp.remote,
+                seg.encode_payload(),
+            ));
         }
     }
 

@@ -119,7 +119,7 @@ impl OriginHost {
             out.push(Packet::tcp(
                 SocketAddr::new(self.ip, 443),
                 peer,
-                seg.encode(),
+                seg.encode_payload(),
             ));
         }
     }
