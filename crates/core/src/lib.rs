@@ -32,6 +32,7 @@ pub use doqlab_webperf as webperf;
 use doqlab_dox::DnsTransport;
 use doqlab_measure::discovery::DiscoveryReport;
 use doqlab_measure::impairments::{ImpairmentSample, ImpairmentsCampaign};
+use doqlab_measure::mobility::{MobilityCampaign, MobilitySample};
 use doqlab_measure::populations::{PopulationSample, PopulationsCampaign};
 use doqlab_measure::single_query::{SingleQueryCampaign, SingleQuerySample};
 use doqlab_measure::webperf::{WebperfCampaign, WebperfSample};
@@ -135,6 +136,20 @@ impl Study {
         c.use_resumption = self.use_resumption;
         c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
         doqlab_measure::run_impairments_campaign(&c, &population)
+    }
+
+    /// The mobility sweep (`doqlab measure mobility`): single-query
+    /// units across mid-query address changes, with reconnect and
+    /// cross-transport failover recovery regimes. Shares the study seed
+    /// with the single-query campaign, so the baseline regime
+    /// reproduces that campaign's samples bit for bit.
+    pub fn run_mobility(&self) -> Vec<MobilitySample> {
+        let population = self.population();
+        let mut c = MobilityCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        c.use_resumption = self.use_resumption;
+        c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
+        doqlab_measure::run_mobility_campaign(&c, &population)
     }
 
     /// The population-scale campaign (`doqlab measure populations`):

@@ -2,7 +2,7 @@
 
 use doqlab_dnswire::Message;
 use doqlab_netstack::tls::SessionTicket;
-use doqlab_simnet::{Packet, SimRng, SimTime};
+use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
 
 /// The five DNS transports of the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -160,6 +160,10 @@ pub struct ClientConfig {
     /// (counting against `reconnect_max` like any other failure). Guards
     /// against handshakes that retry forever without a terminal error.
     pub pool_handshake_timeout: std::time::Duration,
+    /// Cross-transport failover ladder raced by `DnsClientHost`
+    /// (non-pooled mode only; `None` — the default — disables racing
+    /// and leaves the historical single-transport behavior untouched).
+    pub failover: Option<FailoverPolicy>,
 }
 
 impl Default for ClientConfig {
@@ -176,6 +180,36 @@ impl Default for ClientConfig {
             reconnect_backoff: std::time::Duration::from_millis(250),
             pool_idle_timeout: None,
             pool_handshake_timeout: std::time::Duration::from_secs(4),
+            failover: None,
+        }
+    }
+}
+
+/// Cross-transport failover: a happy-eyeballs-style racing ladder.
+///
+/// When a query has gone unanswered on the primary transport for
+/// `stagger`, [`DnsClientHost`](crate::DnsClientHost) dials the first
+/// ladder rung on a fresh source port and re-issues the query there;
+/// after `2 * stagger` the second rung, and so on. A rung is also
+/// dialed immediately once the primary and every earlier rung have
+/// failed terminally. The first response wins, the losers are closed,
+/// and their bytes are bookkept as waste.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPolicy {
+    /// Fallback transports tried in order (the primary transport is
+    /// whatever the host was built with and is not listed here).
+    pub ladder: Vec<DnsTransport>,
+    /// Head start the primary (and each rung) gets before the next
+    /// rung is dialed.
+    pub stagger: std::time::Duration,
+}
+
+impl FailoverPolicy {
+    /// The classic DoQ ladder: fall back to DoT, then DoUDP.
+    pub fn doq_ladder(stagger: std::time::Duration) -> Self {
+        FailoverPolicy {
+            ladder: vec![DnsTransport::DoT, DnsTransport::DoUdp],
+            stagger,
         }
     }
 }
@@ -238,6 +272,16 @@ pub trait DnsClientConn {
 
     /// Begin a graceful close.
     fn close(&mut self, now: SimTime, out: &mut Vec<Packet>);
+
+    /// The host's local address changed under a live connection
+    /// (wifi→cellular rebind). Transports with connection migration
+    /// (QUIC: DoQ, DoH3) adopt the address and validate the new path;
+    /// for everything else the default no-op leaves the connection
+    /// bound to the now-dead address — exactly the stranding a real
+    /// TCP/UDP socket suffers.
+    fn rebind(&mut self, now: SimTime, new_local: SocketAddr, out: &mut Vec<Packet>) {
+        let _ = (now, new_local, out);
+    }
 
     /// Negotiated-protocol metadata (empty for plaintext transports).
     fn metadata(&self) -> ConnMetadata {

@@ -189,9 +189,7 @@ impl DnsClientConn for DoH3Client {
     }
 
     fn failed(&self) -> bool {
-        self.conn
-            .as_ref()
-            .is_some_and(|c| c.error().is_some() && !c.is_established())
+        self.failure().is_some()
     }
 
     fn failure(&self) -> Option<FailureKind> {
@@ -205,6 +203,14 @@ impl DnsClientConn for DoH3Client {
     fn close(&mut self, now: SimTime, out: &mut Vec<Packet>) {
         if let Some(conn) = &mut self.conn {
             conn.close(0x100); // H3_NO_ERROR
+        }
+        self.pump(now, out);
+    }
+
+    fn rebind(&mut self, now: SimTime, new_local: SocketAddr, out: &mut Vec<Packet>) {
+        self.local = new_local;
+        if let Some(conn) = &mut self.conn {
+            conn.rebind(now, new_local);
         }
         self.pump(now, out);
     }

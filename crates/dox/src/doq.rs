@@ -21,16 +21,18 @@ use std::collections::HashMap;
 /// while the connection is healthy or the error struck after the
 /// session was already established and usable. Shared by DoQ and DoH3.
 pub(crate) fn classify_quic_failure(conn: &QuicConnection) -> Option<FailureKind> {
-    if conn.is_established() {
-        return None;
-    }
-    Some(match conn.error()? {
-        QuicError::IdleTimeout | QuicError::TooManyRetries => FailureKind::Timeout,
+    match conn.error()? {
+        // Path validation fails *after* establishment (a rebind onto an
+        // unreachable path); the connection is dead regardless, and
+        // what the query experiences is unanswered retransmissions.
+        QuicError::PathValidationFailed => Some(FailureKind::Timeout),
+        _ if conn.is_established() => None,
+        QuicError::IdleTimeout | QuicError::TooManyRetries => Some(FailureKind::Timeout),
         QuicError::HandshakeFailed(_) | QuicError::NoCommonAlpn | QuicError::NoCommonVersion => {
-            FailureKind::HandshakeFail
+            Some(FailureKind::HandshakeFail)
         }
-        QuicError::PeerClosed(_) => FailureKind::Reset,
-    })
+        QuicError::PeerClosed(_) => Some(FailureKind::Reset),
+    }
 }
 
 /// A DoQ client connection.
@@ -228,9 +230,7 @@ impl DnsClientConn for DoQClient {
     }
 
     fn failed(&self) -> bool {
-        self.conn
-            .as_ref()
-            .is_some_and(|c| c.error().is_some() && !c.is_established())
+        self.failure().is_some()
     }
 
     fn failure(&self) -> Option<FailureKind> {
@@ -246,6 +246,16 @@ impl DnsClientConn for DoQClient {
             // DOQ_NO_ERROR (0x0).
             conn.close(0);
         }
+        self.pump(now, out);
+    }
+
+    fn rebind(&mut self, now: SimTime, new_local: SocketAddr, out: &mut Vec<Packet>) {
+        self.local = new_local;
+        if let Some(conn) = &mut self.conn {
+            conn.rebind(now, new_local);
+        }
+        // Flush immediately: the PATH_CHALLENGE probe and any pending
+        // retransmissions leave from the new address right away.
         self.pump(now, out);
     }
 

@@ -31,6 +31,7 @@ use crate::udp::DoUdpClient;
 use doqlab_dnswire::Message;
 use doqlab_simnet::{Ctx, Host, Packet, SimRng, SimTime, SocketAddr};
 use doqlab_telemetry::metrics::{self, Counter};
+use doqlab_telemetry::{sink, Event};
 use std::any::Any;
 
 /// Construct a client connection for any of the five transports.
@@ -97,6 +98,27 @@ pub struct DnsClientHost {
     abandoned: Vec<Message>,
     /// Resumption material carried across pool evictions and redials.
     cached_session: SessionState,
+    // --- cross-transport failover (cfg.failover = Some) ---------------
+    /// Fallback connections raced against the primary, in ladder order.
+    racers: Vec<Racer>,
+    /// Transport that produced the first response (set once).
+    winner: Option<DnsTransport>,
+    /// Bytes spent on connections that did not win (all bytes if the
+    /// whole race failed).
+    wasted_bytes: u64,
+    /// Bytes the primary connection moved (tracked only while racing).
+    primary_bytes: u64,
+    /// The race is over (won, failed, or deadline); losers are closed.
+    race_settled: bool,
+}
+
+/// One fallback rung of the failover ladder: a full client connection
+/// on its own source port, racing the primary.
+struct Racer {
+    transport: DnsTransport,
+    conn: Box<dyn DnsClientConn>,
+    local: SocketAddr,
+    bytes: u64,
 }
 
 impl DnsClientHost {
@@ -131,6 +153,11 @@ impl DnsClientHost {
             failed_queries: 0,
             abandoned: Vec::new(),
             cached_session: SessionState::default(),
+            racers: Vec::new(),
+            winner: None,
+            wasted_bytes: 0,
+            primary_bytes: 0,
+            race_settled: false,
         }
     }
 
@@ -156,6 +183,11 @@ impl DnsClientHost {
             self.conn.start(ctx.now, ctx.rng, &mut out);
         }
         self.conn.poll(ctx.now, &mut out);
+        if self.racing() {
+            for p in &out {
+                self.primary_bytes += p.payload.len() as u64;
+            }
+        }
         for p in out {
             ctx.send(p);
         }
@@ -424,14 +456,271 @@ impl DnsClientHost {
         }
         self.responses.extend(taken);
     }
+
+    // --- cross-transport failover racing ------------------------------
+
+    /// Failover racing is active: a ladder is configured and the host
+    /// is in non-pooled (single query flow) mode. Racing and pooling
+    /// are mutually exclusive; racing configs should also leave
+    /// `reconnect_max` at 0 — the ladder *is* the recovery strategy.
+    fn racing(&self) -> bool {
+        self.cfg.failover.is_some() && !self.pooled()
+    }
+
+    /// Transport that produced the first response, once the race is
+    /// decided. `None` while undecided or when everything failed.
+    pub fn winner(&self) -> Option<DnsTransport> {
+        self.winner
+    }
+
+    /// Bytes moved by connections that did not produce the winning
+    /// response (every connection, if the whole race failed).
+    pub fn wasted_bytes(&self) -> u64 {
+        self.wasted_bytes
+    }
+
+    /// Fallback rungs actually dialed.
+    pub fn rungs_dialed(&self) -> u32 {
+        self.racers.len() as u32
+    }
+
+    /// Source address for ladder rung `k`: the primary's current IP,
+    /// one port per rung above the primary's.
+    fn rung_local(&self, k: usize) -> SocketAddr {
+        SocketAddr::new(self.local.ip, self.local.port.wrapping_add(k as u16 + 1))
+    }
+
+    /// When rung `k` becomes eligible by stagger alone. `None` once the
+    /// ladder is exhausted or before the first query started.
+    fn rung_due(&self, k: usize) -> Option<SimTime> {
+        let policy = self.cfg.failover.as_ref()?;
+        if k >= policy.ladder.len() {
+            return None;
+        }
+        Some(self.started_at? + policy.stagger * (k as u32 + 1))
+    }
+
+    /// Dial the next ladder rung: a fresh connection on its own source
+    /// port, aimed at the fallback transport's well-known server port,
+    /// carrying every query issued so far.
+    fn dial_rung(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        let Some(policy) = self.cfg.failover.clone() else {
+            return;
+        };
+        let k = self.racers.len();
+        let Some(&transport) = policy.ladder.get(k) else {
+            return;
+        };
+        let local = self.rung_local(k);
+        let remote = SocketAddr::new(self.remote.ip, transport.port());
+        let mut cfg = self.cfg.clone();
+        cfg.failover = None;
+        cfg.session = SessionState::default();
+        let primary = self.transport;
+        sink::emit(now.as_nanos(), || Event::FailoverRaced {
+            from: primary.name(),
+            to: transport.name(),
+        });
+        metrics::count(Counter::FailoverRaced, 1);
+        let mut conn = make_client(transport, local, remote, &cfg);
+        for q in &self.issued {
+            conn.query(now, q);
+        }
+        let mut sent = Vec::new();
+        conn.start(now, rng, &mut sent);
+        conn.poll(now, &mut sent);
+        let bytes = sent.iter().map(|p| p.payload.len() as u64).sum();
+        out.extend(sent);
+        self.racers.push(Racer {
+            transport,
+            conn,
+            local,
+            bytes,
+        });
+    }
+
+    /// Pump a racer's timers and collect its responses. The first
+    /// response from any racer decides the race.
+    fn poll_racers(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        for i in 0..self.racers.len() {
+            let taken = {
+                let r = &mut self.racers[i];
+                let before = out.len();
+                r.conn.poll(now, out);
+                for p in &out[before..] {
+                    r.bytes += p.payload.len() as u64;
+                }
+                r.conn.take_responses()
+            };
+            if !taken.is_empty() && self.winner.is_none() {
+                self.winner = Some(self.racers[i].transport);
+            }
+            self.absorb_responses(taken);
+        }
+    }
+
+    /// Race supervision, run after every event while racing: decide a
+    /// settled race, dial the next rung when its stagger elapses (or
+    /// sooner, if everything already dialed has failed), and give the
+    /// whole race a terminal verdict once the ladder is exhausted.
+    fn supervise_failover(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
+        if self.race_settled {
+            return;
+        }
+        if !self.responses.is_empty() {
+            let winner = self.winner.unwrap_or(self.transport);
+            self.settle_race(now, winner, out);
+            return;
+        }
+        if self.terminal.is_some() {
+            // Host-level verdict (per-query deadline): race over.
+            self.settle_race_failed(now, out);
+            return;
+        }
+        let k = self.racers.len();
+        let primary_dead = self.conn.failed();
+        let racers_dead = self.racers.iter().all(|r| r.conn.failed());
+        if self.rung_due(k).is_some() {
+            // Ladder not yet exhausted: dial on stagger expiry, or
+            // immediately once everything already running is dead.
+            let due = self.rung_due(k).is_some_and(|d| now >= d);
+            if due || (primary_dead && racers_dead) {
+                self.dial_rung(now, rng, out);
+            }
+        } else if primary_dead && racers_dead {
+            self.terminal = Some(
+                self.conn
+                    .failure()
+                    .or_else(|| self.racers.iter().find_map(|r| r.conn.failure()))
+                    .unwrap_or(FailureKind::Timeout),
+            );
+            self.settle_race_failed(now, out);
+        }
+    }
+
+    /// A response arrived: record the winner, close every loser, and
+    /// book the bytes the losers moved as waste.
+    fn settle_race(&mut self, now: SimTime, winner: DnsTransport, out: &mut Vec<Packet>) {
+        self.race_settled = true;
+        self.winner = Some(winner);
+        if winner != self.transport {
+            self.wasted_bytes += self.primary_bytes;
+            self.conn.close(now, out);
+        }
+        for r in &mut self.racers {
+            if r.transport != winner {
+                self.wasted_bytes += r.bytes;
+                r.conn.close(now, out);
+            }
+        }
+    }
+
+    /// The whole race failed: everything was waste.
+    fn settle_race_failed(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        self.race_settled = true;
+        self.wasted_bytes += self.primary_bytes;
+        for r in &mut self.racers {
+            self.wasted_bytes += r.bytes;
+            r.conn.close(now, out);
+        }
+        self.conn.close(now, out);
+    }
+
+    /// A packet addressed to one of the racer ports.
+    fn racer_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let Some(i) = self.racers.iter().position(|r| r.local == pkt.dst) else {
+            return;
+        };
+        let mut out = Vec::new();
+        if !self.race_settled {
+            let taken = {
+                let r = &mut self.racers[i];
+                r.bytes += pkt.payload.len() as u64;
+                r.conn.on_packet(ctx.now, &pkt, &mut out);
+                r.conn.poll(ctx.now, &mut out);
+                for p in &out {
+                    r.bytes += p.payload.len() as u64;
+                }
+                r.conn.take_responses()
+            };
+            if !taken.is_empty() && self.winner.is_none() {
+                self.winner = Some(self.racers[i].transport);
+            }
+            self.absorb_responses(taken);
+            self.supervise_failover(ctx.now, ctx.rng, &mut out);
+        }
+        for p in out {
+            ctx.send(p);
+        }
+    }
+
+    /// Move the host's primary socket to a new local IP — the endpoint
+    /// half of the simulator's `rebind_host` (which moves the address
+    /// the network delivers to). QUIC transports migrate the live
+    /// connection (RFC 9000 §9); the rest inherit the default no-op
+    /// [`DnsClientConn::rebind`] and are left with a stranded socket
+    /// that only reconnects or failover racing can recover from.
+    pub fn rebind_local(&mut self, ctx: &mut Ctx<'_>, new_ip: doqlab_simnet::Ipv4Addr) {
+        self.local = SocketAddr::new(new_ip, self.local.port);
+        let mut out = Vec::new();
+        self.conn.rebind(ctx.now, self.local, &mut out);
+        if self.racing() {
+            for p in &out {
+                self.primary_bytes += p.payload.len() as u64;
+            }
+        }
+        // Rungs dialed before the change are as stranded as the
+        // primary (only QUIC migrates): redial each one from the new
+        // address, like a stub re-racing after a network change. The
+        // old rung's bytes are already waste; its dying socket can't
+        // emit anything onto the vanished interface, so its close
+        // output is discarded.
+        if self.racing() && !self.race_settled {
+            for i in 0..self.racers.len() {
+                let transport = self.racers[i].transport;
+                let local = SocketAddr::new(new_ip, self.racers[i].local.port);
+                let mut cfg = self.cfg.clone();
+                cfg.failover = None;
+                cfg.session = SessionState::default();
+                let remote = SocketAddr::new(self.remote.ip, transport.port());
+                let mut conn = make_client(transport, local, remote, &cfg);
+                for q in &self.issued {
+                    conn.query(ctx.now, q);
+                }
+                let mut sent = Vec::new();
+                conn.start(ctx.now, ctx.rng, &mut sent);
+                conn.poll(ctx.now, &mut sent);
+                let bytes = sent.iter().map(|p| p.payload.len() as u64).sum();
+                out.extend(sent);
+                let old = std::mem::replace(
+                    &mut self.racers[i],
+                    Racer {
+                        transport,
+                        conn,
+                        local,
+                        bytes,
+                    },
+                );
+                self.wasted_bytes += old.bytes;
+            }
+        }
+        for p in out {
+            ctx.send(p);
+        }
+    }
 }
 
 impl Host for DnsClientHost {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        // Pooled dials rotate source ports; a packet addressed to a
-        // retired port belongs to an evicted or replaced connection and
-        // must not be pumped into the current one's state machine.
-        if self.pooled() && pkt.dst.port != self.local.port {
+        // Only the current sockets receive: racing rungs listen on
+        // their own addresses, and anything else is retired — a pooled
+        // dial's rotated-away port, or (after a rebind) the primary's
+        // old address that already-routed in-flight packets still
+        // carry. A real stack's stranded socket would never see those.
+        if pkt.dst != self.local {
+            if self.racing() && self.racers.iter().any(|r| r.local == pkt.dst) {
+                self.racer_packet(ctx, pkt);
+            }
             return;
         }
         let mut out = Vec::new();
@@ -441,6 +730,12 @@ impl Host for DnsClientHost {
         if self.terminal.is_none() && self.reconnect_at.is_none() {
             self.conn.on_packet(ctx.now, &pkt, &mut out);
             self.conn.poll(ctx.now, &mut out);
+            if self.racing() {
+                self.primary_bytes += pkt.payload.len() as u64;
+                for p in &out {
+                    self.primary_bytes += p.payload.len() as u64;
+                }
+            }
             let taken = self.conn.take_responses();
             self.absorb_responses(taken);
         }
@@ -448,6 +743,9 @@ impl Host for DnsClientHost {
             self.supervise_pooled(ctx.now, ctx.rng, &mut out);
         } else {
             self.supervise(ctx.now, ctx.rng, &mut out);
+            if self.racing() {
+                self.supervise_failover(ctx.now, ctx.rng, &mut out);
+            }
         }
         for p in out {
             ctx.send(p);
@@ -458,13 +756,24 @@ impl Host for DnsClientHost {
         let mut out = Vec::new();
         if self.terminal.is_none() && self.reconnect_at.is_none() {
             self.conn.poll(ctx.now, &mut out);
+            if self.racing() {
+                for p in &out {
+                    self.primary_bytes += p.payload.len() as u64;
+                }
+            }
             let taken = self.conn.take_responses();
             self.absorb_responses(taken);
+        }
+        if self.racing() && !self.race_settled {
+            self.poll_racers(ctx.now, &mut out);
         }
         if self.pooled() {
             self.supervise_pooled(ctx.now, ctx.rng, &mut out);
         } else {
             self.supervise(ctx.now, ctx.rng, &mut out);
+            if self.racing() {
+                self.supervise_failover(ctx.now, ctx.rng, &mut out);
+            }
         }
         for p in out {
             ctx.send(p);
@@ -507,6 +816,17 @@ impl Host for DnsClientHost {
         if self.responses.is_empty() {
             if let Some(d) = self.deadline {
                 next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        if self.racing() && !self.race_settled {
+            // Racer timers, plus the next rung's stagger expiry.
+            for r in &self.racers {
+                if let Some(t) = r.conn.next_timeout() {
+                    next = Some(next.map_or(t, |n| n.min(t)));
+                }
+            }
+            if let Some(due) = self.rung_due(self.racers.len()) {
+                next = Some(next.map_or(due, |n| n.min(due)));
             }
         }
         next

@@ -28,7 +28,8 @@ pub mod udp;
 
 pub use alpn::DoqAlpn;
 pub use client::{
-    ClientConfig, ConnMetadata, DnsClientConn, DnsTransport, FailureKind, SessionState,
+    ClientConfig, ConnMetadata, DnsClientConn, DnsTransport, FailoverPolicy, FailureKind,
+    SessionState,
 };
 pub use host::{make_client, DnsClientHost};
 pub use server::{DnsServerSet, ServerConfig, ServerEvent};

@@ -225,6 +225,7 @@ pub fn run_impairment_unit(
             reconnect_max: regime.reconnect_max,
             reconnect_backoff: regime.reconnect_backoff,
             run_deadline: Duration::from_secs(20),
+            ..UnitOptions::default()
         }
     };
     let vps = vantage_points();
@@ -389,6 +390,7 @@ mod tests {
             reconnect_max: regime.reconnect_max,
             reconnect_backoff: regime.reconnect_backoff,
             run_deadline: Duration::from_secs(40),
+            ..UnitOptions::default()
         };
         let mut sim = Simulator::arena();
         let vps = vantage_points();
@@ -435,6 +437,7 @@ mod tests {
             reconnect_max: 0,
             reconnect_backoff: regime.reconnect_backoff,
             run_deadline: Duration::from_secs(20),
+            ..UnitOptions::default()
         };
         let mut sim = Simulator::arena();
         let vps = vantage_points();

@@ -22,6 +22,11 @@
 //!   Zipf-popular queries over a simulated day; reports cache hit
 //!   ratios, resolver load, client resolve-time quantiles and
 //!   aggregate bytes per transport.
+//! * [`mobility`] — the mobility sweep: single-query units re-run
+//!   across mid-query address changes (wifi → cellular), reporting
+//!   which transports survive by connection migration, switchover
+//!   latency, and the cost of reconnect and cross-transport failover
+//!   recovery strategies.
 //!
 //! [`stats`] holds the estimators (median, percentiles, CDFs) and
 //! [`report`] renders tables that mirror the paper's layout. Campaign
@@ -31,6 +36,7 @@
 pub mod discovery;
 pub mod engine;
 pub mod impairments;
+pub mod mobility;
 pub mod populations;
 pub mod report;
 pub mod single_query;
@@ -43,6 +49,7 @@ pub use discovery::{run_discovery, DiscoveryReport};
 pub use impairments::{
     run_impairments_campaign, ImpairmentRegime, ImpairmentSample, ImpairmentsCampaign,
 };
+pub use mobility::{run_mobility_campaign, MobilityCampaign, MobilityRegime, MobilitySample};
 pub use populations::{run_populations_campaign, PopulationSample, PopulationsCampaign};
 pub use single_query::{run_single_query_campaign, SingleQueryCampaign, SingleQuerySample};
 pub use stats::{cdf_points, median, percentile, Cdf};

@@ -3,6 +3,7 @@
 //! rendering; the bench binaries also dump them as JSON).
 
 use crate::impairments::ImpairmentSample;
+use crate::mobility::MobilitySample;
 use crate::populations::PopulationSample;
 use crate::single_query::SingleQuerySample;
 use crate::stats::{cdf_points, median, percentile, relative_difference_pct, Cdf};
@@ -642,6 +643,133 @@ pub fn render_impairments(rows: &[ImpairmentRow]) -> String {
     out
 }
 
+/// One cell of the mobility report: a regime x transport slice of the
+/// mobility sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct MobilityRow {
+    pub regime: String,
+    pub transport: String,
+    pub units: usize,
+    /// Units that produced a response despite the rebind schedule.
+    pub survived: usize,
+    /// Replacement connections dialed across the cell's units.
+    pub reconnects: u64,
+    /// Address rebinds applied across the cell's units.
+    pub rebinds: u64,
+    /// Failure-taxonomy name -> count (empty when nothing failed).
+    pub failure_kinds: BTreeMap<String, usize>,
+    /// Switchover-latency quantiles (p50, p90) over units that answered
+    /// after their first rebind, in milliseconds.
+    pub switchover_ms: [Option<f64>; 2],
+    /// Bytes spent on dead primaries and losing failover rungs, across
+    /// the cell's units.
+    pub wasted_bytes: u64,
+    /// Winning transport name -> count, for units decided by a
+    /// cross-transport failover race.
+    pub winners: BTreeMap<String, usize>,
+}
+
+/// Reduce the mobility sweep to per-regime, per-transport rows (regime
+/// order preserved, transports in `DnsTransport::ALL` order).
+pub fn mobility_rows(samples: &[MobilitySample]) -> Vec<MobilityRow> {
+    let mut regimes: Vec<(usize, String)> = Vec::new();
+    for s in samples {
+        if !regimes.iter().any(|(i, _)| *i == s.regime) {
+            regimes.push((s.regime, s.regime_name.clone()));
+        }
+    }
+    regimes.sort_by_key(|(i, _)| *i);
+    let mut rows = Vec::new();
+    for (regime, name) in regimes {
+        for t in DnsTransport::ALL {
+            let cell: Vec<&MobilitySample> = samples
+                .iter()
+                .filter(|s| s.regime == regime && s.sample.transport == t)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let mut failure_kinds = BTreeMap::new();
+            for s in &cell {
+                if let Some(k) = s.failure {
+                    *failure_kinds.entry(k.name().to_string()).or_insert(0) += 1;
+                }
+            }
+            let mut winners = BTreeMap::new();
+            for s in &cell {
+                if let Some(w) = s.winner {
+                    *winners.entry(w.name().to_string()).or_insert(0) += 1;
+                }
+            }
+            let switch: Vec<f64> = cell.iter().filter_map(|s| s.switchover_ms).collect();
+            let q = |p: f64| percentile(&switch, p);
+            rows.push(MobilityRow {
+                regime: name.clone(),
+                transport: t.name().to_string(),
+                units: cell.len(),
+                survived: cell.iter().filter(|s| s.survived).count(),
+                reconnects: cell.iter().map(|s| s.reconnects as u64).sum(),
+                rebinds: cell.iter().map(|s| s.rebinds_applied as u64).sum(),
+                failure_kinds,
+                switchover_ms: [q(50.0), q(90.0)],
+                wasted_bytes: cell.iter().map(|s| s.wasted_bytes).sum(),
+                winners,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the mobility report: per regime, a transport table of
+/// survival rates, switchover-latency quantiles and recovery cost,
+/// with failure-kind and winning-transport breakdowns.
+pub fn render_mobility(rows: &[MobilityRow]) -> String {
+    let mut out = String::new();
+    let mut current = None::<&str>;
+    for row in rows {
+        if current != Some(row.regime.as_str()) {
+            current = Some(row.regime.as_str());
+            out.push_str(&format!(
+                "\nregime {:<16}{:>7}{:>9}{:>8}{:>9}{:>10}{:>10}{:>10}\n",
+                row.regime,
+                "units",
+                "survive%",
+                "reconn",
+                "rebinds",
+                "sw p50ms",
+                "sw p90ms",
+                "waste KB"
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<21}{:>7}{:>8.1}%{:>8}{:>9}",
+            row.transport,
+            row.units,
+            100.0 * row.survived as f64 / row.units.max(1) as f64,
+            row.reconnects,
+            row.rebinds,
+        ));
+        for q in row.switchover_ms {
+            match q {
+                Some(v) => out.push_str(&format!("{v:>10.1}")),
+                None => out.push_str(&format!("{:>10}", "-")),
+            }
+        }
+        out.push_str(&format!("{:>10.1}\n", row.wasted_bytes as f64 / 1024.0));
+        let mut notes: Vec<String> = Vec::new();
+        if !row.failure_kinds.is_empty() {
+            notes.extend(row.failure_kinds.iter().map(|(k, n)| format!("{k} x{n}")));
+        }
+        if !row.winners.is_empty() {
+            notes.extend(row.winners.iter().map(|(w, n)| format!("won by {w} x{n}")));
+        }
+        if !notes.is_empty() {
+            out.push_str(&format!("  {:<21}  {}\n", "", notes.join(", ")));
+        }
+    }
+    out
+}
+
 /// One cell of the populations report: an alpha x transport slice of
 /// the population campaign, all vantage points merged.
 #[derive(Debug, Clone, Serialize)]
@@ -1010,6 +1138,65 @@ mod tests {
         let rendered = render_impairments(&rows);
         assert!(rendered.contains("regime baseline"));
         assert!(rendered.contains("timeout x1"));
+    }
+
+    #[test]
+    fn mobility_rows_group_by_regime_and_transport() {
+        use doqlab_dox::FailureKind;
+        let mk = |regime: usize, name: &str, t, ok: bool, winner| MobilitySample {
+            regime,
+            regime_name: name.into(),
+            failure: (!ok).then_some(FailureKind::DeadlineExceeded),
+            reconnects: 0,
+            rebinds_applied: u32::from(regime > 0),
+            survived: ok,
+            switchover_ms: (ok && regime > 0).then_some(42.0),
+            wasted_bytes: if winner { 900 } else { 0 },
+            winner: winner.then_some(DnsTransport::DoT),
+            sample: {
+                let mut s = sample(t, Some(10.0), 25.0, 100);
+                if !ok {
+                    s.failed = true;
+                    s.resolve_ms = None;
+                }
+                s
+            },
+        };
+        let samples = vec![
+            mk(0, "baseline", DnsTransport::DoQ, true, false),
+            mk(1, "rebind", DnsTransport::DoQ, true, false),
+            mk(1, "rebind", DnsTransport::DoUdp, false, false),
+            mk(1, "rebind", DnsTransport::DoT, true, true),
+        ];
+        let rows = mobility_rows(&samples);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].regime, "baseline");
+        assert_eq!(rows[0].survived, 1);
+        assert_eq!(rows[0].rebinds, 0);
+        assert_eq!(rows[0].switchover_ms, [None, None]);
+        let rebind_doq = rows
+            .iter()
+            .find(|r| r.regime == "rebind" && r.transport == "DoQ")
+            .unwrap();
+        assert_eq!(rebind_doq.survived, 1);
+        assert_eq!(rebind_doq.switchover_ms[0], Some(42.0));
+        let rebind_udp = rows
+            .iter()
+            .find(|r| r.regime == "rebind" && r.transport == "DoUDP")
+            .unwrap();
+        assert_eq!(rebind_udp.survived, 0);
+        assert_eq!(rebind_udp.failure_kinds["deadline-exceeded"], 1);
+        let rebind_dot = rows
+            .iter()
+            .find(|r| r.regime == "rebind" && r.transport == "DoT")
+            .unwrap();
+        assert_eq!(rebind_dot.winners["DoT"], 1);
+        assert_eq!(rebind_dot.wasted_bytes, 900);
+        let rendered = render_mobility(&rows);
+        assert!(rendered.contains("regime baseline"));
+        assert!(rendered.contains("regime rebind"));
+        assert!(rendered.contains("deadline-exceeded x1"));
+        assert!(rendered.contains("won by DoT x1"));
     }
 
     fn pop_sample(alpha_idx: usize, alpha: f64, t: DnsTransport, vp: usize) -> PopulationSample {

@@ -25,11 +25,12 @@ use crate::vantage::{vantage_points, VantagePoint};
 use crate::Scale;
 use doqlab_dnswire::{Message, Name, RecordType};
 use doqlab_dox::{
-    ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, FailureKind, SessionState,
+    ClientConfig, ConnMetadata, DnsClientHost, DnsTransport, FailoverPolicy, FailureKind,
+    SessionState,
 };
 use doqlab_resolver::{RecursionModel, ResolverHost, ResolverProfile};
 use doqlab_simnet::geo::Continent;
-use doqlab_simnet::path::{GeoPathModel, GeoPathParams};
+use doqlab_simnet::path::{GeoPathModel, GeoPathParams, PathProfile};
 use doqlab_simnet::{
     Duration, ImpairmentSchedule, Ipv4Addr, PacketRecord, PacketTap, SimTime, Simulator, SocketAddr,
 };
@@ -72,7 +73,10 @@ impl PhaseBytes {
 ///   connectionless DoUDP.
 #[derive(Debug)]
 pub struct PhaseByteTap {
-    client: Ipv4Addr,
+    /// Client addresses, in bind order: the measured client's original
+    /// address plus any it rebound to mid-run (mobility units). Almost
+    /// always length 1.
+    clients: Vec<Ipv4Addr>,
     resolver: Ipv4Addr,
     mode: TapMode,
     /// `(sent_at, client-to-resolver, ip_payload_len)` of packets seen
@@ -94,7 +98,7 @@ impl PhaseByteTap {
     /// Accounting for DoQ (long/short header classification).
     pub fn quic(client: Ipv4Addr, resolver: Ipv4Addr) -> Self {
         PhaseByteTap {
-            client,
+            clients: vec![client],
             resolver,
             mode: TapMode::QuicHeader,
             pending: Vec::new(),
@@ -106,11 +110,19 @@ impl PhaseByteTap {
     /// split instant is delivered later via [`PhaseByteTap::set_split`].
     pub fn deferred_split(client: Ipv4Addr, resolver: Ipv4Addr) -> Self {
         PhaseByteTap {
-            client,
+            clients: vec![client],
             resolver,
             mode: TapMode::TimeSplit(None),
             pending: Vec::new(),
             bytes: PhaseBytes::default(),
+        }
+    }
+
+    /// Register an additional client address (a mid-run rebind): bytes
+    /// to and from it keep counting toward the same unit.
+    pub fn add_client(&mut self, ip: Ipv4Addr) {
+        if !self.clients.contains(&ip) {
+            self.clients.push(ip);
         }
     }
 
@@ -148,8 +160,8 @@ impl PhaseByteTap {
 
 impl PacketTap for PhaseByteTap {
     fn on_packet(&mut self, rec: &PacketRecord) {
-        let c2r = rec.src.ip == self.client && rec.dst.ip == self.resolver;
-        let r2c = rec.src.ip == self.resolver && rec.dst.ip == self.client;
+        let c2r = self.clients.contains(&rec.src.ip) && rec.dst.ip == self.resolver;
+        let r2c = rec.src.ip == self.resolver && self.clients.contains(&rec.dst.ip);
         if !c2r && !r2c {
             return;
         }
@@ -235,6 +247,15 @@ pub struct UnitOptions {
     pub reconnect_backoff: Duration,
     /// How long the measured phase may run in simulated time.
     pub run_deadline: Duration,
+    /// Mobility schedule: address rebinds applied to the measured
+    /// client, each `(offset, profile)` an offset from handshake
+    /// completion (from the phase start for DoUDP) onto a fresh address
+    /// with the given path overlay. Empty → no mobility, bit-identical
+    /// to the vanilla unit.
+    pub rebinds: Vec<(Duration, PathProfile)>,
+    /// Cross-transport happy-eyeballs ladder for the measured
+    /// connection.
+    pub failover: Option<FailoverPolicy>,
 }
 
 impl Default for UnitOptions {
@@ -247,6 +268,8 @@ impl Default for UnitOptions {
             reconnect_max: cfg.reconnect_max,
             reconnect_backoff: cfg.reconnect_backoff,
             run_deadline: Duration::from_secs(20),
+            rebinds: Vec::new(),
+            failover: None,
         }
     }
 }
@@ -263,6 +286,15 @@ pub struct UnitOutcome {
     pub started: SimTime,
     /// When the measured handshake completed.
     pub hs_done: Option<SimTime>,
+    /// Address rebinds actually applied (a schedule entry past the run
+    /// deadline is skipped).
+    pub rebinds_applied: u32,
+    /// When the first rebind landed.
+    pub first_rebind_at: Option<SimTime>,
+    /// Bytes spent on losing failover rungs and dead primaries.
+    pub wasted_bytes: u64,
+    /// The transport that delivered the answer under a failover race.
+    pub winner: Option<DnsTransport>,
 }
 
 /// Run a single measurement unit in a simulator of its own.
@@ -345,6 +377,14 @@ pub fn run_unit_custom(
     path.place(warm_ip, vp.location);
     path.place(meas_ip, vp.location);
     path.place(profile.ip, profile.location);
+    if !opts.rebinds.is_empty() {
+        // Pre-place the cellular-side addresses the mobility schedule
+        // will rebind onto (gated so a vanilla unit's path model is
+        // untouched).
+        for k in 0..opts.rebinds.len() {
+            path.place(rebind_ip(vp.index, k), vp.location);
+        }
+    }
     sim.reset(seed, Box::new(path));
 
     let mut server_cfg = profile.server_config();
@@ -394,6 +434,7 @@ pub fn run_unit_custom(
         query_deadline: opts.query_deadline,
         reconnect_max: opts.reconnect_max,
         reconnect_backoff: opts.reconnect_backoff,
+        failover: opts.failover.clone(),
         ..ClientConfig::default()
     };
     let meas = DnsClientHost::new(
@@ -411,21 +452,49 @@ pub fn run_unit_custom(
     }
     sim.with_host::<DnsClientHost, _>(mid, |c, ctx| c.start_with_query(ctx, &query));
     let deadline = started + opts.run_deadline;
-    if transport != DnsTransport::DoQ {
+    let mut hs_at = None;
+    if transport != DnsTransport::DoQ || !opts.rebinds.is_empty() {
         // Step one event at a time until the handshake completes, then
-        // hand the tap its phase split. Stepping dispatches in exactly
-        // run_until's order, so the simulation is unchanged.
+        // hand the tap its phase split (a no-op for the DoQ tap, which
+        // splits on header form). Stepping dispatches in exactly
+        // run_until's order, so the simulation is unchanged. A mobility
+        // schedule needs the instant too: its offsets anchor there.
         loop {
             let hs = sim.host::<DnsClientHost>(mid).conn.handshake_done_at();
             if let Some(t) = hs {
                 if let Some(tap) = sim.tap_mut::<PhaseByteTap>() {
                     tap.set_split(t);
                 }
+                hs_at = Some(t);
                 break;
             }
             if !sim.step_until(deadline) {
                 break;
             }
+        }
+    }
+    let mut rebinds_applied = 0u32;
+    let mut first_rebind_at = None;
+    if let (false, Some(hs)) = (opts.rebinds.is_empty(), hs_at) {
+        // Drive the mobility schedule: run to each rebind instant, move
+        // the client onto the next address, and tell the tap so byte
+        // accounting follows the host across paths.
+        let mut cur_ip = meas_ip;
+        for (k, (offset, profile)) in opts.rebinds.iter().enumerate() {
+            let at = hs + *offset;
+            if at >= deadline {
+                break;
+            }
+            sim.run_until(at);
+            let new_ip = rebind_ip(vp.index, k);
+            sim.rebind_host(mid, cur_ip, new_ip, *profile);
+            sim.with_host::<DnsClientHost, _>(mid, |c, ctx| c.rebind_local(ctx, new_ip));
+            if let Some(tap) = sim.tap_mut::<PhaseByteTap>() {
+                tap.add_client(new_ip);
+            }
+            first_rebind_at.get_or_insert(at);
+            rebinds_applied += 1;
+            cur_ip = new_ip;
         }
     }
     sim.run_until(deadline);
@@ -439,6 +508,8 @@ pub fn run_unit_custom(
     let metadata = meas.conn.metadata();
     let failure = meas.failure();
     let reconnects = meas.reconnects();
+    let wasted_bytes = meas.wasted_bytes();
+    let winner = meas.winner();
     let failed = response_at.is_none();
     let handshake_ms = match transport {
         DnsTransport::DoUdp => None,
@@ -489,7 +560,17 @@ pub fn run_unit_custom(
         reconnects,
         started,
         hs_done,
+        rebinds_applied,
+        first_rebind_at,
+        wasted_bytes,
+        winner,
     }
+}
+
+/// The k-th address a mobility schedule rebinds the measured client
+/// onto (the "cellular" side of the vantage point).
+fn rebind_ip(vp_index: usize, k: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 10, vp_index as u8 + 1, 4 + k as u8)
 }
 
 /// The failure-taxonomy counter a unit's terminal verdict folds into.

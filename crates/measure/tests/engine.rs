@@ -5,10 +5,12 @@
 //! strings mean identical bits.
 
 use doqlab_measure::impairments::run_impairments_campaign;
+use doqlab_measure::mobility::run_mobility_campaign;
 use doqlab_measure::single_query::run_single_query_campaign;
 use doqlab_measure::webperf::run_webperf_campaign;
 use doqlab_measure::{
-    trace_single_query, ImpairmentsCampaign, Scale, SingleQueryCampaign, WebperfCampaign,
+    trace_single_query, ImpairmentsCampaign, MobilityCampaign, Scale, SingleQueryCampaign,
+    WebperfCampaign,
 };
 use doqlab_resolver::synthesize_dox_population;
 use doqlab_telemetry::metrics::{self, Counter};
@@ -88,6 +90,50 @@ fn impairments_campaign_is_thread_count_invariant() {
     assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
     assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
     assert_eq!(renderings[1], renderings[3], "repeated 4-thread runs");
+}
+
+#[test]
+fn mobility_campaign_is_thread_count_invariant() {
+    // The mobility sweep drives rebinds mid-run and races failover
+    // ladders, but must stay bit-identical across thread counts and
+    // repeated runs at a fixed seed.
+    let pop = synthesize_dox_population(1);
+    let mut renderings = Vec::new();
+    for threads in [1, 4, 8, 4] {
+        let campaign = MobilityCampaign::new(impairments_scale(threads));
+        let samples = run_mobility_campaign(&campaign, &pop);
+        assert!(!samples.is_empty());
+        renderings.push(format!("{samples:?}"));
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+    assert_eq!(renderings[1], renderings[3], "repeated 4-thread runs");
+}
+
+#[test]
+fn mobility_telemetry_is_inert() {
+    // Path/migration events and failover counters ride telemetry;
+    // collecting them must not perturb the mobile samples (qlog path
+    // events stay observational).
+    let pop = synthesize_dox_population(1);
+    let campaign = MobilityCampaign::new(impairments_scale(4));
+    metrics::set_enabled(false);
+    let baseline = format!("{:?}", run_mobility_campaign(&campaign, &pop));
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let with_metrics = format!("{:?}", run_mobility_campaign(&campaign, &pop));
+    let snapshot = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(
+        baseline, with_metrics,
+        "metrics collection perturbed mobile samples"
+    );
+    let units = (campaign.scale.resolvers.unwrap() * campaign.regimes.len() * 5 * 6) as u64;
+    assert_eq!(snapshot.counter(Counter::UnitsRun), units);
+    // The sweep's failover regime actually raced rungs.
+    assert!(snapshot.counter(Counter::FailoverRaced) > 0);
 }
 
 #[test]

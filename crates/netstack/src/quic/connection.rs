@@ -85,11 +85,17 @@ pub enum QuicError {
     IdleTimeout,
     PeerClosed(u64),
     TooManyRetries,
+    /// Path validation (RFC 9000 §8.2) exhausted its probe retries:
+    /// the new path never echoed our PATH_CHALLENGE.
+    PathValidationFailed,
 }
 
 const EPOCH_INITIAL: usize = 0;
 const EPOCH_HANDSHAKE: usize = 1;
 const EPOCH_APP: usize = 2;
+
+/// Probe retransmissions before a path validation attempt is abandoned.
+const PATH_PROBE_MAX_RETRIES: u32 = 5;
 
 /// Offset-indexed send buffer with loss retransmission.
 #[derive(Debug, Default)]
@@ -295,6 +301,22 @@ pub struct QuicConnection {
     handshake_done_queued: bool,
     ping_queued: bool,
 
+    // Path validation (RFC 9000 §8.2 / §9): state of the probe on the
+    // current path after a rebind (client) or peer migration (server).
+    /// Challenge data the peer must echo; `Some` while validating.
+    path_challenge_pending: Option<[u8; 8]>,
+    /// A PATH_CHALLENGE frame should go out in the next datagram.
+    path_challenge_queued: bool,
+    /// Echo owed for a PATH_CHALLENGE we received.
+    path_response_queued: Option<[u8; 8]>,
+    /// When to retransmit (or give up on) the outstanding probe.
+    path_probe_deadline: Option<SimTime>,
+    /// Probe retransmissions for the current validation attempt.
+    path_probe_retries: u32,
+    /// Monotonic count of paths this end has validated on; feeds the
+    /// deterministic challenge data so successive probes differ.
+    path_seq: u64,
+
     // Recovery.
     pto_backoff: u32,
     srtt: Option<Duration>,
@@ -392,6 +414,12 @@ impl QuicConnection {
             new_token_queued: false,
             handshake_done_queued: false,
             ping_queued: false,
+            path_challenge_pending: None,
+            path_challenge_queued: false,
+            path_response_queued: None,
+            path_probe_deadline: None,
+            path_probe_retries: 0,
+            path_seq: 0,
             pto_backoff: 0,
             srtt: None,
             vn_done: false,
@@ -531,6 +559,62 @@ impl QuicConnection {
     pub fn close(&mut self, code: u64) {
         if self.close_queued.is_none() && !self.draining {
             self.close_queued = Some(code);
+        }
+    }
+
+    // ---- connection migration (RFC 9000 §9) --------------------------------
+
+    /// The client's local address changed (wifi→cellular style rebind):
+    /// adopt the new address and start validating the new path. RTT and
+    /// PTO state are reset because the old path's estimates say nothing
+    /// about the new one (§9.4).
+    pub fn rebind(&mut self, now: SimTime, new_local: SocketAddr) {
+        self.local = new_local;
+        sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+            state: "local_rebind",
+        });
+        self.begin_path_validation(now);
+    }
+
+    /// Server side of a migration: packets from an established
+    /// connection arrived from a new 4-tuple. Adopt the new peer
+    /// address, drop to the pre-validation amplification budget
+    /// (§9.3.1: at most 3x received bytes until the path validates),
+    /// and probe the new path.
+    fn migrate_to(&mut self, now: SimTime, peer: SocketAddr) {
+        self.remote = peer;
+        self.validated = false;
+        self.bytes_received = 0;
+        self.bytes_sent = 0;
+        sink::emit(now.as_nanos(), || Event::QuicStateUpdated {
+            state: "peer_migrated",
+        });
+        self.begin_path_validation(now);
+    }
+
+    fn begin_path_validation(&mut self, now: SimTime) {
+        // Fresh path, fresh estimates (§9.4).
+        self.srtt = None;
+        self.pto_backoff = 0;
+        self.path_seq += 1;
+        // Deterministic challenge data — no RNG so runs that never
+        // migrate stay byte-identical; successive probes still differ
+        // via the path sequence number.
+        let data = (u64::from_be_bytes(self.scid)
+            ^ self.path_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .to_be_bytes();
+        self.path_challenge_pending = Some(data);
+        self.path_challenge_queued = true;
+        self.path_probe_retries = 0;
+        self.path_probe_deadline = Some(now + self.pto_base());
+    }
+
+    /// Outstanding path probe, if any: `(challenge, retries, deadline)`.
+    /// Test/observability accessor.
+    pub fn path_probe(&self) -> Option<([u8; 8], u32, SimTime)> {
+        match (self.path_challenge_pending, self.path_probe_deadline) {
+            (Some(data), Some(deadline)) => Some((data, self.path_probe_retries, deadline)),
+            _ => None,
         }
     }
 
@@ -682,6 +766,28 @@ impl QuicConnection {
                     });
                 }
             }
+            Frame::PathChallenge(data) => {
+                // Echo on the active path (§8.2.2). If a second
+                // challenge arrives before the first echo leaves, only
+                // the latest matters — the peer only tracks one probe.
+                self.path_response_queued = Some(data);
+            }
+            Frame::PathResponse(data) => {
+                // Only the exact outstanding challenge validates the
+                // path; stale or corrupted echoes are ignored (§8.2.3).
+                if self.path_challenge_pending == Some(data) {
+                    let retries = self.path_probe_retries;
+                    self.path_challenge_pending = None;
+                    self.path_challenge_queued = false;
+                    self.path_probe_deadline = None;
+                    self.path_probe_retries = 0;
+                    if self.role == Role::Server {
+                        self.validated = true;
+                    }
+                    sink::emit(now.as_nanos(), || Event::QuicPathValidated { retries });
+                    metrics::count(Counter::QuicPathValidated, 1);
+                }
+            }
         }
     }
 
@@ -758,6 +864,14 @@ impl QuicConnection {
                 }
                 Frame::NewToken { .. } => self.new_token_queued = true,
                 Frame::HandshakeDone => self.handshake_done_queued = true,
+                Frame::PathChallenge(_) => {
+                    // Re-queue only while the validation attempt is
+                    // still live (not answered or abandoned since).
+                    if self.path_challenge_pending.is_some() {
+                        self.path_challenge_queued = true;
+                    }
+                }
+                Frame::PathResponse(data) => self.path_response_queued = Some(data),
                 Frame::Ping | Frame::Padding(_) | Frame::Ack { .. } => {}
                 Frame::ConnectionClose { .. } => self.close_sent = false,
             }
@@ -955,19 +1069,30 @@ impl QuicConnection {
         if self.draining {
             return None;
         }
-        [self.pto_deadline, self.idle_deadline]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            self.pto_deadline,
+            self.idle_deadline,
+            self.path_probe_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
-    fn pto_duration(&self) -> Duration {
-        let base = match self.srtt {
+    /// PTO before exponential backoff — also the path-probe interval
+    /// (a fixed interval keeps abandonment well inside the idle
+    /// timeout; with the PTO backoff applied the fifth retry would
+    /// land past `max_idle` and idle-close would mask the verdict).
+    fn pto_base(&self) -> Duration {
+        match self.srtt {
             Some(srtt) => srtt * 3,
             None => self.cfg.initial_pto,
         }
-        .max(Duration::from_millis(10));
-        base * 2u32.saturating_pow(self.pto_backoff).min(64)
+        .max(Duration::from_millis(10))
+    }
+
+    fn pto_duration(&self) -> Duration {
+        self.pto_base() * 2u32.saturating_pow(self.pto_backoff).min(64)
     }
 
     fn rearm_pto(&mut self, now: SimTime) {
@@ -1041,6 +1166,28 @@ impl QuicConnection {
                     self.ping_queued = true;
                 }
                 self.pto_deadline = Some(now + self.pto_duration());
+            }
+        }
+        // Path-probe retransmission / abandonment (§8.2.4).
+        if let Some(probe) = self.path_probe_deadline {
+            if now >= probe && self.path_challenge_pending.is_some() {
+                self.path_probe_retries += 1;
+                if self.path_probe_retries > PATH_PROBE_MAX_RETRIES {
+                    let retries = self.path_probe_retries;
+                    self.path_challenge_pending = None;
+                    self.path_challenge_queued = false;
+                    self.path_probe_deadline = None;
+                    sink::emit(now.as_nanos(), || Event::QuicPathAbandoned { retries });
+                    metrics::count(Counter::QuicPathAbandoned, 1);
+                    // The probed path is the only one we have (the old
+                    // 4-tuple is gone), so abandoning it ends the
+                    // connection.
+                    self.error.get_or_insert(QuicError::PathValidationFailed);
+                    self.draining = true;
+                    return;
+                }
+                self.path_challenge_queued = true;
+                self.path_probe_deadline = Some(now + self.pto_base());
             }
         }
     }
@@ -1214,6 +1361,17 @@ impl QuicConnection {
                         frames.push(Frame::NewToken {
                             token: make_token(self.cfg.tls.server_id, self.remote),
                         });
+                    }
+                    if let Some(data) = self.path_response_queued.take() {
+                        frames.push(Frame::PathResponse(data));
+                    }
+                    if self.path_challenge_queued {
+                        self.path_challenge_queued = false;
+                        let data = self.path_challenge_pending.expect("queued implies pending");
+                        frames.push(Frame::PathChallenge(data));
+                        let retry = self.path_probe_retries;
+                        sink::emit(now.as_nanos(), || Event::QuicPathChallenge { retry });
+                        metrics::count(Counter::QuicPathChallenges, 1);
                     }
                     frame_budget = frame_budget
                         .saturating_sub(frames.iter().map(|f| f.wire_len()).sum::<usize>());
@@ -1467,8 +1625,11 @@ impl QuicServer {
             conn.handle_datagram(now, data);
             return Vec::new();
         }
-        // New 4-tuple: must start with a long-header packet.
+        // New 4-tuple carrying a short-header packet: an established
+        // connection's peer migrated (RFC 9000 §9). Match it to a
+        // connection by destination CID and rebind the 4-tuple.
         let Some(version) = Packet::peek_long_header_version(data) else {
+            self.migrate(now, src, data);
             return Vec::new();
         };
         if !self.cfg.versions.contains(&version) {
@@ -1526,6 +1687,33 @@ impl QuicServer {
         conn.handle_datagram(now, data);
         self.conns.insert(src, conn);
         Vec::new()
+    }
+
+    /// A short-header datagram arrived from an unknown 4-tuple: if its
+    /// destination CID names a live connection, the peer migrated —
+    /// rekey the connection to the new address, reset its amplification
+    /// budget, and start path validation. Otherwise drop the datagram
+    /// (stateless reset territory, which we do not model).
+    fn migrate(&mut self, now: SimTime, src: SocketAddr, data: &[u8]) {
+        if data.len() < 1 + CID_LEN || data[0] & 0xC0 != 0x40 {
+            return;
+        }
+        let mut dcid = [0u8; CID_LEN];
+        dcid.copy_from_slice(&data[1..1 + CID_LEN]);
+        // CIDs are unique per connection, so at most one entry matches
+        // and the HashMap scan order cannot affect the outcome.
+        let Some(old) = self
+            .conns
+            .iter()
+            .find(|(_, c)| c.scid == dcid && !c.is_closed())
+            .map(|(peer, _)| *peer)
+        else {
+            return;
+        };
+        let mut conn = self.conns.remove(&old).expect("peer listed");
+        conn.migrate_to(now, src);
+        conn.handle_datagram(now, data);
+        self.conns.insert(src, conn);
     }
 
     /// Poll every connection for outbound datagrams.

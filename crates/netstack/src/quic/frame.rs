@@ -1,6 +1,6 @@
 //! QUIC frames (RFC 9000 §19). The subset a DoQ connection exercises:
 //! PADDING, PING, ACK (with ranges), CRYPTO, NEW_TOKEN, STREAM,
-//! CONNECTION_CLOSE and HANDSHAKE_DONE.
+//! PATH_CHALLENGE, PATH_RESPONSE, CONNECTION_CLOSE and HANDSHAKE_DONE.
 
 use super::varint::{read_varint, varint_len, write_varint};
 
@@ -29,6 +29,11 @@ pub enum Frame {
         data: Vec<u8>,
         fin: bool,
     },
+    /// Path validation probe (RFC 9000 §19.17): 8 opaque bytes the
+    /// peer must echo in a PATH_RESPONSE on the same path.
+    PathChallenge([u8; 8]),
+    /// Echo of a received PATH_CHALLENGE (RFC 9000 §19.18).
+    PathResponse([u8; 8]),
     ConnectionClose {
         error_code: u64,
         reason: Vec<u8>,
@@ -73,6 +78,7 @@ impl Frame {
                     + varint_len(data.len() as u64)
                     + data.len()
             }
+            Frame::PathChallenge(_) | Frame::PathResponse(_) => 1 + 8,
             Frame::ConnectionClose { error_code, reason } => {
                 1 + varint_len(*error_code)
                     + varint_len(0)
@@ -126,6 +132,14 @@ impl Frame {
                 write_varint(out, *id);
                 write_varint(out, *offset);
                 write_varint(out, data.len() as u64);
+                out.extend_from_slice(data);
+            }
+            Frame::PathChallenge(data) => {
+                out.push(0x1A);
+                out.extend_from_slice(data);
+            }
+            Frame::PathResponse(data) => {
+                out.push(0x1B);
                 out.extend_from_slice(data);
             }
             Frame::ConnectionClose { error_code, reason } => {
@@ -225,6 +239,20 @@ impl Frame {
                         fin,
                     });
                     pos += len;
+                }
+                0x1A | 0x1B => {
+                    pos += 1;
+                    if pos + 8 > buf.len() {
+                        return None;
+                    }
+                    let mut data = [0u8; 8];
+                    data.copy_from_slice(&buf[pos..pos + 8]);
+                    pos += 8;
+                    frames.push(if ftype == 0x1A {
+                        Frame::PathChallenge(data)
+                    } else {
+                        Frame::PathResponse(data)
+                    });
                 }
                 0x1C | 0x1D => {
                     pos += 1;
@@ -369,8 +397,23 @@ mod tests {
     }
 
     #[test]
+    fn path_frames_roundtrip() {
+        roundtrip(vec![
+            Frame::PathChallenge([1, 2, 3, 4, 5, 6, 7, 8]),
+            Frame::PathResponse([1, 2, 3, 4, 5, 6, 7, 8]),
+            Frame::PathChallenge([0; 8]),
+        ]);
+        // Truncated probe data is malformed.
+        assert_eq!(Frame::decode_all(&[0x1A, 1, 2, 3]), None);
+        assert_eq!(Frame::decode_all(&[0x1B]), None);
+    }
+
+    #[test]
     fn ack_eliciting_classification() {
         assert!(Frame::Ping.is_ack_eliciting());
+        // Path probes must elicit ACKs (RFC 9000 §9.3 probing packets).
+        assert!(Frame::PathChallenge([0; 8]).is_ack_eliciting());
+        assert!(Frame::PathResponse([0; 8]).is_ack_eliciting());
         assert!(Frame::Crypto {
             offset: 0,
             data: vec![]

@@ -563,3 +563,104 @@ fn handshake_byte_volume_matches_table1_shape() {
     );
     assert!(sh.c2s_bytes > sh.s2c_bytes);
 }
+
+// ---- connection migration (RFC 9000 §9) ---------------------------------
+
+#[test]
+fn connection_survives_client_rebind() {
+    let mut sh = Shuttle::new(QuicServer::new(server_addr(), server_cfg("doq")));
+    let mut c = dial(server_cfg("doq"), QUIC_V1, None, None);
+    sh.run(&mut c, SimTime::from_secs(1));
+    assert!(c.is_established());
+    let id = c.open_bi();
+    c.stream_send(id, b"q1", true);
+    sh.run(&mut c, SimTime::from_secs(2));
+    sh.server
+        .connection(client_addr())
+        .unwrap()
+        .stream_send(0, b"a1", true);
+    sh.run(&mut c, SimTime::from_secs(3));
+    assert_eq!(c.stream_recv(id).0, b"a1");
+
+    // Wifi -> cellular: the client's source address changes mid-life.
+    let new_addr = sa(3, 40001);
+    c.rebind(sh.now, new_addr);
+    assert!(c.path_probe().is_some(), "client probes the new path");
+    let id2 = c.open_bi();
+    c.stream_send(id2, b"q2", true);
+    sh.run(&mut c, SimTime::from_secs(6));
+
+    // The server rekeyed the connection under the new 4-tuple…
+    assert!(sh.server.connection(client_addr()).is_none());
+    let server_conn = sh.server.connection(new_addr).expect("migrated");
+    // …validated the new path, and the query completed.
+    assert_eq!(server_conn.path_probe(), None, "server validation done");
+    server_conn.stream_send(id2, b"a2", true);
+    sh.run(&mut c, SimTime::from_secs(8));
+    assert_eq!(c.stream_recv(id2).0, b"a2");
+    assert!(c.error().is_none(), "error: {:?}", c.error());
+    assert_eq!(c.path_probe(), None, "client validation done");
+    assert!(!c.is_closed());
+}
+
+#[test]
+fn rebind_with_query_in_flight_recovers_by_retransmission() {
+    let mut sh = Shuttle::new(QuicServer::new(server_addr(), server_cfg("doq")));
+    let mut c = dial(server_cfg("doq"), QUIC_V1, None, None);
+    sh.run(&mut c, SimTime::from_secs(1));
+    assert!(c.is_established());
+    let id = c.open_bi();
+    c.stream_send(id, b"in-flight", true);
+    // Flush the query onto the wire, then rebind before it is answered.
+    for d in c.poll_transmit(sh.now) {
+        sh.server.handle_datagram(sh.now, client_addr(), &d);
+    }
+    c.rebind(sh.now, sa(3, 40001));
+    sh.run(&mut c, SimTime::from_secs(6));
+    let server_conn = sh.server.connection(sa(3, 40001)).expect("migrated");
+    assert_eq!(server_conn.stream_recv(0).0, b"in-flight");
+    server_conn.stream_send(0, b"answer", true);
+    sh.run(&mut c, SimTime::from_secs(8));
+    assert_eq!(c.stream_recv(id).0, b"answer");
+    assert!(c.error().is_none(), "error: {:?}", c.error());
+}
+
+#[test]
+fn unmatched_short_header_datagram_is_dropped_statelessly() {
+    let mut server = QuicServer::new(server_addr(), server_cfg("doq"));
+    // Short header (0x40), 8-byte CID naming no connection, padding.
+    let mut dgram = vec![0x40u8];
+    dgram.extend_from_slice(&[9u8; 8]);
+    dgram.extend_from_slice(&[0u8; 32]);
+    let responses = server.handle_datagram(SimTime::ZERO, client_addr(), &dgram);
+    assert!(responses.is_empty());
+    assert!(server.is_empty(), "no connection state created");
+}
+
+#[test]
+fn unreachable_new_path_abandons_validation_and_closes() {
+    let mut sh = Shuttle::new(QuicServer::new(server_addr(), server_cfg("doq")));
+    let mut c = dial(server_cfg("doq"), QUIC_V1, None, None);
+    sh.run(&mut c, SimTime::from_secs(1));
+    assert!(c.is_established());
+    // Rebind onto a black-holed path: poll the client along its own
+    // timeline but deliver nothing in either direction.
+    let mut now = sh.now;
+    c.rebind(now, sa(3, 40001));
+    let mut challenges = 0;
+    for _ in 0..64 {
+        if c.is_closed() {
+            break;
+        }
+        let dgrams = c.poll_transmit(now);
+        challenges += dgrams.len().min(1);
+        let Some(next) = c.next_timeout() else { break };
+        now = next.max(now);
+    }
+    assert!(c.is_closed());
+    assert_eq!(c.error(), Some(&QuicError::PathValidationFailed));
+    assert!(
+        challenges >= 2,
+        "probe was retransmitted before giving up ({challenges})"
+    );
+}

@@ -466,7 +466,7 @@ mod tests {
             let t = SimTime::from_nanos(clock + gap);
             wheel.push(t, round);
             heap.push(t, round);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let a = wheel.pop();
                 let b = heap.pop();
                 assert_eq!(a, b);

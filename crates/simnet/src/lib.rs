@@ -47,7 +47,7 @@ pub use event::{EventQueue, HeapEventQueue};
 pub use geo::Coord;
 pub use impair::{GilbertElliott, Impairment, ImpairmentSchedule, OutageWindow, PacketFate};
 pub use net::{Ipv4Addr, Packet, PayloadBuf, SocketAddr, Transport};
-pub use path::{GeoPathModel, PathCharacteristics, PathModel};
+pub use path::{GeoPathModel, PathCharacteristics, PathModel, PathProfile};
 pub use rng::SimRng;
 pub use sim::{Ctx, Host, HostId, Simulator};
 pub use time::{Duration, SimTime};

@@ -49,6 +49,31 @@ pub trait PathModel {
     fn characteristics(&self, src: Ipv4Addr, dst: Ipv4Addr) -> PathCharacteristics;
 }
 
+/// Per-address access-path overrides layered on top of a [`PathModel`],
+/// describing the link behind one bound address — e.g. the cellular
+/// uplink a client lands on after a wifi→cellular rebind
+/// ([`Simulator::rebind_host`](crate::Simulator::rebind_host)). Applied
+/// to every packet whose source or destination carries the address,
+/// after the model's own characteristics and without consuming RNG, so
+/// a simulator with no profiles installed stays byte-identical to one
+/// predating this layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PathProfile {
+    /// Extra one-way propagation delay on this access path.
+    pub extra_delay: Duration,
+    /// Override of the model's per-packet loss probability (`None`
+    /// keeps the model's). When both endpoints carry a profile the
+    /// lossier one wins.
+    pub loss: Option<f64>,
+}
+
+impl PathProfile {
+    /// A profile that changes nothing.
+    pub fn is_neutral(&self) -> bool {
+        *self == PathProfile::default()
+    }
+}
+
 /// Geographic path model parameters.
 #[derive(Debug, Clone)]
 pub struct GeoPathParams {

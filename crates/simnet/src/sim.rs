@@ -16,7 +16,7 @@
 use crate::event::EventQueue;
 use crate::impair::{Impairment, PacketFate};
 use crate::net::{Ipv4Addr, Packet};
-use crate::path::{FixedPathModel, PathModel};
+use crate::path::{FixedPathModel, PathModel, PathProfile};
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
 use crate::trace::{PacketRecord, PacketTap, PacketTrace};
@@ -107,6 +107,10 @@ pub struct Simulator {
     /// jitter may stretch a packet's delay but never reorders a flow
     /// (real single-path routes preserve ordering almost always).
     flow_last_arrival: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    /// Per-address access-path overrides, installed by
+    /// [`Simulator::rebind_host`] / [`Simulator::set_path_profile`].
+    /// Consulted in [`Simulator::route`] without consuming RNG.
+    path_overlay: HashMap<Ipv4Addr, PathProfile>,
     trace: Option<PacketTrace>,
     tap: Option<Box<dyn PacketTap>>,
     impair: Option<Box<dyn Impairment>>,
@@ -129,6 +133,7 @@ impl Simulator {
             addr_map: HashMap::new(),
             link_free: HashMap::new(),
             flow_last_arrival: HashMap::new(),
+            path_overlay: HashMap::new(),
             trace: None,
             tap: None,
             impair: None,
@@ -162,6 +167,7 @@ impl Simulator {
         self.addr_map.clear();
         self.link_free.clear();
         self.flow_last_arrival.clear();
+        self.path_overlay.clear();
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }
@@ -250,6 +256,49 @@ impl Simulator {
             self.arm_wakeup(id, w);
         }
         id
+    }
+
+    /// Move one of a host's addresses mid-simulation — a wifi→cellular
+    /// style rebind. `old` stops resolving immediately (packets already
+    /// in flight toward it, and any sent later, count as unroutable —
+    /// exactly like a released DHCP lease), `new` starts delivering to
+    /// the same host, and `profile` describes the new access path.
+    /// Link-serialization and FIFO state tied to the old address is
+    /// discarded: the new path starts with a clean link.
+    ///
+    /// The host's own notion of its local address is *not* updated;
+    /// callers that want the host to transmit from the new address must
+    /// tell it separately (transports that cannot are precisely the
+    /// ones a rebind is meant to break).
+    ///
+    /// Panics if `old` is not bound to `id` or `new` is already bound.
+    pub fn rebind_host(&mut self, id: HostId, old: Ipv4Addr, new: Ipv4Addr, profile: PathProfile) {
+        assert_eq!(
+            self.addr_map.get(&old),
+            Some(&id),
+            "address {old} not bound to host {id}"
+        );
+        self.addr_map.remove(&old);
+        let prev = self.addr_map.insert(new, id);
+        assert!(prev.is_none(), "address {new} already bound");
+        self.link_free.remove(&old);
+        self.flow_last_arrival
+            .retain(|(src, dst), _| *src != old && *dst != old);
+        self.path_overlay.remove(&old);
+        if !profile.is_neutral() {
+            self.path_overlay.insert(new, profile);
+        }
+    }
+
+    /// Attach a [`PathProfile`] overlay to an address directly (without
+    /// a rebind), e.g. to degrade one host's access link. A neutral
+    /// profile removes the overlay.
+    pub fn set_path_profile(&mut self, ip: Ipv4Addr, profile: PathProfile) {
+        if profile.is_neutral() {
+            self.path_overlay.remove(&ip);
+        } else {
+            self.path_overlay.insert(ip, profile);
+        }
     }
 
     /// Enqueue a wakeup for `id` at `w` unless an earlier (or equal)
@@ -341,7 +390,25 @@ impl Simulator {
     /// Route one packet: apply loss, serialization and propagation, and
     /// schedule its arrival.
     fn route(&mut self, now: SimTime, pkt: Packet) {
-        let chars = self.path.characteristics(pkt.src.ip, pkt.dst.ip);
+        let mut chars = self.path.characteristics(pkt.src.ip, pkt.dst.ip);
+        // Access-path overlays (mobility): deterministic adjustments
+        // only, no RNG, so runs without overlays stay byte-identical.
+        if !self.path_overlay.is_empty() {
+            if let Some(p) = self.path_overlay.get(&pkt.src.ip) {
+                chars.propagation += p.extra_delay;
+                if let Some(loss) = p.loss {
+                    chars.loss = chars.loss.max(loss);
+                }
+            }
+            if pkt.dst.ip != pkt.src.ip {
+                if let Some(p) = self.path_overlay.get(&pkt.dst.ip) {
+                    chars.propagation += p.extra_delay;
+                    if let Some(loss) = p.loss {
+                        chars.loss = chars.loss.max(loss);
+                    }
+                }
+            }
+        }
         let Some(&dst_host) = self.addr_map.get(&pkt.dst.ip) else {
             self.stats.packets_unroutable += 1;
             self.observe(now, &pkt, true);
@@ -1085,6 +1152,164 @@ mod tests {
         // With 30% loss and 100 transmissions, two seeds almost surely
         // differ in at least one counter.
         assert_ne!(run(7), run(8));
+    }
+
+    /// Echo that replies to a fixed address (simulating a peer that
+    /// has not learned about a rebind).
+    struct StickyEcho {
+        reply_to: SocketAddr,
+        received: usize,
+    }
+
+    impl Host for StickyEcho {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received += 1;
+            ctx.send(Packet::udp(pkt.dst, self.reply_to, pkt.payload));
+        }
+        fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn rebind_moves_delivery_to_the_new_address() {
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+        let a = addr(1, 40000);
+        let a2 = addr(3, 40000);
+        let b = addr(2, 7);
+        let pinger = sim.add_host(
+            Box::new(Pinger {
+                target: b,
+                local: a,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
+        let echo = sim.add_host(
+            Box::new(StickyEcho {
+                reply_to: a2,
+                received: 0,
+            }),
+            &[b.ip],
+        );
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.rebind_host(pinger, a.ip, a2.ip, PathProfile::default());
+        sim.run(1000);
+        // The ping (sent from the old address) still routes by
+        // destination; the reply addressed to the new address lands.
+        assert_eq!(sim.host::<StickyEcho>(echo).received, 1);
+        assert_eq!(
+            sim.host::<Pinger>(pinger).echo_at,
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(sim.stats().packets_unroutable, 0);
+    }
+
+    #[test]
+    fn rebind_makes_the_old_address_unroutable() {
+        let (mut sim, pinger, echo) = two_host_sim(Duration::from_millis(10));
+        let a = addr(1, 40000);
+        let a2 = addr(3, 40000);
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        // The ping is in flight; the echo's reply will target the old
+        // address, which no longer resolves after the rebind.
+        sim.rebind_host(pinger, a.ip, a2.ip, PathProfile::default());
+        sim.run(1000);
+        assert_eq!(sim.host::<Echo>(echo).received, 1);
+        assert!(sim.host::<Pinger>(pinger).echo_at.is_none());
+        assert_eq!(sim.stats().packets_unroutable, 1);
+    }
+
+    #[test]
+    fn rebind_path_profile_adds_deterministic_delay() {
+        let mut sim = Simulator::new(1, Box::new(FixedPathModel::new(Duration::from_millis(10))));
+        let a = addr(1, 40000);
+        let a2 = addr(3, 40000);
+        let b = addr(2, 7);
+        let pinger = sim.add_host(
+            Box::new(Pinger {
+                target: b,
+                local: a2,
+                echo_at: None,
+            }),
+            &[a.ip],
+        );
+        let echo = sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+        sim.rebind_host(
+            pinger,
+            a.ip,
+            a2.ip,
+            PathProfile {
+                extra_delay: Duration::from_millis(5),
+                loss: None,
+            },
+        );
+        sim.with_host::<Pinger, _>(pinger, |p, ctx| p.start(ctx));
+        sim.run(1000);
+        // 5 ms extra on each direction touching the rebound address.
+        assert_eq!(sim.host::<Echo>(echo).received, 1);
+        assert_eq!(
+            sim.host::<Pinger>(pinger).echo_at,
+            Some(SimTime::from_millis(30))
+        );
+    }
+
+    #[test]
+    fn rebind_panics_on_stale_or_taken_addresses() {
+        let taken = std::panic::catch_unwind(|| {
+            let (mut sim, pinger, _) = two_host_sim(Duration::from_millis(1));
+            sim.rebind_host(pinger, addr(1, 0).ip, addr(2, 0).ip, PathProfile::default());
+        });
+        assert!(taken.is_err(), "rebinding onto a bound address must panic");
+        let stale = std::panic::catch_unwind(|| {
+            let (mut sim, pinger, _) = two_host_sim(Duration::from_millis(1));
+            sim.rebind_host(pinger, addr(9, 0).ip, addr(3, 0).ip, PathProfile::default());
+        });
+        assert!(stale.is_err(), "rebinding an unbound address must panic");
+    }
+
+    #[test]
+    fn neutral_profile_leaves_runs_byte_identical() {
+        let run = |install: bool| {
+            let mut sim = Simulator::new(
+                9,
+                Box::new(FixedPathModel::with_loss(Duration::from_millis(3), 0.2)),
+            );
+            let a = addr(1, 40000);
+            let b = addr(2, 7);
+            let pinger = sim.add_host(
+                Box::new(Pinger {
+                    target: b,
+                    local: a,
+                    echo_at: None,
+                }),
+                &[a.ip],
+            );
+            sim.add_host(Box::new(Echo { received: 0 }), &[b.ip]);
+            if install {
+                // Installing and removing a profile must leave no trace.
+                sim.set_path_profile(
+                    a.ip,
+                    PathProfile {
+                        extra_delay: Duration::from_millis(1),
+                        loss: None,
+                    },
+                );
+                sim.set_path_profile(a.ip, PathProfile::default());
+            }
+            sim.with_host::<Pinger, _>(pinger, |p, ctx| {
+                for _ in 0..30 {
+                    p.start(ctx);
+                }
+            });
+            sim.run(10_000);
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

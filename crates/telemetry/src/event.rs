@@ -19,6 +19,8 @@ pub enum Layer {
     /// TCP NewReno controller both emit here).
     Cc,
     Http,
+    /// DNS transport selection (cross-transport failover racing).
+    Dns,
 }
 
 impl Layer {
@@ -29,6 +31,7 @@ impl Layer {
             Layer::Tcp => "tcp",
             Layer::Cc => "cc",
             Layer::Http => "http",
+            Layer::Dns => "dns",
         }
     }
 }
@@ -52,6 +55,21 @@ pub enum Event {
     /// Handshake / connection state transition
     /// (`connectivity:connection_state_updated`).
     QuicStateUpdated { state: &'static str },
+    /// PATH_CHALLENGE probe sent on the active path
+    /// (`connectivity:path_challenge_sent`); `retry` counts probe
+    /// retransmissions for the current validation attempt.
+    QuicPathChallenge { retry: u32 },
+    /// Path validation succeeded (`connectivity:path_validated`).
+    QuicPathValidated { retries: u32 },
+    /// Path validation gave up after exhausting probe retries
+    /// (`connectivity:path_abandoned`).
+    QuicPathAbandoned { retries: u32 },
+    /// Cross-transport failover dialed a fallback rung
+    /// (`connectivity:failover_raced`).
+    FailoverRaced {
+        from: &'static str,
+        to: &'static str,
+    },
     /// A TLS handshake flight left the engine (`security:flight_sent`).
     TlsFlightSent { flight: &'static str, bytes: usize },
     /// Handshake completed (`security:handshake_completed`).
@@ -93,6 +111,10 @@ impl Event {
             Event::QuicPacketLost { .. } => "recovery:packet_lost",
             Event::QuicPtoFired { .. } => "recovery:loss_timer_expired",
             Event::QuicStateUpdated { .. } => "connectivity:connection_state_updated",
+            Event::QuicPathChallenge { .. } => "connectivity:path_challenge_sent",
+            Event::QuicPathValidated { .. } => "connectivity:path_validated",
+            Event::QuicPathAbandoned { .. } => "connectivity:path_abandoned",
+            Event::FailoverRaced { .. } => "connectivity:failover_raced",
             Event::TlsFlightSent { .. } => "security:flight_sent",
             Event::TlsHandshakeCompleted { .. } => "security:handshake_completed",
             Event::TlsEarlyData { .. } => "security:early_data_updated",
@@ -111,7 +133,11 @@ impl Event {
             | Event::QuicPacketReceived { .. }
             | Event::QuicPacketLost { .. }
             | Event::QuicPtoFired { .. }
-            | Event::QuicStateUpdated { .. } => Layer::Quic,
+            | Event::QuicStateUpdated { .. }
+            | Event::QuicPathChallenge { .. }
+            | Event::QuicPathValidated { .. }
+            | Event::QuicPathAbandoned { .. } => Layer::Quic,
+            Event::FailoverRaced { .. } => Layer::Dns,
             Event::TlsFlightSent { .. }
             | Event::TlsHandshakeCompleted { .. }
             | Event::TlsEarlyData { .. } => Layer::Tls,
@@ -138,6 +164,12 @@ impl Event {
                 "{{\"timer_type\":\"pto\",\"packet_number_space\":\"{epoch}\",\"count\":{count}}}"
             ),
             Event::QuicStateUpdated { state } => format!("{{\"new\":\"{state}\"}}"),
+            Event::QuicPathChallenge { retry } => format!("{{\"retry\":{retry}}}"),
+            Event::QuicPathValidated { retries } => format!("{{\"retries\":{retries}}}"),
+            Event::QuicPathAbandoned { retries } => format!("{{\"retries\":{retries}}}"),
+            Event::FailoverRaced { from, to } => {
+                format!("{{\"from\":\"{from}\",\"to\":\"{to}\"}}")
+            }
             Event::TlsFlightSent { flight, bytes } => {
                 format!("{{\"flight\":\"{flight}\",\"length\":{bytes}}}")
             }

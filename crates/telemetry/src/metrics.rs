@@ -64,10 +64,18 @@ pub enum Counter {
     FailReset,
     FailHandshake,
     FailDeadline,
+    /// PATH_CHALLENGE probes sent (RFC 9000 §9 path validation).
+    QuicPathChallenges,
+    /// Path validations that completed (PATH_RESPONSE matched).
+    QuicPathValidated,
+    /// Path validations abandoned after exhausting probe retries.
+    QuicPathAbandoned,
+    /// Cross-transport failover rungs dialed by the racing client.
+    FailoverRaced,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 36] = [
         Counter::QuicPacketsSent,
         Counter::QuicPacketsReceived,
         Counter::QuicPacketsLost,
@@ -100,6 +108,10 @@ impl Counter {
         Counter::FailReset,
         Counter::FailHandshake,
         Counter::FailDeadline,
+        Counter::QuicPathChallenges,
+        Counter::QuicPathValidated,
+        Counter::QuicPathAbandoned,
+        Counter::FailoverRaced,
     ];
 
     pub fn name(self) -> &'static str {
@@ -136,6 +148,10 @@ impl Counter {
             Counter::FailReset => "fail.reset",
             Counter::FailHandshake => "fail.handshake",
             Counter::FailDeadline => "fail.deadline",
+            Counter::QuicPathChallenges => "path.challenge",
+            Counter::QuicPathValidated => "path.validated",
+            Counter::QuicPathAbandoned => "path.abandoned",
+            Counter::FailoverRaced => "failover.raced",
         }
     }
 }

@@ -6,6 +6,7 @@
 //! doqlab single-query --scale medium
 //! doqlab webperf --scale quick --seed 7
 //! doqlab measure impairments --scale quick --seed 7
+//! doqlab measure mobility --scale quick --seed 7
 //! doqlab measure populations --scale quick --threads 8
 //! doqlab all --scale quick --threads 8
 //! doqlab trace single-query --scale quick --trace-out trace.qlog
@@ -22,7 +23,7 @@ use doqlab_core::Study;
 fn usage() -> ! {
     eprintln!(
         "usage: doqlab [measure] \
-         <discovery|single-query|webperf|impairments|populations|all> \
+         <discovery|single-query|webperf|impairments|mobility|populations|all> \
          [--scale quick|medium|paper] [--seed N] [--threads N]\n\
          \x20      doqlab trace <single-query> \
          [--scale quick|medium|paper] [--seed N] [--trace-out PATH]\n\
@@ -33,7 +34,11 @@ fn usage() -> ! {
          \x20 DOQLAB_SEED     campaign seed override \
          (read by the experiment binaries)\n\
          \x20 DOQLAB_CLIENTS  simulated clients for `measure populations` \
-         (quick 2000, medium 20000, paper 100000)"
+         (quick 2000, medium 20000, paper 100000)\n\
+         \x20 DOQLAB_REBIND_MS   first rebind offset for `measure mobility`, \
+         ms after handshake (default 5)\n\
+         \x20 DOQLAB_STAGGER_MS  failover stagger for `measure mobility`, \
+         ms (default 400)"
     );
     std::process::exit(2);
 }
@@ -114,12 +119,14 @@ fn main() {
         "single-query" => run_single_query(&study),
         "webperf" => run_webperf(&study),
         "impairments" => run_impairments(&study),
+        "mobility" => run_mobility(&study),
         "populations" => run_populations(&study),
         "all" => {
             run_discovery(&study);
             run_single_query(&study);
             run_webperf(&study);
             run_impairments(&study);
+            run_mobility(&study);
             run_populations(&study);
         }
         _ => usage(),
@@ -178,6 +185,15 @@ fn run_impairments(study: &Study) {
     println!(
         "{}",
         report::render_impairments(&report::impairment_rows(&samples))
+    );
+}
+
+fn run_mobility(study: &Study) {
+    println!("== mobility (rebind + failover sweep) ==");
+    let samples = study.run_mobility();
+    println!(
+        "{}",
+        report::render_mobility(&report::mobility_rows(&samples))
     );
 }
 
