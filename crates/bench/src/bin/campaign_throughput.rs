@@ -5,7 +5,7 @@
 //! Runs every campaign at the requested scale (default `quick`, so CI
 //! can afford it), times each run, and reads the engine's lock-free
 //! `campaign.units_run` / `sim.events` counters for the denominators.
-//! Results go to stdout and to `BENCH_9.json` (override with `--out`).
+//! Results go to stdout and to `BENCH_10.json` (override with `--out`).
 //!
 //! Built with `--features count-allocs`, each campaign also reports
 //! `allocs_per_event` — global allocator hits divided by simulator
@@ -79,7 +79,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut seed = engine::env_seed(2022);
     let mut scale_name = "quick".to_string();
-    let mut out = "BENCH_9.json".to_string();
+    let mut out = "BENCH_10.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -135,6 +135,9 @@ fn main() {
         }),
         timed("populations", || {
             study.run_populations();
+        }),
+        timed("whatif", || {
+            study.run_whatif();
         }),
     ];
 

@@ -36,6 +36,7 @@ use doqlab_measure::mobility::{MobilityCampaign, MobilitySample};
 use doqlab_measure::populations::{PopulationSample, PopulationsCampaign};
 use doqlab_measure::single_query::{SingleQueryCampaign, SingleQuerySample};
 use doqlab_measure::webperf::{WebperfCampaign, WebperfSample};
+use doqlab_measure::whatif::{WhatifCampaign, WhatifSample};
 use doqlab_measure::Scale;
 use doqlab_resolver::{
     synthesize_dox_population, synthesize_scan_population, ResolverProfile, ScannedHost,
@@ -162,6 +163,36 @@ impl Study {
         let mut c = PopulationsCampaign::new(self.scale.clone());
         c.seed = self.seed;
         doqlab_measure::run_populations_campaign(&c, &population)
+    }
+
+    /// The counterfactual sweep (`doqlab measure whatif`): single-query
+    /// units re-run with one dormant capability switched on per regime
+    /// (resumption, 0-RTT, TFO, edns-tcp-keepalive, DoH3). Shares the
+    /// study seed with the single-query campaign, and regime units
+    /// reuse the baseline's unit seeds, so per-unit deltas are genuine
+    /// counterfactuals.
+    pub fn run_whatif(&self) -> Vec<WhatifSample> {
+        let population = self.population();
+        let mut c = WhatifCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        doqlab_measure::run_whatif_campaign(&c, &population)
+    }
+
+    /// The Web half of the what-if campaign: the Web campaign run twice
+    /// — once as-is, once with `use_doh3` — with identical unit seeds,
+    /// so the returned `(doh2, doh3)` worlds pair unit by unit and the
+    /// DoH column's FCP/PLT deltas are attributable to HTTP/3 alone.
+    pub fn run_whatif_webperf(&self) -> (Vec<WebperfSample>, Vec<WebperfSample>) {
+        let population = self.population();
+        let pages = self.pages();
+        let mut c = WebperfCampaign::new(self.scale.clone());
+        c.seed = self.seed;
+        c.dot_bug = self.dot_bug;
+        c.enable_0rtt_resolvers = self.zero_rtt_resolvers;
+        let base = doqlab_measure::run_webperf_campaign(&c, &population, &pages);
+        c.use_doh3 = true;
+        let doh3 = doqlab_measure::run_webperf_campaign(&c, &population, &pages);
+        (base, doh3)
     }
 
     /// §3.2 Web-performance campaign.

@@ -58,7 +58,17 @@ impl EdnsOption {
                 ])))),
                 _ => Err(WireError::Invalid("tcp-keepalive length")),
             },
-            12 => Ok(EdnsOption::Padding(value.len() as u16)),
+            // RFC 7830 §3: the message sender SHOULD pad with zero
+            // bytes. We only ever emit zeros, so `Padding(len)` is a
+            // lossless model *iff* the input pad is all-zero; anything
+            // else would be silently rewritten to zeros on re-encode,
+            // breaking decode→encode byte fidelity. Reject it instead.
+            12 => {
+                if value.iter().any(|&b| b != 0) {
+                    return Err(WireError::Invalid("non-zero padding bytes"));
+                }
+                Ok(EdnsOption::Padding(value.len() as u16))
+            }
             c => Ok(EdnsOption::Unknown(c, value.to_vec())),
         }
     }
@@ -212,6 +222,37 @@ mod tests {
             w.len()
         };
         assert_eq!(len(&padded), len(&small) + 4 + 100);
+    }
+
+    #[test]
+    fn zero_padding_survives_decode_encode_roundtrip() {
+        let opt = OptRecord {
+            options: vec![EdnsOption::Padding(37)],
+            ..OptRecord::default()
+        };
+        let rr = opt.to_record();
+        let back = OptRecord::from_record(&rr).unwrap();
+        assert_eq!(back, opt);
+        // Byte-identical re-encode: what PacketTap fidelity relies on.
+        let wire = |rr: &ResourceRecord| {
+            let mut w = WireWriter::new();
+            rr.encode(&mut w);
+            w.finish()
+        };
+        assert_eq!(wire(&back.to_record()), wire(&rr));
+    }
+
+    #[test]
+    fn nonzero_padding_bytes_rejected() {
+        // Hand-build OPT rdata: option 12, length 3, one non-zero byte.
+        let rr = ResourceRecord {
+            name: Name::root(),
+            rtype: RecordType::Opt,
+            class: RecordClass::Unknown(1232),
+            ttl: 0,
+            rdata: RData::Opt(vec![0, 12, 0, 3, 0, 0xAB, 0]),
+        };
+        assert!(OptRecord::from_record(&rr).is_err());
     }
 
     #[test]

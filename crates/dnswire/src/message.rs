@@ -176,6 +176,29 @@ impl Message {
             .and_then(|rr| OptRecord::from_record(rr).ok())
     }
 
+    /// The EDNS version the sender asked for, if it sent an OPT record.
+    /// RFC 6891 §6.1.3: a server must answer anything above 0 with
+    /// BADVERS, not a normal response.
+    pub fn edns_version(&self) -> Option<u8> {
+        self.opt().map(|o| o.version)
+    }
+
+    /// Build the RFC 6891 §6.1.3 BADVERS response. BADVERS is extended
+    /// rcode 16: OPT `extended_rcode` 1 with the 4-bit header rcode
+    /// left at 0. No answers — the query was not processed.
+    pub fn badvers_response_to(query: &Message) -> Message {
+        let mut m = Message::response_to(query, Vec::new());
+        m.additionals.clear();
+        m.additionals.push(
+            OptRecord {
+                extended_rcode: 1,
+                ..OptRecord::default()
+            }
+            .to_record(),
+        );
+        m
+    }
+
     /// First question, if any.
     pub fn question(&self) -> Option<&Question> {
         self.questions.first()
@@ -315,6 +338,28 @@ mod tests {
         let e = Message::error_response_to(&q, Rcode::NxDomain);
         assert_eq!(e.header.rcode, Rcode::NxDomain);
         assert_eq!(Message::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn badvers_response_carries_extended_rcode_16() {
+        let mut q = Message::query(3, name("example.org"), RecordType::A);
+        // Bump the requested EDNS version to 1.
+        let opt = OptRecord {
+            version: 1,
+            ..OptRecord::default()
+        };
+        q.additionals.clear();
+        q.additionals.push(opt.to_record());
+        assert_eq!(q.edns_version(), Some(1));
+        let resp = Message::badvers_response_to(&q);
+        let back = Message::decode(&resp.encode()).unwrap();
+        assert!(back.header.response);
+        assert!(back.answers.is_empty());
+        let opt = back.opt().expect("BADVERS carries an OPT");
+        // extended rcode = extended_rcode << 4 | header rcode = 16.
+        assert_eq!(opt.extended_rcode, 1);
+        assert_eq!(back.header.rcode, Rcode::NoError);
+        assert_eq!(opt.version, 0, "we answer with the version we speak");
     }
 
     #[test]

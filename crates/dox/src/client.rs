@@ -113,11 +113,77 @@ pub struct SessionState {
     pub tls_ticket: Option<SessionTicket>,
     pub quic_token: Option<Vec<u8>>,
     pub quic_version: Option<u32>,
+    /// TCP Fast Open cookie the server issued (RFC 7413) — lets the
+    /// next DoTCP connection put its query on the SYN.
+    pub tfo_cookie: Option<Vec<u8>>,
 }
 
 impl SessionState {
     pub fn is_empty(&self) -> bool {
-        self.tls_ticket.is_none() && self.quic_token.is_none() && self.quic_version.is_none()
+        self.tls_ticket.is_none()
+            && self.quic_token.is_none()
+            && self.quic_version.is_none()
+            && self.tfo_cookie.is_none()
+    }
+
+    /// Fold another capture into this one, field-wise: later non-empty
+    /// fields win, absent ones keep what an earlier connection learned.
+    pub fn merge(&mut self, other: SessionState) {
+        if other.tls_ticket.is_some() {
+            self.tls_ticket = other.tls_ticket;
+        }
+        if other.quic_token.is_some() {
+            self.quic_token = other.quic_token;
+        }
+        if other.quic_version.is_some() {
+            self.quic_version = other.quic_version;
+        }
+        if other.tfo_cookie.is_some() {
+            self.tfo_cookie = other.tfo_cookie;
+        }
+    }
+}
+
+/// Client-side session cache keyed by resolver address: every
+/// resumption artifact a stub gathers — TLS session tickets, QUIC
+/// address-validation tokens and negotiated versions, TFO cookies — is
+/// stored under the resolver that issued it and presented on the next
+/// dial to that resolver. Captures merge field-wise (see
+/// [`SessionState::merge`]), so a ticket from one connection and a TFO
+/// cookie from another combine instead of clobbering each other.
+#[derive(Debug, Clone, Default)]
+pub struct SessionCache {
+    entries: std::collections::HashMap<SocketAddr, SessionState>,
+}
+
+impl SessionCache {
+    /// Fold a capture into the resolver's entry. Empty captures are
+    /// ignored; non-empty fields of later captures win.
+    pub fn store(&mut self, resolver: SocketAddr, s: SessionState) {
+        if s.is_empty() {
+            return;
+        }
+        self.entries.entry(resolver).or_default().merge(s);
+    }
+
+    /// The accumulated resumption material for a resolver, if any.
+    pub fn get(&self, resolver: SocketAddr) -> Option<&SessionState> {
+        self.entries.get(&resolver)
+    }
+
+    /// Fold every entry of another cache into this one.
+    pub fn absorb(&mut self, other: SessionCache) {
+        for (resolver, s) in other.entries {
+            self.store(resolver, s);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 

@@ -20,6 +20,10 @@ pub struct DoHClient {
     h2: H2Connection,
     authority: String,
     responses: Vec<(SimTime, Message)>,
+    /// The presented ticket permits 0-RTT: requests issued before the
+    /// handshake ride the first flight as early data instead of
+    /// queueing (rejects replay after the handshake).
+    early_permitted: bool,
     /// Queries issued before the connection was usable.
     queued: Vec<Message>,
     outstanding: usize,
@@ -33,11 +37,18 @@ impl DoHClient {
             enable_0rtt: cfg.enable_0rtt,
             ..TlsConfig::default()
         };
+        let early_permitted = cfg.enable_0rtt
+            && cfg
+                .session
+                .tls_ticket
+                .as_ref()
+                .is_some_and(|t| t.allows_early_data);
         DoHClient {
             tcp: TcpSocket::client(local, remote, 0, TcpConfig::default()),
             tls: TlsClient::new(tls_cfg, cfg.session.tls_ticket.clone()),
             tls_started: false,
             h2: H2Connection::client(),
+            early_permitted,
             authority: format!("dns-{}.resolver", remote.ip),
             responses: Vec::new(),
             queued: Vec::new(),
@@ -126,6 +137,11 @@ impl DnsClientConn for DoHClient {
 
     fn query(&mut self, now: SimTime, msg: &Message) {
         if self.tls.is_connected() {
+            self.send_request(now, msg);
+        } else if self.early_permitted && !self.tls_started {
+            // The H2 request bytes join the preface in the TLS engine's
+            // pending buffer and ride the ClientHello as 0-RTT early
+            // data; a rejection replays them after the handshake.
             self.send_request(now, msg);
         } else {
             self.queued.push(msg.clone());

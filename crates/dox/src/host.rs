@@ -21,7 +21,9 @@
 //! presenting whatever session ticket earlier connections captured.
 //! Pooled failure redials re-issue only the still-unanswered queries.
 
-use crate::client::{ClientConfig, DnsClientConn, DnsTransport, FailureKind, SessionState};
+use crate::client::{
+    ClientConfig, DnsClientConn, DnsTransport, FailureKind, SessionCache, SessionState,
+};
 use crate::doh::DoHClient;
 use crate::doh3::DoH3Client;
 use crate::doq::DoQClient;
@@ -96,8 +98,10 @@ pub struct DnsClientHost {
     failed_queries: u64,
     /// The abandoned queries themselves, for the owner to collect.
     abandoned: Vec<Message>,
-    /// Resumption material carried across pool evictions and redials.
-    cached_session: SessionState,
+    /// Resumption material captured so far, keyed by resolver address;
+    /// carried across pool evictions, redials and reconnects, and
+    /// exportable so a later host can resume where this one left off.
+    sessions: SessionCache,
     // --- cross-transport failover (cfg.failover = Some) ---------------
     /// Fallback connections raced against the primary, in ladder order.
     racers: Vec<Racer>,
@@ -128,6 +132,10 @@ impl DnsClientHost {
         remote: SocketAddr,
         cfg: &ClientConfig,
     ) -> Self {
+        // Resumption material handed in via the config belongs in the
+        // cache too: a redial must not forget what the caller knew.
+        let mut sessions = SessionCache::default();
+        sessions.store(remote, cfg.session.clone());
         DnsClientHost {
             conn: make_client(transport, local, remote, cfg),
             responses: Vec::new(),
@@ -152,7 +160,7 @@ impl DnsClientHost {
             pool_reuses: 0,
             failed_queries: 0,
             abandoned: Vec::new(),
-            cached_session: SessionState::default(),
+            sessions,
             racers: Vec::new(),
             winner: None,
             wasted_bytes: 0,
@@ -203,9 +211,12 @@ impl DnsClientHost {
         Some(self.conn.handshake_done_at()? - self.started_at?)
     }
 
-    /// Resumption material captured on this connection.
+    /// Resumption material captured so far for this host's resolver:
+    /// the live connection's capture merged over anything earlier
+    /// dials (or the config) contributed.
     pub fn session_state(&mut self) -> SessionState {
-        self.conn.session_state()
+        self.capture_session();
+        self.sessions.get(self.remote).cloned().unwrap_or_default()
     }
 
     /// Why the query run failed, if it did: the host-level verdict
@@ -271,10 +282,10 @@ impl DnsClientHost {
     /// query and reusing any resumption material gathered so far.
     fn reconnect(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
         metrics::count(Counter::Reconnects, 1);
-        let session = self.conn.session_state();
+        self.capture_session();
         let mut cfg = self.cfg.clone();
-        if !session.is_empty() {
-            cfg.session = session;
+        if let Some(s) = self.sessions.get(self.remote) {
+            cfg.session = s.clone();
         }
         self.conn = make_client(self.transport, self.local, self.remote, &cfg);
         self.reconnects_done += 1;
@@ -317,12 +328,29 @@ impl DnsClientHost {
         self.pending.len()
     }
 
-    /// Keep the freshest non-empty resumption material for later dials.
+    /// Fold the live connection's resumption material into the session
+    /// cache under the resolver it came from.
     fn capture_session(&mut self) {
         let s = self.conn.session_state();
-        if !s.is_empty() {
-            self.cached_session = s;
-        }
+        self.sessions.store(self.remote, s);
+    }
+
+    /// The host's session cache: resumption material keyed by resolver.
+    pub fn session_cache(&self) -> &SessionCache {
+        &self.sessions
+    }
+
+    /// Export the session cache (folding in whatever the live
+    /// connection holds first), e.g. to seed a later host's cache.
+    pub fn export_sessions(&mut self) -> SessionCache {
+        self.capture_session();
+        self.sessions.clone()
+    }
+
+    /// Seed the session cache from another host's export; the next
+    /// dial to a cached resolver presents the merged material.
+    pub fn import_sessions(&mut self, cache: SessionCache) {
+        self.sessions.absorb(cache);
     }
 
     /// Issue a query on the pooled connection, dialing one if none is
@@ -351,8 +379,8 @@ impl DnsClientHost {
     /// it, presenting any session material captured so far.
     fn pool_dial(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<Packet>) {
         let mut cfg = self.cfg.clone();
-        if !self.cached_session.is_empty() {
-            cfg.session = self.cached_session.clone();
+        if let Some(s) = self.sessions.get(self.remote) {
+            cfg.session = s.clone();
         }
         // Every dial binds a fresh source port, as a real stub's socket
         // would. Reusing the 4-tuple would hand the new handshake to

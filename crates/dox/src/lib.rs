@@ -29,7 +29,7 @@ pub mod udp;
 pub use alpn::DoqAlpn;
 pub use client::{
     ClientConfig, ConnMetadata, DnsClientConn, DnsTransport, FailoverPolicy, FailureKind,
-    SessionState,
+    SessionCache, SessionState,
 };
 pub use host::{make_client, DnsClientHost};
 pub use server::{DnsServerSet, ServerConfig, ServerEvent};

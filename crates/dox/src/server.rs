@@ -12,7 +12,7 @@ use crate::alpn::DoqAlpn;
 use crate::client::DnsTransport;
 use crate::doh::doh_response_parts;
 use crate::ports;
-use doqlab_dnswire::{framing, EdnsOption, LengthPrefixedReader, Message, OptRecord};
+use doqlab_dnswire::{framing, EdnsOption, LengthPrefixedReader, Message};
 use doqlab_netstack::http2::H2Connection;
 use doqlab_netstack::quic::{QuicConfig, QuicServer};
 use doqlab_netstack::tcp::{TcpConfig, TcpListener, TcpSegment};
@@ -523,6 +523,28 @@ impl DnsServerSet {
             }
             self.events.append(&mut doh3_events);
         }
+
+        // RFC 6891 §6.1.3: a query asking for an EDNS version we do not
+        // implement gets BADVERS straight back instead of being handed
+        // to the resolver for a normal answer. Applies uniformly to
+        // every transport, so the check sits after all of them.
+        let bad: Vec<ServerEvent> = {
+            let (bad, ok) = std::mem::take(&mut self.events)
+                .into_iter()
+                .partition(|ev| ev.query.edns_version().is_some_and(|v| v != 0));
+            self.events = ok;
+            bad
+        };
+        if !bad.is_empty() {
+            for ev in bad {
+                let resp = Message::badvers_response_to(&ev.query);
+                self.respond(now, ev.key, &resp);
+            }
+            // Re-pump once so responses written into transport sockets
+            // above are flushed now rather than on the next inbound
+            // packet. Terminates: the offending events are consumed.
+            self.pump(now, out);
+        }
     }
 
     /// Decoded queries since the last call.
@@ -546,15 +568,16 @@ impl DnsServerSet {
                     if self.cfg.tcp_keepalive {
                         // RFC 7828: advertise an idle timeout (in units
                         // of 100 ms) so the client holds the connection.
+                        // Merge into any OPT already on the response —
+                        // replacing it wholesale would clobber fields
+                        // like a BADVERS extended_rcode.
+                        let mut opt = msg.opt().unwrap_or_default();
+                        if opt.tcp_keepalive().is_none() {
+                            opt.options.push(EdnsOption::TcpKeepalive(Some(300)));
+                        }
                         msg.additionals
                             .retain(|rr| rr.rtype != doqlab_dnswire::RecordType::Opt);
-                        msg.additionals.push(
-                            OptRecord {
-                                options: vec![EdnsOption::TcpKeepalive(Some(300))],
-                                ..OptRecord::default()
-                            }
-                            .to_record(),
-                        );
+                        msg.additionals.push(opt.to_record());
                     }
                     sock.send(&framing::frame(&msg.encode()));
                     if self.cfg.close_tcp_after_response && !self.cfg.tcp_keepalive {

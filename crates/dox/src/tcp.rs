@@ -8,9 +8,10 @@
 //! measured as an ablation.
 
 use crate::client::{ClientConfig, DnsClientConn, FailureKind, SessionState};
-use doqlab_dnswire::{framing, LengthPrefixedReader, Message};
+use doqlab_dnswire::{framing, EdnsOption, LengthPrefixedReader, Message, RecordType};
 use doqlab_netstack::tcp::{TcpConfig, TcpFailure, TcpSegment, TcpSocket};
 use doqlab_simnet::{Packet, SimRng, SimTime, SocketAddr};
+use doqlab_telemetry::metrics::{self, Counter};
 use std::collections::HashSet;
 
 /// Classify a failed TCP socket for the failure taxonomy: a peer RST
@@ -50,6 +51,10 @@ pub struct DoTcpClient {
     pending: HashSet<u16>,
     responses: Vec<(SimTime, Message)>,
     started: bool,
+    /// RFC 7828: ask the server to hold the connection open.
+    request_keepalive: bool,
+    /// Timeout the server answered with (units of 100 ms), once seen.
+    keepalive: Option<u16>,
 }
 
 impl DoTcpClient {
@@ -58,14 +63,30 @@ impl DoTcpClient {
             enable_tfo: cfg.enable_tfo,
             ..TcpConfig::default()
         };
+        // ISS is assigned at start() from the shared RNG.
+        let mut tcp = TcpSocket::client(local, remote, 0, tcp_cfg);
+        if cfg.enable_tfo {
+            // A cookie from an earlier connection to this resolver lets
+            // the first query ride the SYN (RFC 7413).
+            if let Some(cookie) = &cfg.session.tfo_cookie {
+                tcp.set_tfo_cookie(cookie.clone());
+            }
+        }
         DoTcpClient {
-            // ISS is assigned at start() from the shared RNG.
-            tcp: TcpSocket::client(local, remote, 0, tcp_cfg),
+            tcp,
             reader: LengthPrefixedReader::new(),
             pending: HashSet::new(),
             responses: Vec::new(),
             started: false,
+            request_keepalive: cfg.request_tcp_keepalive,
+            keepalive: None,
         }
+    }
+
+    /// The edns-tcp-keepalive idle timeout the server granted, if any.
+    pub fn keepalive_timeout(&self) -> Option<std::time::Duration> {
+        self.keepalive
+            .map(|t| std::time::Duration::from_millis(t as u64 * 100))
     }
 
     fn pump(&mut self, now: SimTime, out: &mut Vec<Packet>) {
@@ -75,6 +96,19 @@ impl DoTcpClient {
             while let Some(wire) = self.reader.next_message() {
                 if let Ok(msg) = Message::decode(&wire) {
                     if msg.header.response && self.pending.remove(&msg.header.id) {
+                        if self.keepalive.is_none() {
+                            let granted = msg.opt().and_then(|o| match o.tcp_keepalive() {
+                                Some(EdnsOption::TcpKeepalive(Some(t))) => Some(*t),
+                                _ => None,
+                            });
+                            if let Some(t) = granted {
+                                // The resolver honors RFC 7828: keep the
+                                // connection instead of redialing per
+                                // query. Counted once per connection.
+                                self.keepalive = Some(t);
+                                metrics::count(Counter::KeepaliveHonored, 1);
+                            }
+                        }
                         self.responses.push((now, msg));
                     }
                 }
@@ -95,6 +129,17 @@ impl DnsClientConn for DoTcpClient {
 
     fn query(&mut self, _now: SimTime, msg: &Message) {
         self.pending.insert(msg.header.id);
+        let mut msg = msg.clone();
+        if self.request_keepalive {
+            // RFC 7828 §3.2.1: the client sends the option with no
+            // timeout, merged into the query's OPT record.
+            let mut opt = msg.opt().unwrap_or_default();
+            if opt.tcp_keepalive().is_none() {
+                opt.options.push(EdnsOption::TcpKeepalive(None));
+            }
+            msg.additionals.retain(|rr| rr.rtype != RecordType::Opt);
+            msg.additionals.push(opt.to_record());
+        }
         self.tcp.send(&framing::frame(&msg.encode()));
     }
 
@@ -130,7 +175,10 @@ impl DnsClientConn for DoTcpClient {
     }
 
     fn session_state(&mut self) -> SessionState {
-        SessionState::default()
+        SessionState {
+            tfo_cookie: self.tcp.tfo_cookie().map(|c| c.to_vec()),
+            ..SessionState::default()
+        }
     }
 
     fn close(&mut self, now: SimTime, out: &mut Vec<Packet>) {
@@ -174,7 +222,15 @@ mod tests {
                     reader.push(&data);
                     while let Some(wire) = reader.next_message() {
                         let q = Message::decode(&wire).unwrap();
-                        let resp = Message::response_to(&q, vec![]);
+                        let mut resp = Message::response_to(&q, vec![]);
+                        // Grant keepalive when the client asked (RFC
+                        // 7828): 120 units of 100 ms.
+                        if q.opt().is_some_and(|o| o.tcp_keepalive().is_some()) {
+                            let mut opt = resp.opt().unwrap_or_default();
+                            opt.options.push(EdnsOption::TcpKeepalive(Some(120)));
+                            resp.additionals.retain(|rr| rr.rtype != RecordType::Opt);
+                            resp.additionals.push(opt.to_record());
+                        }
                         conn.send(&framing::frame(&resp.encode()));
                     }
                 }
@@ -213,6 +269,68 @@ mod tests {
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].1.header.id, 7);
         assert!(client.handshake_done_at().is_some());
+    }
+
+    #[test]
+    fn keepalive_request_rides_the_query_and_grant_is_captured() {
+        let cfg = ClientConfig {
+            request_tcp_keepalive: true,
+            ..ClientConfig::default()
+        };
+        let mut client = DoTcpClient::new(sa(1, 40000), sa(2, 53), &cfg);
+        let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
+        client.query(SimTime::ZERO, &q);
+        let mut listener = TcpListener::new(sa(2, 53), TcpConfig::default());
+        let responses = drive(&mut client, &mut listener);
+        assert_eq!(responses.len(), 1);
+        // The server granted 120 * 100 ms = 12 s.
+        assert_eq!(
+            client.keepalive_timeout(),
+            Some(std::time::Duration::from_secs(12))
+        );
+    }
+
+    #[test]
+    fn no_keepalive_request_no_grant() {
+        let mut client = DoTcpClient::new(sa(1, 40000), sa(2, 53), &ClientConfig::default());
+        let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
+        client.query(SimTime::ZERO, &q);
+        let mut listener = TcpListener::new(sa(2, 53), TcpConfig::default());
+        drive(&mut client, &mut listener);
+        assert_eq!(client.keepalive_timeout(), None);
+    }
+
+    #[test]
+    fn tfo_cookie_carries_to_the_next_connection_via_session_state() {
+        let tfo_cfg = ClientConfig {
+            enable_tfo: true,
+            ..ClientConfig::default()
+        };
+        let server_cfg = TcpConfig {
+            enable_tfo: true,
+            ..TcpConfig::default()
+        };
+        // First connection requests a cookie; the query cannot ride the
+        // SYN yet.
+        let mut client = DoTcpClient::new(sa(1, 40000), sa(2, 53), &tfo_cfg);
+        let q = Message::query(7, Name::parse("google.com").unwrap(), RecordType::A);
+        client.query(SimTime::ZERO, &q);
+        let mut listener = TcpListener::new(sa(2, 53), server_cfg);
+        let responses = drive(&mut client, &mut listener);
+        assert_eq!(responses.len(), 1);
+        let session = client.session_state();
+        assert!(session.tfo_cookie.is_some(), "cookie captured");
+
+        // Second connection presents the cookie: SYN carries the query.
+        let cfg2 = ClientConfig { session, ..tfo_cfg };
+        let mut client2 = DoTcpClient::new(sa(1, 40001), sa(2, 53), &cfg2);
+        client2.query(SimTime::ZERO, &q);
+        let mut rng = SimRng::new(9);
+        let mut out = Vec::new();
+        client2.start(SimTime::ZERO, &mut rng, &mut out);
+        let seg = TcpSegment::decode(&out[0].payload).unwrap();
+        assert!(seg.flags.syn);
+        assert!(!seg.payload.is_empty(), "query rides the SYN");
     }
 
     #[test]

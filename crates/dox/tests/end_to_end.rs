@@ -2,7 +2,7 @@
 //! [`DnsServerSet`] over the discrete-event simulator — the same wiring
 //! the measurement harness uses.
 
-use doqlab_dnswire::{Message, Name, RData, RecordType, ResourceRecord};
+use doqlab_dnswire::{Message, Name, OptRecord, RData, RecordType, ResourceRecord};
 use doqlab_dox::*;
 use doqlab_simnet::path::FixedPathModel;
 use doqlab_simnet::*;
@@ -255,6 +255,117 @@ fn doq_zero_rtt_resolves_in_one_rtt_total() {
 }
 
 #[test]
+fn dot_and_doh_zero_rtt_resolve_one_rtt_sooner() {
+    // TLS-over-TCP 0-RTT: the framed query (DoT) / the H2 request (DoH)
+    // ride the ClientHello as early data, the server answers from
+    // `read_early` in the same flight as its handshake — resolve drops
+    // from 150 ms (3 RTT) to 100 ms (2 RTT).
+    let server = ServerConfig {
+        enable_0rtt: true,
+        ..ServerConfig::default()
+    };
+    for transport in [DnsTransport::DoT, DnsTransport::DoH] {
+        let (_, _, session) = run_query(transport, server.clone(), ClientConfig::default());
+        assert!(
+            session.tls_ticket.as_ref().unwrap().allows_early_data,
+            "{transport}: 0-RTT server issues early-data tickets"
+        );
+        let cfg = ClientConfig {
+            session,
+            enable_0rtt: true,
+            ..ClientConfig::default()
+        };
+        let (_, at, _) = run_query(transport, server.clone(), cfg);
+        assert!(
+            (at - 100.0).abs() < 1.0,
+            "{transport}: 0-RTT resolve at {at}"
+        );
+    }
+}
+
+#[test]
+fn zero_rtt_reject_replays_and_never_fails() {
+    // An early-data ticket presented to a resolver that no longer
+    // accepts 0-RTT: the server rejects, the client replays the early
+    // data after the handshake, and the query completes at the plain
+    // resumed-1-RTT timing — it must never be lost.
+    let zrtt_server = ServerConfig {
+        enable_0rtt: true,
+        ..ServerConfig::default()
+    };
+    for (transport, expect_at) in [
+        (DnsTransport::DoQ, 100.0),
+        (DnsTransport::DoT, 150.0),
+        (DnsTransport::DoH, 150.0),
+    ] {
+        let (_, _, session) = run_query(transport, zrtt_server.clone(), ClientConfig::default());
+        assert!(session.tls_ticket.as_ref().unwrap().allows_early_data);
+        let cfg = ClientConfig {
+            session,
+            enable_0rtt: true,
+            ..ClientConfig::default()
+        };
+        // run_query asserts a valid response arrived.
+        let (_, at, _) = run_query(transport, ServerConfig::default(), cfg);
+        assert!(
+            (at - expect_at).abs() < 1.0,
+            "{transport}: rejected 0-RTT resolves at {at}, want {expect_at}"
+        );
+    }
+}
+
+#[test]
+fn tls12_tickets_never_advertise_early_data() {
+    // RFC 8446 §4.2.10: early data is 1.3-only. A 0-RTT-enabled server
+    // that negotiated 1.2 must not hand out tickets claiming early
+    // data — a client trusting one would send 0-RTT records the 1.2
+    // server silently drops.
+    use doqlab_netstack::tls::TlsVersion;
+    let server = ServerConfig {
+        enable_0rtt: true,
+        tls_versions: vec![TlsVersion::Tls12],
+        ..ServerConfig::default()
+    };
+    let (_, _, session) = run_query(DnsTransport::DoT, server.clone(), ClientConfig::default());
+    let ticket = session.tls_ticket.as_ref().expect("1.2 session ticket");
+    assert!(!ticket.allows_early_data, "1.2 ticket advertises 0-RTT");
+    // And the resumed connection still answers at 1.2 timing.
+    let cfg = ClientConfig {
+        session,
+        enable_0rtt: true,
+        ..ClientConfig::default()
+    };
+    let (_, at, _) = run_query(DnsTransport::DoT, server, cfg);
+    assert!((at - 150.0).abs() < 1.0, "1.2 resumption resolves at {at}");
+}
+
+#[test]
+fn tfo_dotcp_resolves_in_one_rtt_total() {
+    // TCP Fast Open with a cached cookie: the query rides the SYN and
+    // the server's answer rides the SYN-ACK flight — DoTCP at DoUDP
+    // speed (RFC 7413's motivating case).
+    let server = ServerConfig {
+        enable_tfo: true,
+        ..ServerConfig::default()
+    };
+    let tfo_client = ClientConfig {
+        enable_tfo: true,
+        ..ClientConfig::default()
+    };
+    // First connection requests and caches the cookie (still 2 RTT).
+    let (_, at1, session) = run_query(DnsTransport::DoTcp, server.clone(), tfo_client.clone());
+    assert!((at1 - 100.0).abs() < 1.0, "cookie-request resolve at {at1}");
+    assert!(session.tfo_cookie.is_some(), "cookie cached");
+    // Second connection: SYN carries the query, SYN-ACK the answer.
+    let cfg = ClientConfig {
+        session,
+        ..tfo_client
+    };
+    let (_, at2, _) = run_query(DnsTransport::DoTcp, server, cfg);
+    assert!((at2 - 50.0).abs() < 1.0, "TFO resolve at {at2}");
+}
+
+#[test]
 fn doq_works_with_both_stream_mappings() {
     // doq-i02 (bare message, the most common deployment) and doq-i03 /
     // RFC 9250 (2-byte length prefix) resolvers both answer.
@@ -271,6 +382,77 @@ fn doq_works_with_both_stream_mappings() {
         let (_, at, _) = run_query(DnsTransport::DoQ, server, ClientConfig::default());
         assert!((at - 100.0).abs() < 1.0, "{alpns:?}: resolve at {at}");
     }
+}
+
+/// A query asking for EDNS version 1 (we implement version 0).
+fn v1_query() -> Message {
+    let mut q = query();
+    q.additionals.clear();
+    q.additionals.push(
+        OptRecord {
+            version: 1,
+            ..OptRecord::default()
+        }
+        .to_record(),
+    );
+    q
+}
+
+#[test]
+fn edns_version_above_zero_gets_badvers_not_an_answer() {
+    // RFC 6891 §6.1.3, on every transport: the server answers BADVERS
+    // itself; the query never reaches the resolver (which would have
+    // answered with a record — EchoResolver answers everything).
+    for transport in DnsTransport::ALL {
+        let (mut sim, _r, _) = build_sim(ServerConfig::default());
+        let local = SocketAddr::new(client_ip(), 40_000);
+        let remote = SocketAddr::new(resolver_ip(), transport.port());
+        let client = DnsClientHost::new(transport, local, remote, &ClientConfig::default());
+        let cid = sim.add_host(Box::new(client), &[client_ip()]);
+        sim.with_host::<DnsClientHost, _>(cid, |c, ctx| c.start_with_query(ctx, &v1_query()));
+        sim.run_until(SimTime::from_secs(20));
+        let client = sim.host_mut::<DnsClientHost>(cid);
+        assert!(!client.responses.is_empty(), "{transport}: no BADVERS");
+        let (_, msg) = client.responses[0].clone();
+        assert!(msg.answers.is_empty(), "{transport}: answered a v1 query");
+        let opt = msg.opt().expect("BADVERS carries an OPT");
+        assert_eq!(opt.extended_rcode, 1, "{transport}: extended rcode 16");
+    }
+}
+
+#[test]
+fn edns_version_zero_is_answered_normally() {
+    // The other direction: a plain version-0 query (the default built
+    // by Message::query) still gets a real answer, not BADVERS.
+    let (_, _, _) = run_query(
+        DnsTransport::DoUdp,
+        ServerConfig::default(),
+        ClientConfig::default(),
+    );
+}
+
+#[test]
+fn badvers_survives_the_keepalive_opt_merge_on_dotcp() {
+    // A keepalive-advertising server must merge its edns-tcp-keepalive
+    // option into the BADVERS OPT, not clobber the extended rcode.
+    let server = ServerConfig {
+        tcp_keepalive: true,
+        close_tcp_after_response: false,
+        ..ServerConfig::default()
+    };
+    let (mut sim, _r, _) = build_sim(server);
+    let local = SocketAddr::new(client_ip(), 40_000);
+    let remote = SocketAddr::new(resolver_ip(), DnsTransport::DoTcp.port());
+    let client = DnsClientHost::new(DnsTransport::DoTcp, local, remote, &ClientConfig::default());
+    let cid = sim.add_host(Box::new(client), &[client_ip()]);
+    sim.with_host::<DnsClientHost, _>(cid, |c, ctx| c.start_with_query(ctx, &v1_query()));
+    sim.run_until(SimTime::from_secs(20));
+    let client = sim.host_mut::<DnsClientHost>(cid);
+    assert!(!client.responses.is_empty());
+    let (_, msg) = client.responses[0].clone();
+    let opt = msg.opt().unwrap();
+    assert_eq!(opt.extended_rcode, 1, "BADVERS preserved");
+    assert!(opt.tcp_keepalive().is_some(), "keepalive merged in");
 }
 
 #[test]

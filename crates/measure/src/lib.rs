@@ -27,6 +27,11 @@
 //!   which transports survive by connection migration, switchover
 //!   latency, and the cost of reconnect and cross-transport failover
 //!   recovery strategies.
+//! * [`whatif`] — the counterfactual sweep: single-query units re-run
+//!   with dormant capabilities switched on (TLS/QUIC 0-RTT, TCP Fast
+//!   Open, edns-tcp-keepalive, DoH3) on the *same* unit seeds as the
+//!   all-off baseline, reporting the resolve-time deltas the paper
+//!   could not measure.
 //!
 //! [`stats`] holds the estimators (median, percentiles, CDFs) and
 //! [`report`] renders tables that mirror the paper's layout. Campaign
@@ -44,6 +49,7 @@ pub mod stats;
 pub mod trace;
 pub mod vantage;
 pub mod webperf;
+pub mod whatif;
 
 pub use discovery::{run_discovery, DiscoveryReport};
 pub use impairments::{
@@ -56,6 +62,7 @@ pub use stats::{cdf_points, median, percentile, Cdf};
 pub use trace::{trace_single_query, TraceRun};
 pub use vantage::{vantage_points, VantagePoint};
 pub use webperf::{run_webperf_campaign, WebperfCampaign, WebperfSample};
+pub use whatif::{run_whatif_campaign, WhatifCampaign, WhatifRegime, WhatifSample};
 
 /// Campaign scale knobs.
 #[derive(Debug, Clone)]

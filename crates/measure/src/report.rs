@@ -8,6 +8,7 @@ use crate::populations::PopulationSample;
 use crate::single_query::SingleQuerySample;
 use crate::stats::{cdf_points, median, percentile, relative_difference_pct, Cdf};
 use crate::webperf::WebperfSample;
+use crate::whatif::WhatifSample;
 use doqlab_dox::DnsTransport;
 use doqlab_simnet::geo::Continent;
 use doqlab_telemetry::metrics::{self, Counter, Series};
@@ -770,6 +771,264 @@ pub fn render_mobility(rows: &[MobilityRow]) -> String {
     out
 }
 
+/// One cell of the what-if report: a regime x transport slice of the
+/// counterfactual sweep, with the paired delta against the reference
+/// (first) regime's twin units. The doh3 regime's DoH3 units fold into
+/// the DoH column — they are the same nominal units, run over HTTP/3.
+#[derive(Debug, Clone, Serialize)]
+pub struct WhatifRow {
+    pub regime: String,
+    pub transport: String,
+    pub units: usize,
+    pub failed: usize,
+    /// Units whose measured connection accepted 0-RTT early data.
+    pub zero_rtt: usize,
+    /// Units that actually ran DoH3 (doh3-regime DoH cells).
+    pub ran_doh3: usize,
+    /// Failure-taxonomy name -> count (empty when nothing failed).
+    pub failure_kinds: BTreeMap<String, usize>,
+    /// Total-time (handshake + resolve) quantiles (p50, p90) over the
+    /// cell's successful units, in milliseconds.
+    pub total_ms: [Option<f64>; 2],
+    /// Median per-unit total-time delta against the reference regime's
+    /// twin unit (regime minus reference; negative is faster), over
+    /// pairs where both answered. `None` on the reference row itself.
+    pub delta_ms: Option<f64>,
+}
+
+/// First packet to answered query, `None` when the unit never answered.
+fn whatif_total_ms(s: &SingleQuerySample) -> Option<f64> {
+    s.resolve_ms.map(|r| s.handshake_ms.unwrap_or(0.0) + r)
+}
+
+/// The transport a what-if unit nominally measures: DoH3 samples are
+/// DoH units the doh3 regime upgraded, so they pair and report as DoH.
+fn whatif_nominal(t: DnsTransport) -> DnsTransport {
+    if t == DnsTransport::DoH3 {
+        DnsTransport::DoH
+    } else {
+        t
+    }
+}
+
+/// Reduce the counterfactual sweep to per-regime, per-transport rows
+/// (regime order preserved, transports in `DnsTransport::ALL` order).
+/// Regime cells pair positionally with the first regime's cells: the
+/// campaign reuses unit seeds across regimes and the grid emits every
+/// regime's units in the same (vp, resolver, transport, rep) sub-order,
+/// so zipping slices pairs each unit with its baseline twin.
+pub fn whatif_rows(samples: &[WhatifSample]) -> Vec<WhatifRow> {
+    let mut regimes: Vec<(usize, String)> = Vec::new();
+    for s in samples {
+        if !regimes.iter().any(|(i, _)| *i == s.regime) {
+            regimes.push((s.regime, s.regime_name.clone()));
+        }
+    }
+    regimes.sort_by_key(|(i, _)| *i);
+    let reference = regimes.first().map(|(i, _)| *i);
+    let mut rows = Vec::new();
+    for (regime, name) in &regimes {
+        for t in DnsTransport::ALL {
+            let cell: Vec<&WhatifSample> = samples
+                .iter()
+                .filter(|s| s.regime == *regime && whatif_nominal(s.sample.transport) == t)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let mut failure_kinds = BTreeMap::new();
+            for s in &cell {
+                if let Some(k) = s.failure {
+                    *failure_kinds.entry(k.name().to_string()).or_insert(0) += 1;
+                }
+            }
+            let totals: Vec<f64> = cell
+                .iter()
+                .filter_map(|s| whatif_total_ms(&s.sample))
+                .collect();
+            let q = |p: f64| percentile(&totals, p);
+            let delta_ms = match reference {
+                Some(r) if *regime != r => {
+                    let base: Vec<&WhatifSample> = samples
+                        .iter()
+                        .filter(|s| s.regime == r && whatif_nominal(s.sample.transport) == t)
+                        .collect();
+                    let deltas: Vec<f64> = cell
+                        .iter()
+                        .zip(&base)
+                        .filter_map(|(s, b)| {
+                            Some(whatif_total_ms(&s.sample)? - whatif_total_ms(&b.sample)?)
+                        })
+                        .collect();
+                    median(&deltas)
+                }
+                _ => None,
+            };
+            rows.push(WhatifRow {
+                regime: name.clone(),
+                transport: t.name().to_string(),
+                units: cell.len(),
+                failed: cell.iter().filter(|s| s.sample.failed).count(),
+                zero_rtt: cell.iter().filter(|s| s.sample.metadata.zero_rtt).count(),
+                ran_doh3: cell
+                    .iter()
+                    .filter(|s| s.sample.transport == DnsTransport::DoH3)
+                    .count(),
+                failure_kinds,
+                total_ms: [q(50.0), q(90.0)],
+                delta_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the what-if report: per regime, a transport table of total
+/// query times and the paired delta against the baseline regime, with
+/// 0-RTT uptake and failure-kind breakdowns.
+pub fn render_whatif(rows: &[WhatifRow]) -> String {
+    let mut out = String::new();
+    let mut current = None::<&str>;
+    for row in rows {
+        if current != Some(row.regime.as_str()) {
+            current = Some(row.regime.as_str());
+            out.push_str(&format!(
+                "\nregime {:<16}{:>7}{:>7}{:>7}{:>9}{:>9}{:>10}\n",
+                row.regime, "units", "fail%", "0-rtt", "p50 ms", "p90 ms", "delta ms"
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<21}{:>7}{:>6.1}%{:>7}",
+            row.transport,
+            row.units,
+            100.0 * row.failed as f64 / row.units.max(1) as f64,
+            row.zero_rtt,
+        ));
+        for q in row.total_ms {
+            match q {
+                Some(v) => out.push_str(&format!("{v:>9.1}")),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        match row.delta_ms {
+            Some(v) => out.push_str(&format!("{v:>+10.1}\n")),
+            None => out.push_str(&format!("{:>10}\n", "-")),
+        }
+        let mut notes: Vec<String> = Vec::new();
+        if row.ran_doh3 > 0 {
+            notes.push(format!("ran DoH3 x{}", row.ran_doh3));
+        }
+        if !row.failure_kinds.is_empty() {
+            notes.extend(row.failure_kinds.iter().map(|(k, n)| format!("{k} x{n}")));
+        }
+        if !notes.is_empty() {
+            out.push_str(&format!("  {:<21}  {}\n", "", notes.join(", ")));
+        }
+    }
+    out
+}
+
+/// One row of the what-if Web comparison: the DoH column of the Web
+/// campaign re-run over HTTP/3, per page, paired unit by unit.
+#[derive(Debug, Clone, Serialize)]
+pub struct WhatifWebRow {
+    pub page: String,
+    /// Paired (DoH, DoH3) units for the page.
+    pub units: usize,
+    /// Pairs where either world's loads failed (excluded from deltas).
+    pub failed_pairs: usize,
+    /// Median DoH3 FCP / PLT over clean pairs, in milliseconds.
+    pub fcp_ms: Option<f64>,
+    pub plt_ms: Option<f64>,
+    /// Median per-unit delta (DoH3 minus DoH); negative is faster.
+    pub fcp_delta_ms: Option<f64>,
+    pub plt_delta_ms: Option<f64>,
+}
+
+/// Pair the two Web worlds of the what-if campaign: `base` is a normal
+/// run, `doh3` the same campaign with `use_doh3` — identical unit
+/// seeds, so each DoH3 sample replays a DoH twin's draws and the FCP /
+/// PLT deltas are attributable to HTTP/3 alone. Pairing is positional:
+/// both runs emit the grid in the same order.
+pub fn whatif_web_rows(base: &[WebperfSample], doh3: &[WebperfSample]) -> Vec<WhatifWebRow> {
+    let doh: Vec<&WebperfSample> = base
+        .iter()
+        .filter(|s| s.transport == DnsTransport::DoH)
+        .collect();
+    let h3: Vec<&WebperfSample> = doh3
+        .iter()
+        .filter(|s| s.transport == DnsTransport::DoH3)
+        .collect();
+    let mut pages: Vec<String> = Vec::new();
+    for s in &doh {
+        if !pages.contains(&s.page_name) {
+            pages.push(s.page_name.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    for page in pages {
+        let pairs: Vec<(&&WebperfSample, &&WebperfSample)> = doh
+            .iter()
+            .zip(&h3)
+            .filter(|(b, _)| b.page_name == page)
+            .collect();
+        let clean: Vec<_> = pairs
+            .iter()
+            .filter(|(b, h)| !b.failed && !h.failed)
+            .collect();
+        let fcp: Vec<f64> = clean.iter().map(|(_, h)| h.fcp_ms).collect();
+        let plt: Vec<f64> = clean.iter().map(|(_, h)| h.plt_ms).collect();
+        let dfcp: Vec<f64> = clean.iter().map(|(b, h)| h.fcp_ms - b.fcp_ms).collect();
+        let dplt: Vec<f64> = clean.iter().map(|(b, h)| h.plt_ms - b.plt_ms).collect();
+        rows.push(WhatifWebRow {
+            page,
+            units: pairs.len(),
+            failed_pairs: pairs.len() - clean.len(),
+            fcp_ms: median(&fcp),
+            plt_ms: median(&plt),
+            fcp_delta_ms: median(&dfcp),
+            plt_delta_ms: median(&dplt),
+        });
+    }
+    rows
+}
+
+/// Render the what-if Web comparison: per page, DoH3's FCP/PLT and the
+/// paired delta against the DoH twin.
+pub fn render_whatif_web(rows: &[WhatifWebRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\nwebperf DoH -> DoH3{:>9}{:>9}{:>9}{:>10}{:>10}\n",
+        "pairs", "fcp ms", "plt ms", "dfcp ms", "dplt ms"
+    ));
+    for row in rows {
+        out.push_str(&format!("  {:<19}{:>7}", row.page, row.units));
+        for q in [row.fcp_ms, row.plt_ms] {
+            match q {
+                Some(v) => out.push_str(&format!("{v:>9.1}")),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        for q in [row.fcp_delta_ms, row.plt_delta_ms] {
+            match q {
+                Some(v) => out.push_str(&format!("{v:>+10.1}")),
+                None => out.push_str(&format!("{:>10}", "-")),
+            }
+        }
+        out.push('\n');
+        if row.failed_pairs > 0 {
+            out.push_str(&format!(
+                "  {:<19}  {} pair(s) failed\n",
+                "", row.failed_pairs
+            ));
+        }
+    }
+    out
+}
+
 /// One cell of the populations report: an alpha x transport slice of
 /// the population campaign, all vantage points merged.
 #[derive(Debug, Clone, Serialize)]
@@ -998,6 +1257,43 @@ mod tests {
     }
 
     #[test]
+    fn whatif_web_rows_pair_the_doh_and_doh3_worlds() {
+        let base = vec![
+            web(DnsTransport::DoUdp, 0, 0, 0, 90.0),
+            web(DnsTransport::DoH, 0, 0, 0, 200.0),
+            web(DnsTransport::DoH, 1, 0, 0, 220.0),
+            web(DnsTransport::DoH, 0, 0, 1, 400.0),
+        ];
+        let doh3 = vec![
+            web(DnsTransport::DoUdp, 0, 0, 0, 90.0),
+            web(DnsTransport::DoH3, 0, 0, 0, 180.0),
+            {
+                let mut s = web(DnsTransport::DoH3, 1, 0, 0, f64::NAN);
+                s.failed = true;
+                s
+            },
+            web(DnsTransport::DoH3, 0, 0, 1, 350.0),
+        ];
+        let rows = whatif_web_rows(&base, &doh3);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].page, "page0");
+        assert_eq!(rows[0].units, 2);
+        assert_eq!(
+            rows[0].failed_pairs, 1,
+            "the failed DoH3 load drops its pair"
+        );
+        assert_eq!(rows[0].plt_delta_ms, Some(-20.0));
+        assert_eq!(rows[1].page, "page1");
+        assert_eq!(rows[1].plt_ms, Some(350.0));
+        assert_eq!(rows[1].plt_delta_ms, Some(-50.0));
+        let rendered = render_whatif_web(&rows);
+        assert!(rendered.contains("webperf DoH -> DoH3"));
+        assert!(rendered.contains("-50.0"));
+        assert!(rendered.contains("1 pair(s) failed"));
+        assert!(render_whatif_web(&[]).is_empty());
+    }
+
+    #[test]
     fn relative_diffs_pair_within_groups() {
         let samples = vec![
             web(DnsTransport::DoUdp, 0, 0, 0, 100.0),
@@ -1197,6 +1493,62 @@ mod tests {
         assert!(rendered.contains("regime rebind"));
         assert!(rendered.contains("deadline-exceeded x1"));
         assert!(rendered.contains("won by DoT x1"));
+    }
+
+    #[test]
+    fn whatif_rows_pair_regimes_against_the_baseline() {
+        use doqlab_dox::FailureKind;
+        let mk = |regime: usize, name: &str, t, hs: Option<f64>, ok: bool| WhatifSample {
+            regime,
+            regime_name: name.into(),
+            failure: (!ok).then_some(FailureKind::Timeout),
+            sample: {
+                let mut s = sample(t, hs, 25.0, 100);
+                if !ok {
+                    s.failed = true;
+                    s.resolve_ms = None;
+                }
+                s
+            },
+        };
+        let samples = vec![
+            mk(0, "baseline", DnsTransport::DoQ, Some(50.0), true),
+            mk(0, "baseline", DnsTransport::DoQ, Some(60.0), true),
+            mk(0, "baseline", DnsTransport::DoH, Some(100.0), true),
+            mk(1, "0rtt", DnsTransport::DoQ, Some(0.0), true),
+            mk(1, "0rtt", DnsTransport::DoQ, Some(10.0), false),
+            mk(2, "doh3", DnsTransport::DoH3, Some(60.0), true),
+        ];
+        let rows = whatif_rows(&samples);
+        assert_eq!(rows.len(), 4);
+        let base = &rows[0];
+        assert_eq!(
+            (base.regime.as_str(), base.transport.as_str()),
+            ("baseline", "DoQ")
+        );
+        assert_eq!(base.units, 2);
+        assert_eq!(base.total_ms[0], Some(80.0), "median of 75 and 85");
+        assert_eq!(base.delta_ms, None, "the reference regime has no delta");
+        let zrtt = rows
+            .iter()
+            .find(|r| r.regime == "0rtt" && r.transport == "DoQ")
+            .unwrap();
+        assert_eq!(zrtt.failed, 1);
+        assert_eq!(zrtt.failure_kinds["timeout"], 1);
+        // Only the first unit pair answered on both sides: 25 - 75.
+        assert_eq!(zrtt.delta_ms, Some(-50.0));
+        // The doh3 regime's DoH3 unit folds into the DoH column and
+        // pairs with the baseline DoH twin: 85 - 125.
+        let doh3 = rows.iter().find(|r| r.regime == "doh3").unwrap();
+        assert_eq!(doh3.transport, "DoH");
+        assert_eq!(doh3.ran_doh3, 1);
+        assert_eq!(doh3.delta_ms, Some(-40.0));
+        let rendered = render_whatif(&rows);
+        assert!(rendered.contains("regime baseline"));
+        assert!(rendered.contains("regime 0rtt"));
+        assert!(rendered.contains("-50.0"));
+        assert!(rendered.contains("ran DoH3 x1"));
+        assert!(rendered.contains("timeout x1"));
     }
 
     fn pop_sample(alpha_idx: usize, alpha: f64, t: DnsTransport, vp: usize) -> PopulationSample {

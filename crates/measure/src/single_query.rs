@@ -256,6 +256,21 @@ pub struct UnitOptions {
     /// Cross-transport happy-eyeballs ladder for the measured
     /// connection.
     pub failover: Option<FailoverPolicy>,
+    /// TCP Fast Open (RFC 7413): the resolver issues cookies, both
+    /// clients request them, and the measured DoTCP connection puts the
+    /// query on the SYN using the cookie the warming connection cached
+    /// — carried even when the campaign disables TLS resumption, since
+    /// TFO is an independent mechanism.
+    pub tfo: bool,
+    /// edns-tcp-keepalive (RFC 7828): the measured client asks the
+    /// resolver to hold the DoTCP connection open and the resolver
+    /// grants a timeout instead of closing after the first response.
+    pub keepalive: bool,
+    /// Run DoH units as DNS over HTTP/3 (DoH3) against an
+    /// HTTP/3-capable resolver, leaving the other transports untouched.
+    /// The unit seed is derived from the nominal transport, so a DoH3
+    /// unit pairs bit-for-bit with its DoH baseline.
+    pub doh3: bool,
 }
 
 impl Default for UnitOptions {
@@ -270,6 +285,9 @@ impl Default for UnitOptions {
             run_deadline: Duration::from_secs(20),
             rebinds: Vec::new(),
             failover: None,
+            tfo: false,
+            keepalive: false,
+            doh3: false,
         }
     }
 }
@@ -371,6 +389,15 @@ pub fn run_unit_custom(
             ],
         )
     });
+    // The DoH3 toggle substitutes the transport *after* the seed is
+    // derived from the nominal one, so a DoH3 unit shares its seed —
+    // path draws, jitter, everything — with the DoH unit it
+    // counterfactually replaces.
+    let transport = if opts.doh3 && transport == DnsTransport::DoH {
+        DnsTransport::DoH3
+    } else {
+        transport
+    };
     let mut path = GeoPathModel::new(campaign.path_params.clone());
     let warm_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 2);
     let meas_ip = Ipv4Addr::new(10, 10, vp.index as u8 + 1, 3);
@@ -391,6 +418,16 @@ pub fn run_unit_custom(
     if campaign.enable_0rtt_resolvers {
         server_cfg.enable_0rtt = true;
     }
+    if opts.tfo {
+        server_cfg.enable_tfo = true;
+    }
+    if opts.keepalive {
+        server_cfg.tcp_keepalive = true;
+        server_cfg.close_tcp_after_response = false;
+    }
+    if opts.doh3 {
+        server_cfg.supports_doh3 = true;
+    }
     sim.add_host(
         Box::new(ResolverHost::new(server_cfg, RecursionModel::default())),
         &[profile.ip],
@@ -400,24 +437,31 @@ pub fn run_unit_custom(
     let remote = SocketAddr::new(profile.ip, transport.port());
 
     // --- cache warming ----------------------------------------------------
+    let warm_cfg = ClientConfig {
+        enable_tfo: opts.tfo,
+        ..ClientConfig::default()
+    };
     let warm = DnsClientHost::new(
         transport,
         SocketAddr::new(warm_ip, 40_000),
         remote,
-        &ClientConfig::default(),
+        &warm_cfg,
     );
     let wid = sim.add_host(Box::new(warm), &[warm_ip]);
     sim.with_host::<DnsClientHost, _>(wid, |c, ctx| c.start_with_query(ctx, &query));
     let warm_deadline = sim.now() + Duration::from_secs(20);
     sim.run_until(warm_deadline);
-    let session = {
+    // Harvest the warming connection's resumption material through the
+    // host's per-resolver session cache, as a long-lived stub would.
+    let sessions = {
         let warm = sim.host_mut::<DnsClientHost>(wid);
         if warm.responses.is_empty() {
-            SessionState::default()
+            doqlab_dox::SessionCache::default()
         } else {
-            warm.session_state()
+            warm.export_sessions()
         }
     };
+    let session = sessions.get(remote).cloned().unwrap_or_default();
 
     // --- measured query -----------------------------------------------------
     let tap = match transport {
@@ -425,12 +469,21 @@ pub fn run_unit_custom(
         _ => PhaseByteTap::deferred_split(meas_ip, profile.ip),
     };
     sim.set_tap(Box::new(tap));
+    let meas_session = if campaign.use_resumption {
+        session
+    } else {
+        // TFO is independent of TLS resumption: the cookie carries even
+        // under the no-resumption ablation, like a kernel's TFO cache
+        // surviving a cleared TLS session store.
+        SessionState {
+            tfo_cookie: session.tfo_cookie.filter(|_| opts.tfo),
+            ..SessionState::default()
+        }
+    };
     let meas_cfg = ClientConfig {
-        session: if campaign.use_resumption {
-            session
-        } else {
-            SessionState::default()
-        },
+        session: meas_session,
+        enable_tfo: opts.tfo,
+        request_tcp_keepalive: opts.keepalive,
         query_deadline: opts.query_deadline,
         reconnect_max: opts.reconnect_max,
         reconnect_backoff: opts.reconnect_backoff,
@@ -541,6 +594,25 @@ pub fn run_unit_custom(
         metrics::record(Series::ResolveNs, (t - resolve_from).as_nanos() as u64);
     }
     metrics::count(transport_byte_counter(transport), bytes.total() as u64);
+    // 0-RTT bookkeeping: the measured connection attempted early data
+    // iff it presented a ticket that permits it; the connection
+    // metadata says whether the server accepted or forced the replay.
+    let attempted_early = meas_cfg.enable_0rtt
+        && meas_cfg
+            .session
+            .tls_ticket
+            .as_ref()
+            .is_some_and(|t| t.allows_early_data);
+    if attempted_early {
+        metrics::count(
+            if metadata.zero_rtt {
+                Counter::ZeroRttAccepted
+            } else {
+                Counter::ZeroRttRejected
+            },
+            1,
+        );
+    }
 
     let sample = SingleQuerySample {
         vp: vp.index,

@@ -53,6 +53,9 @@ pub struct WebperfCampaign {
     pub dot_bug: bool,
     /// Upgrade resolvers to 0-RTT (ablation A3).
     pub enable_0rtt_resolvers: bool,
+    /// Run DoH units as DNS over HTTP/3 against an HTTP/3-capable
+    /// resolver (the what-if campaign's doh3 counterfactual).
+    pub use_doh3: bool,
     pub path_params: GeoPathParams,
 }
 
@@ -63,6 +66,7 @@ impl WebperfCampaign {
             scale,
             dot_bug: true,
             enable_0rtt_resolvers: false,
+            use_doh3: false,
             path_params: GeoPathParams::default(),
         }
     }
@@ -113,8 +117,18 @@ pub fn run_webperf_unit(
     if campaign.enable_0rtt_resolvers {
         resolver_cfg.enable_0rtt = true;
     }
+    // The unit seed derives from the nominal transport BEFORE any DoH3
+    // substitution: a doh3 unit replays the exact draws of its DoH
+    // twin, so FCP/PLT deltas are attributable to HTTP/3 alone.
+    let seed = unit_seed(campaign.seed, vp, profile.index, pi, t, round);
+    let t = if campaign.use_doh3 && t == DnsTransport::DoH {
+        resolver_cfg.supports_doh3 = true;
+        DnsTransport::DoH3
+    } else {
+        t
+    };
     let cfg = PageLoadConfig {
-        seed: unit_seed(campaign.seed, vp, profile.index, pi, t, round),
+        seed,
         transport: t,
         page: page.clone(),
         resolver: resolver_cfg,
@@ -235,5 +249,31 @@ mod tests {
                 assert!(s.fcp_ms.is_finite() && s.plt_ms.is_finite());
             }
         }
+    }
+
+    #[test]
+    fn doh3_toggle_upgrades_doh_units_and_leaves_the_rest_alone() {
+        let scale = Scale {
+            resolvers: Some(1),
+            pages: Some(1),
+            rounds: 1,
+            loads_per_round: 1,
+            threads: 2,
+            ..Scale::quick()
+        };
+        let mut campaign = WebperfCampaign::new(scale);
+        campaign.use_doh3 = true;
+        let pop = synthesize_dox_population(1);
+        let pages = tranco_top10();
+        let samples = run_webperf_campaign(&campaign, &pop, &pages);
+        // 6 vps x 1 resolver x 1 page x 5 protocols x 1 round.
+        assert_eq!(samples.len(), 30);
+        let h3: Vec<_> = samples
+            .iter()
+            .filter(|s| s.transport == DnsTransport::DoH3)
+            .collect();
+        assert_eq!(h3.len(), 6, "every DoH unit became DoH3");
+        assert!(samples.iter().all(|s| s.transport != DnsTransport::DoH));
+        assert!(h3.iter().all(|s| !s.failed), "DoH3 page loads succeed");
     }
 }

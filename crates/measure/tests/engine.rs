@@ -8,9 +8,10 @@ use doqlab_measure::impairments::run_impairments_campaign;
 use doqlab_measure::mobility::run_mobility_campaign;
 use doqlab_measure::single_query::run_single_query_campaign;
 use doqlab_measure::webperf::run_webperf_campaign;
+use doqlab_measure::whatif::run_whatif_campaign;
 use doqlab_measure::{
     trace_single_query, ImpairmentsCampaign, MobilityCampaign, Scale, SingleQueryCampaign,
-    WebperfCampaign,
+    WebperfCampaign, WhatifCampaign,
 };
 use doqlab_resolver::synthesize_dox_population;
 use doqlab_telemetry::metrics::{self, Counter};
@@ -108,6 +109,49 @@ fn mobility_campaign_is_thread_count_invariant() {
     assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
     assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
     assert_eq!(renderings[1], renderings[3], "repeated 4-thread runs");
+}
+
+#[test]
+fn whatif_campaign_is_thread_count_invariant() {
+    // The counterfactual sweep flips feature flags (0-RTT, TFO,
+    // keepalive, DoH3) per regime but must stay bit-identical across
+    // thread counts and repeated runs at a fixed seed.
+    let pop = synthesize_dox_population(1);
+    let mut renderings = Vec::new();
+    for threads in [1, 4, 8, 4] {
+        let campaign = WhatifCampaign::new(impairments_scale(threads));
+        let samples = run_whatif_campaign(&campaign, &pop);
+        assert!(!samples.is_empty());
+        renderings.push(format!("{samples:?}"));
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 4 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+    assert_eq!(renderings[1], renderings[3], "repeated 4-thread runs");
+}
+
+#[test]
+fn whatif_telemetry_is_inert() {
+    // The new 0-RTT / TFO / keepalive counters ride telemetry;
+    // collecting them must not perturb the counterfactual samples.
+    let pop = synthesize_dox_population(1);
+    let campaign = WhatifCampaign::new(impairments_scale(4));
+    metrics::set_enabled(false);
+    let baseline = format!("{:?}", run_whatif_campaign(&campaign, &pop));
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let with_metrics = format!("{:?}", run_whatif_campaign(&campaign, &pop));
+    let snapshot = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(
+        baseline, with_metrics,
+        "metrics collection perturbed what-if samples"
+    );
+    // The sweep's regimes actually exercised the dormant capabilities.
+    assert!(snapshot.counter(Counter::ZeroRttAccepted) > 0);
+    assert!(snapshot.counter(Counter::TfoSynData) > 0);
+    assert!(snapshot.counter(Counter::KeepaliveHonored) > 0);
 }
 
 #[test]

@@ -814,6 +814,7 @@ impl TcpSocket {
                                 data_len: n,
                             });
                             metrics::count(Counter::TcpFastOpenClient, 1);
+                            metrics::count(Counter::TfoSynData, 1);
                         }
                     }
                 }
@@ -836,7 +837,10 @@ impl TcpSocket {
                 }
             }
         }
-        // Stream data.
+        // Stream data. A TFO server may answer SYN-carried data before
+        // the handshake completes (RFC 7413 §4.2): its response rides
+        // the SYN-ACK flight instead of waiting a round trip for the
+        // client's ACK — that saved RTT is the whole point of TFO.
         if matches!(
             self.state,
             TcpState::Established
@@ -844,7 +848,8 @@ impl TcpSocket {
                 | TcpState::FinWait1
                 | TcpState::Closing
                 | TcpState::LastAck
-        ) {
+        ) || (self.state == TcpState::SynReceived && self.cfg.enable_tfo)
+        {
             let window = self
                 .cc
                 .window()

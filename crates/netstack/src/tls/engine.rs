@@ -252,6 +252,17 @@ impl TlsClient {
                     }
                     TlsVersion::Tls12 => {
                         self.resumed_12 = resumed;
+                        if self.attempted_early {
+                            // A 1.2 server never reads 0-RTT records:
+                            // treat the downgrade as a rejection and
+                            // re-queue the early data for the
+                            // post-handshake flight.
+                            self.early_accepted = Some(false);
+                            sink::emit(now.as_nanos(), || Event::TlsEarlyData { accepted: false });
+                            metrics::count(Counter::TlsEarlyDataRejected, 1);
+                            let replay = std::mem::take(&mut self.early_sent);
+                            self.app_tx_pending.splice(0..0, replay);
+                        }
                         // 1.2 has no EE; a plain-1.2 server ignores the
                         // offered ALPN extension detail — assume first
                         // offered protocol.
@@ -690,7 +701,11 @@ impl TlsServer {
                 alpn: self.alpn.clone().unwrap_or_default(),
                 issued_at: now,
                 lifetime: self.cfg.ticket_lifetime,
-                allows_early_data: self.cfg.enable_0rtt,
+                // Early data is a TLS 1.3 mechanism (RFC 8446 §4.2.10):
+                // a ticket from a 1.2 handshake must never advertise it,
+                // or the next connection sends 0-RTT records a 1.2
+                // server silently drops.
+                allows_early_data: self.cfg.enable_0rtt && self.version == Some(TlsVersion::Tls13),
                 opaque_len: 120,
             };
             self.send_handshake(false, HandshakePayload::NewSessionTicket { ticket });

@@ -184,7 +184,17 @@ impl DnsCache {
     }
 
     fn put_key(&mut self, now: SimTime, key: Key, records: Vec<ResourceRecord>) {
+        // Expiry boundary contract (pinned by tests): a lookup strictly
+        // before `expires_at` serves, a lookup at or after it expires.
+        // A TTL-0 record set (RFC 1035: use for this transaction only)
+        // would get `expires_at == now` — already expired by that rule —
+        // so it is never cached; any stale entry under the key goes too,
+        // rather than shadowing the fresher TTL-0 answer.
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        if ttl == 0 {
+            self.entries.remove(&key);
+            return;
+        }
         self.entries.insert(
             key,
             Entry {
@@ -221,6 +231,11 @@ impl DnsCache {
     }
 
     fn put_negative_key(&mut self, now: SimTime, key: Key, rcode: Rcode, ttl: u32) {
+        // Same boundary contract as put_key: TTL 0 is never cached.
+        if ttl == 0 {
+            self.entries.remove(&key);
+            return;
+        }
         self.entries.insert(
             key,
             Entry {
@@ -312,6 +327,76 @@ mod tests {
             .get(SimTime::from_secs(60), &name("a.b"), RecordType::A)
             .is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn expiry_boundary_strictly_before_serves_at_or_after_expires() {
+        // The boundary contract, positive and negative: `expires_at` is
+        // `put time + ttl`; a lookup one instant before serves, a
+        // lookup exactly at (or after) it misses and evicts.
+        let just_before = SimTime::from_secs(60) - Duration::from_nanos(1);
+        let mut c = DnsCache::new();
+        c.put(
+            SimTime::ZERO,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 60)],
+        );
+        assert!(c.get(just_before, &name("a.b"), RecordType::A).is_some());
+        assert!(c
+            .get(SimTime::from_secs(60), &name("a.b"), RecordType::A)
+            .is_none());
+        assert!(c.is_empty());
+
+        let n = name("gone.example");
+        c.put_negative(SimTime::ZERO, &n, RecordType::A, Rcode::NxDomain, 60);
+        assert_eq!(
+            c.get_answer(just_before, &n, RecordType::A),
+            Some(CachedAnswer::Negative(Rcode::NxDomain))
+        );
+        assert!(c
+            .get_answer(SimTime::from_secs(60), &n, RecordType::A)
+            .is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_zero_is_never_cached() {
+        // RFC 1035 §3.2.1: TTL 0 means "this transaction only". Under
+        // the boundary contract `expires_at == now` is already expired,
+        // so the entry must not go in at all — otherwise a same-instant
+        // lookup would serve it (expired) or, worse, a decremented
+        // stale copy.
+        let mut c = DnsCache::new();
+        let t0 = SimTime::from_secs(5);
+        c.put(t0, &name("a.b"), RecordType::A, vec![a_record("a.b", 0)]);
+        assert!(c.is_empty(), "TTL-0 positive entry cached");
+        assert!(c.get(t0, &name("a.b"), RecordType::A).is_none());
+
+        // Mixed record set: the minimum TTL (0) governs.
+        c.put(
+            t0,
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 300), a_record("a.b", 0)],
+        );
+        assert!(c.is_empty(), "min-TTL-0 record set cached");
+
+        // Negative entries follow the same rule.
+        c.put_negative(t0, &name("a.b"), RecordType::A, Rcode::NxDomain, 0);
+        assert!(c.is_empty(), "TTL-0 negative entry cached");
+        assert!(c.get_answer(t0, &name("a.b"), RecordType::A).is_none());
+
+        // A TTL-0 answer also evicts whatever stale entry it shadows.
+        c.put(t0, &name("a.b"), RecordType::A, vec![a_record("a.b", 300)]);
+        assert_eq!(c.len(), 1);
+        c.put(
+            t0 + Duration::from_secs(1),
+            &name("a.b"),
+            RecordType::A,
+            vec![a_record("a.b", 0)],
+        );
+        assert!(c.is_empty(), "stale entry survived a TTL-0 refresh");
     }
 
     #[test]

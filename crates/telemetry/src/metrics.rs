@@ -72,10 +72,18 @@ pub enum Counter {
     QuicPathAbandoned,
     /// Cross-transport failover rungs dialed by the racing client.
     FailoverRaced,
+    /// 0-RTT early-data attempts the server accepted (whatif campaign).
+    ZeroRttAccepted,
+    /// 0-RTT early-data attempts rejected and replayed after 1-RTT.
+    ZeroRttRejected,
+    /// TCP SYNs that carried Fast Open payload (client side).
+    TfoSynData,
+    /// DoTCP connections whose server answered edns-tcp-keepalive.
+    KeepaliveHonored,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 40] = [
         Counter::QuicPacketsSent,
         Counter::QuicPacketsReceived,
         Counter::QuicPacketsLost,
@@ -112,6 +120,10 @@ impl Counter {
         Counter::QuicPathValidated,
         Counter::QuicPathAbandoned,
         Counter::FailoverRaced,
+        Counter::ZeroRttAccepted,
+        Counter::ZeroRttRejected,
+        Counter::TfoSynData,
+        Counter::KeepaliveHonored,
     ];
 
     pub fn name(self) -> &'static str {
@@ -152,6 +164,10 @@ impl Counter {
             Counter::QuicPathValidated => "path.validated",
             Counter::QuicPathAbandoned => "path.abandoned",
             Counter::FailoverRaced => "failover.raced",
+            Counter::ZeroRttAccepted => "zrtt.accepted",
+            Counter::ZeroRttRejected => "zrtt.rejected",
+            Counter::TfoSynData => "tfo.syn_data",
+            Counter::KeepaliveHonored => "keepalive.honored",
         }
     }
 }

@@ -8,6 +8,7 @@
 //! doqlab measure impairments --scale quick --seed 7
 //! doqlab measure mobility --scale quick --seed 7
 //! doqlab measure populations --scale quick --threads 8
+//! doqlab measure whatif --scale quick --seed 7
 //! doqlab all --scale quick --threads 8
 //! doqlab trace single-query --scale quick --trace-out trace.qlog
 //! ```
@@ -23,7 +24,7 @@ use doqlab_core::Study;
 fn usage() -> ! {
     eprintln!(
         "usage: doqlab [measure] \
-         <discovery|single-query|webperf|impairments|mobility|populations|all> \
+         <discovery|single-query|webperf|impairments|mobility|populations|whatif|all> \
          [--scale quick|medium|paper] [--seed N] [--threads N]\n\
          \x20      doqlab trace <single-query> \
          [--scale quick|medium|paper] [--seed N] [--trace-out PATH]\n\
@@ -121,6 +122,7 @@ fn main() {
         "impairments" => run_impairments(&study),
         "mobility" => run_mobility(&study),
         "populations" => run_populations(&study),
+        "whatif" => run_whatif(&study),
         "all" => {
             run_discovery(&study);
             run_single_query(&study);
@@ -128,6 +130,7 @@ fn main() {
             run_impairments(&study);
             run_mobility(&study);
             run_populations(&study);
+            run_whatif(&study);
         }
         _ => usage(),
     }
@@ -203,6 +206,17 @@ fn run_populations(study: &Study) {
     println!(
         "{}",
         report::render_populations(&report::population_rows(&samples))
+    );
+}
+
+fn run_whatif(study: &Study) {
+    println!("== what-if (counterfactual capability sweep) ==");
+    let samples = study.run_whatif();
+    println!("{}", report::render_whatif(&report::whatif_rows(&samples)));
+    let (base, doh3) = study.run_whatif_webperf();
+    println!(
+        "{}",
+        report::render_whatif_web(&report::whatif_web_rows(&base, &doh3))
     );
 }
 
